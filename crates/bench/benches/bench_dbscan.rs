@@ -1,0 +1,59 @@
+//! DBSCAN micro-benchmarks: the plain algorithm, the enhanced run with
+//! specific-core-point extraction (the paper's "on-the-fly" claim — the
+//! overhead should be small), and OPTICS for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbdc_cluster::{dbscan, dbscan_with_scp, optics, DbscanParams};
+use dbdc_datagen::scaled_a;
+use dbdc_geom::Euclidean;
+use dbdc_index::{build_index, IndexKind};
+use std::hint::black_box;
+
+fn bench_dbscan_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan");
+    group.sample_size(20);
+    for n in [1_000usize, 4_000, 8_700] {
+        let g = scaled_a(n, 7);
+        let params = DbscanParams::new(g.suggested_eps, g.suggested_min_pts);
+        let idx = build_index(IndexKind::RStar, &g.data, Euclidean, params.eps);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(dbscan(&g.data, idx.as_ref(), &params)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scp_overhead(c: &mut Criterion) {
+    let g = scaled_a(4_000, 7);
+    let params = DbscanParams::new(g.suggested_eps, g.suggested_min_pts);
+    let idx = build_index(IndexKind::RStar, &g.data, Euclidean, params.eps);
+    let mut group = c.benchmark_group("scp_overhead");
+    group.sample_size(20);
+    group.bench_function("plain_dbscan", |b| {
+        b.iter(|| black_box(dbscan(&g.data, idx.as_ref(), &params)));
+    });
+    group.bench_function("dbscan_with_scp", |b| {
+        b.iter(|| black_box(dbscan_with_scp(&g.data, idx.as_ref(), &params)));
+    });
+    group.finish();
+}
+
+fn bench_optics(c: &mut Criterion) {
+    let g = scaled_a(2_000, 7);
+    let params = DbscanParams::new(g.suggested_eps, g.suggested_min_pts);
+    let idx = build_index(IndexKind::RStar, &g.data, Euclidean, params.eps);
+    let mut group = c.benchmark_group("optics");
+    group.sample_size(10);
+    group.bench_function("optics_2k", |b| {
+        b.iter(|| black_box(optics(&g.data, idx.as_ref(), &params)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dbscan_sizes,
+    bench_scp_overhead,
+    bench_optics
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the spatial index backends (the `abl-index`
+//! companion): build cost and ε-range query cost on dataset-A-like data.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dbdc_datagen::scaled_a;
+use dbdc_geom::Euclidean;
+use dbdc_index::{build_index, IndexKind, NeighborIndex};
+use std::hint::black_box;
+
+const N: usize = 5_000;
+const EPS: f64 = 1.0;
+
+fn bench_build(c: &mut Criterion) {
+    let g = scaled_a(N, 7);
+    let mut group = c.benchmark_group("index_build");
+    for kind in IndexKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| black_box(build_index(k, &g.data, Euclidean, EPS)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_query(c: &mut Criterion) {
+    let g = scaled_a(N, 7);
+    let mut group = c.benchmark_group("index_range_query");
+    for kind in IndexKind::ALL {
+        let idx = build_index(kind, &g.data, Euclidean, EPS);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            let mut out = Vec::new();
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 37) % N as u32;
+                idx.range(g.data.point(i), EPS, &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let g = scaled_a(N, 7);
+    let mut group = c.benchmark_group("index_knn10");
+    for kind in IndexKind::ALL {
+        let idx = build_index(kind, &g.data, Euclidean, EPS);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 37) % N as u32;
+                black_box(idx.knn(g.data.point(i), 10))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rstar_dynamic_insert(c: &mut Criterion) {
+    let g = scaled_a(2_000, 7);
+    c.bench_function("rstar_dynamic_insert_2k", |b| {
+        b.iter_batched(
+            || dbdc_index::RStarTree::new(&g.data, Euclidean),
+            |mut tree| {
+                for i in 0..g.data.len() as u32 {
+                    tree.insert(i);
+                }
+                black_box(tree.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_range_query,
+    bench_knn,
+    bench_rstar_dynamic_insert
+);
+criterion_main!(benches);

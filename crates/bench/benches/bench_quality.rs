@@ -1,0 +1,63 @@
+//! Quality-measure micro-benchmarks: the paper's `P^I`/`P^II` (which share
+//! one contingency-table pass) against ARI and NMI, plus the wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbdc::{
+    build_local_model, central_dbscan, q_dbdc, run_dbdc, wire, DbdcParams, EpsGlobal,
+    LocalModelKind, ObjectQuality, Partitioner,
+};
+use dbdc_cluster::{dbscan_with_scp, DbscanParams};
+use dbdc_datagen::scaled_a;
+use dbdc_geom::{adjusted_rand_index, normalized_mutual_information, Euclidean};
+use std::hint::black_box;
+
+fn bench_quality_measures(c: &mut Criterion) {
+    let g = scaled_a(8_700, 7);
+    let params = DbdcParams::new(g.suggested_eps, g.suggested_min_pts)
+        .with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+    let (central, _) = central_dbscan(&g.data, &params);
+    let outcome = run_dbdc(&g.data, &params, Partitioner::RandomEqual { seed: 7 }, 4);
+    let (d, ce) = (&outcome.assignment, &central.clustering);
+    let mut group = c.benchmark_group("quality_8700");
+    group.bench_function("q_dbdc_p1", |b| {
+        b.iter(|| black_box(q_dbdc(d, ce, ObjectQuality::PI { qp: 5 })));
+    });
+    group.bench_function("q_dbdc_p2", |b| {
+        b.iter(|| black_box(q_dbdc(d, ce, ObjectQuality::PII)));
+    });
+    group.bench_function("ari", |b| {
+        b.iter(|| black_box(adjusted_rand_index(d, ce)));
+    });
+    group.bench_function("nmi", |b| {
+        b.iter(|| black_box(normalized_mutual_information(d, ce)));
+    });
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let g = scaled_a(8_700, 7);
+    let idx = dbdc_index::build_index(
+        dbdc_index::IndexKind::RStar,
+        &g.data,
+        Euclidean,
+        g.suggested_eps,
+    );
+    let scp = dbscan_with_scp(
+        &g.data,
+        idx.as_ref(),
+        &DbscanParams::new(g.suggested_eps, g.suggested_min_pts),
+    );
+    let model = build_local_model(LocalModelKind::Scor, &g.data, &scp, 0);
+    let encoded = wire::encode_local_model(&model);
+    let mut group = c.benchmark_group("wire_codec");
+    group.bench_function("encode_local_model", |b| {
+        b.iter(|| black_box(wire::encode_local_model(&model)));
+    });
+    group.bench_function("decode_local_model", |b| {
+        b.iter(|| black_box(wire::decode_local_model(&encoded).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality_measures, bench_wire_codec);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Streaming substrate micro-benchmarks: incremental DBSCAN insert/remove
+//! throughput and the streaming session round trip.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dbdc::{ClientSession, DbdcParams, EpsGlobal, ServerSession};
+use dbdc_cluster::{DbscanParams, IncrementalDbscan};
+use dbdc_datagen::scaled_a;
+use std::hint::black_box;
+
+fn bench_incremental_inserts(c: &mut Criterion) {
+    let g = scaled_a(2_000, 7);
+    let params = DbscanParams::new(g.suggested_eps, g.suggested_min_pts);
+    c.bench_function("incremental_dbscan_insert_2k", |b| {
+        b.iter_batched(
+            || IncrementalDbscan::new(2, params),
+            |mut inc| {
+                for p in g.data.iter() {
+                    inc.insert(p);
+                }
+                black_box(inc.clustering().n_clusters())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_incremental_churn(c: &mut Criterion) {
+    let g = scaled_a(2_000, 7);
+    let params = DbscanParams::new(g.suggested_eps, g.suggested_min_pts);
+    c.bench_function("incremental_dbscan_churn_500", |b| {
+        b.iter_batched(
+            || {
+                let mut inc = IncrementalDbscan::new(2, params);
+                for p in g.data.iter() {
+                    inc.insert(p);
+                }
+                inc
+            },
+            |mut inc| {
+                // Remove and re-add a rolling window.
+                for id in 0..500u32 {
+                    inc.remove(id);
+                }
+                for id in 0..500u32 {
+                    inc.insert(g.data.point(id));
+                }
+                black_box(inc.len())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_streaming_round(c: &mut Criterion) {
+    let g = scaled_a(2_000, 7);
+    let params = DbdcParams::new(g.suggested_eps, g.suggested_min_pts)
+        .with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+    c.bench_function("streaming_session_round_2k_4sites", |b| {
+        b.iter(|| {
+            let mut clients: Vec<ClientSession> =
+                (0..4).map(|s| ClientSession::new(s, 2, params)).collect();
+            for (i, p) in g.data.iter().enumerate() {
+                clients[i % 4].insert(p);
+            }
+            let mut server = ServerSession::new(2, 2.0 * params.eps_local, &params);
+            for c in clients.iter_mut() {
+                server.ingest(&c.take_model());
+            }
+            black_box(server.snapshot().n_clusters)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_inserts,
+    bench_incremental_churn,
+    bench_streaming_round
+);
+criterion_main!(benches);

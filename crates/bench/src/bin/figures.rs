@@ -1,0 +1,42 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!   figures `<id>`...    run specific experiments (fig6 fig7a ... abl-wire)
+//!   figures all          run everything in paper order
+//!   figures --list       list experiment ids
+//!
+//! Reports are printed to stdout as markdown; redirect to a file to archive
+//! (EXPERIMENTS.md embeds the output of `figures all` from a release run).
+
+use dbdc_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures <id>... | all | --list");
+        eprintln!("ids: {}", experiments::ALL_IDS.join(" "));
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match experiments::run(id) {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; try --list");
+                std::process::exit(1);
+            }
+        }
+    }
+}

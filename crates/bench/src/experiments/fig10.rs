@@ -1,0 +1,125 @@
+//! Figure 10 (the paper's table) — quality vs the number of client sites.
+//!
+//! Data set A, `Eps_global = 2·Eps_local`, sites ∈ {2, 4, 5, 8, 10, 14,
+//! 20}. For each row: the fraction of the data transmitted as local
+//! representatives, and `Q_DBDC` under `P^I` and `P^II` for both local
+//! models. The paper reads two things off this table: `P^I` saturates at
+//! 98–99% regardless of the site count (hence unsuitable), while `P^II`
+//! stays high but degrades gently for many sites.
+
+use crate::table::{f, Table};
+use dbdc::{
+    central_dbscan, q_dbdc, run_dbdc, DbdcParams, EpsGlobal, LocalModelKind, ObjectQuality,
+    Partitioner,
+};
+use dbdc_datagen::dataset_a;
+
+use super::{quick, SEED};
+
+/// One row of the table.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Row {
+    /// Number of client sites.
+    pub sites: usize,
+    /// Representatives as a percentage of the dataset (REP_Scor run).
+    pub rep_pct: f64,
+    /// `Q` under `P^I` for REP_kMeans, percent.
+    pub kmeans_p1: f64,
+    /// `Q` under `P^II` for REP_kMeans, percent.
+    pub kmeans_p2: f64,
+    /// `Q` under `P^I` for REP_Scor, percent.
+    pub scor_p1: f64,
+    /// `Q` under `P^II` for REP_Scor, percent.
+    pub scor_p2: f64,
+}
+
+/// Runs the site sweep.
+pub fn sweep() -> Vec<Fig10Row> {
+    let (data, eps, min_pts) = if quick() {
+        let g = dbdc_datagen::scaled_a(1_500, SEED);
+        (g.data, g.suggested_eps, g.suggested_min_pts)
+    } else {
+        let g = dataset_a(SEED);
+        (g.data, g.suggested_eps, g.suggested_min_pts)
+    };
+    let params = DbdcParams::new(eps, min_pts).with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+    let (central, _) = central_dbscan(&data, &params);
+    let p1 = ObjectQuality::PI { qp: min_pts };
+    let p2 = ObjectQuality::PII;
+    let site_counts: &[usize] = if quick() {
+        &[2, 4]
+    } else {
+        &[2, 4, 5, 8, 10, 14, 20]
+    };
+    site_counts
+        .iter()
+        .map(|&sites| {
+            let part = Partitioner::RandomEqual { seed: SEED };
+            let scor = run_dbdc(&data, &params.with_model(LocalModelKind::Scor), part, sites);
+            let kmeans = run_dbdc(
+                &data,
+                &params.with_model(LocalModelKind::KMeans),
+                part,
+                sites,
+            );
+            Fig10Row {
+                sites,
+                rep_pct: 100.0 * scor.representative_fraction(),
+                kmeans_p1: 100.0 * q_dbdc(&kmeans.assignment, &central.clustering, p1).q,
+                kmeans_p2: 100.0 * q_dbdc(&kmeans.assignment, &central.clustering, p2).q,
+                scor_p1: 100.0 * q_dbdc(&scor.assignment, &central.clustering, p1).q,
+                scor_p2: 100.0 * q_dbdc(&scor.assignment, &central.clustering, p2).q,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn run() -> String {
+    let rows = sweep();
+    let mut t = Table::new([
+        "sites",
+        "local repr. [%]",
+        "kMeans P^I",
+        "kMeans P^II",
+        "Scor P^I",
+        "Scor P^II",
+    ]);
+    for r in &rows {
+        t.row([
+            r.sites.to_string(),
+            f(r.rep_pct, 0),
+            f(r.kmeans_p1, 0),
+            f(r.kmeans_p2, 0),
+            f(r.scor_p1, 0),
+            f(r.scor_p2, 0),
+        ]);
+    }
+    format!(
+        "## fig10 — quality vs number of sites (data set A, Eps_global = 2·Eps_local)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualities_stay_high_on_few_sites() {
+        std::env::set_var("DBDC_QUICK", "1");
+        let rows = sweep();
+        let first = &rows[0];
+        assert!(first.scor_p2 > 60.0, "{first:?}");
+        assert!(first.kmeans_p2 > 60.0, "{first:?}");
+        assert!((0.0..=100.0).contains(&first.rep_pct));
+    }
+
+    #[test]
+    fn report_renders_all_rows() {
+        std::env::set_var("DBDC_QUICK", "1");
+        let r = run();
+        assert!(r.contains("fig10"));
+        assert!(r.contains("local repr."));
+    }
+}

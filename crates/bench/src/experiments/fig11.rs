@@ -1,0 +1,119 @@
+//! Figure 11 — quality on the three data sets A, B and C.
+//!
+//! 4 sites, `Eps_global = 2·Eps_local`, both local models, both quality
+//! functions, plus (beyond the paper) the standard external measures ARI
+//! and NMI against the same central reference, as an independent check on
+//! the paper's bespoke quality functions.
+
+use crate::table::{f, Table};
+use dbdc::{
+    central_dbscan, q_dbdc, run_dbdc, DbdcParams, EpsGlobal, LocalModelKind, ObjectQuality,
+    Partitioner,
+};
+use dbdc_datagen::{dataset_a, dataset_b, dataset_c, GeneratedData};
+use dbdc_geom::adjusted_rand_index;
+
+use super::{quick, SEED};
+
+/// One dataset × model measurement.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Dataset name ("A", "B", "C").
+    pub set: &'static str,
+    /// Local model name.
+    pub model: &'static str,
+    /// `Q` under `P^I`, percent.
+    pub p1: f64,
+    /// `Q` under `P^II`, percent.
+    pub p2: f64,
+    /// Adjusted Rand Index vs the central clustering (extension).
+    pub ari: f64,
+}
+
+fn eval(set: &'static str, g: &GeneratedData) -> Vec<Fig11Row> {
+    let params = DbdcParams::new(g.suggested_eps, g.suggested_min_pts)
+        .with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+    let (central, _) = central_dbscan(&g.data, &params);
+    [LocalModelKind::Scor, LocalModelKind::KMeans]
+        .into_iter()
+        .map(|model| {
+            let outcome = run_dbdc(
+                &g.data,
+                &params.with_model(model),
+                Partitioner::RandomEqual { seed: SEED },
+                4,
+            );
+            Fig11Row {
+                set,
+                model: model.name(),
+                p1: 100.0
+                    * q_dbdc(
+                        &outcome.assignment,
+                        &central.clustering,
+                        ObjectQuality::PI {
+                            qp: g.suggested_min_pts,
+                        },
+                    )
+                    .q,
+                p2: 100.0 * q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII).q,
+                ari: adjusted_rand_index(&outcome.assignment, &central.clustering),
+            }
+        })
+        .collect()
+}
+
+/// Runs the evaluation on A, B and C.
+pub fn sweep() -> Vec<Fig11Row> {
+    let mut rows = Vec::new();
+    if quick() {
+        rows.extend(eval("C", &dataset_c(SEED)));
+    } else {
+        rows.extend(eval("A", &dataset_a(SEED)));
+        rows.extend(eval("B", &dataset_b(SEED)));
+        rows.extend(eval("C", &dataset_c(SEED)));
+    }
+    rows
+}
+
+/// Renders the figure.
+pub fn run() -> String {
+    let rows = sweep();
+    let mut t = Table::new(["set", "model", "P^I [%]", "P^II [%]", "ARI"]);
+    for r in &rows {
+        t.row([
+            r.set.to_string(),
+            r.model.to_string(),
+            f(r.p1, 0),
+            f(r.p2, 0),
+            f(r.ari, 3),
+        ]);
+    }
+    format!(
+        "## fig11 — quality on data sets A, B, C (4 sites, Eps_global = 2·Eps_local)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_dataset_scores_high() {
+        std::env::set_var("DBDC_QUICK", "1");
+        let rows = sweep();
+        assert_eq!(rows.len(), 2); // C × two models
+        for r in &rows {
+            assert!(r.p2 > 80.0, "{r:?}");
+            assert!(r.ari > 0.8, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        std::env::set_var("DBDC_QUICK", "1");
+        let r = run();
+        assert!(r.contains("fig11"));
+        assert!(r.contains("ARI"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 6 — the three test data sets.
+//!
+//! The paper shows scatter plots of the data sets A, B and C on the central
+//! site. This experiment regenerates the sets, reports their vital
+//! statistics, and renders a coarse ASCII density map of each so the shapes
+//! can be eyeballed in a terminal.
+
+use crate::table::Table;
+use dbdc_datagen::{dataset_a, dataset_b, dataset_c, GeneratedData};
+use dbdc_geom::Dataset;
+
+use super::SEED;
+
+/// Renders an `w`×`h` character density map of a 2-d dataset.
+pub fn ascii_density(data: &Dataset, w: usize, h: usize) -> String {
+    let Some(bbox) = data.bounding_rect() else {
+        return String::from("(empty)\n");
+    };
+    let (x0, y0) = (bbox.lo()[0], bbox.lo()[1]);
+    let (x1, y1) = (bbox.hi()[0], bbox.hi()[1]);
+    let mut counts = vec![0usize; w * h];
+    for p in data.iter() {
+        let cx = (((p[0] - x0) / (x1 - x0).max(1e-12)) * (w as f64 - 1.0)).round() as usize;
+        let cy = (((p[1] - y0) / (y1 - y0).max(1e-12)) * (h as f64 - 1.0)).round() as usize;
+        counts[cy.min(h - 1) * w + cx.min(w - 1)] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    let ramp: &[u8] = b" .:-=+*#%@";
+    let mut out = String::with_capacity((w + 1) * h);
+    for row in (0..h).rev() {
+        for col in 0..w {
+            let c = counts[row * w + col];
+            let idx = if c == 0 {
+                0
+            } else {
+                1 + (c * (ramp.len() - 2)) / max
+            };
+            out.push(ramp[idx.min(ramp.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn describe(name: &str, g: &GeneratedData, t: &mut Table) {
+    t.row([
+        name.to_string(),
+        g.data.len().to_string(),
+        g.truth.n_clusters().to_string(),
+        format!(
+            "{:.1}",
+            100.0 * g.truth.n_noise() as f64 / g.data.len() as f64
+        ),
+        format!("{}", g.suggested_eps),
+        g.suggested_min_pts.to_string(),
+    ]);
+}
+
+/// Regenerates Figure 6. Also writes SVG scatter plots (points colored by
+/// ground truth) to `figures_out/` when the directory can be created.
+pub fn run() -> String {
+    let a = dataset_a(SEED);
+    let b = dataset_b(SEED);
+    let c = dataset_c(SEED);
+    let mut t = Table::new([
+        "set",
+        "objects",
+        "clusters",
+        "noise %",
+        "eps_local",
+        "min_pts",
+    ]);
+    describe("A", &a, &mut t);
+    describe("B", &b, &mut t);
+    describe("C", &c, &mut t);
+    let mut out = String::new();
+    out.push_str("## fig6 — test data sets A, B, C\n\n");
+    out.push_str(&t.render());
+    let svg_dir = std::path::Path::new("figures_out");
+    let svg_ok = std::fs::create_dir_all(svg_dir).is_ok();
+    for (name, g) in [("A", &a), ("B", &b), ("C", &c)] {
+        out.push_str(&format!("\n### data set {name} (density map)\n```\n"));
+        out.push_str(&ascii_density(&g.data, 64, 20));
+        out.push_str("```\n");
+        if svg_ok {
+            let svg = dbdc_geom::svg::scatter_svg(
+                &g.data,
+                Some(&g.truth),
+                &[],
+                &dbdc_geom::svg::SvgOptions {
+                    title: format!("data set {name} ({} points)", g.data.len()),
+                    ..Default::default()
+                },
+            );
+            let path = svg_dir.join(format!("fig6_{}.svg", name.to_lowercase()));
+            if std::fs::write(&path, svg).is_ok() {
+                out.push_str(&format!("\nSVG: `{}`\n", path.display()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_sets() {
+        let r = run();
+        assert!(r.contains("| A"));
+        assert!(r.contains("| B"));
+        assert!(r.contains("| C"));
+        assert!(r.contains("8700"));
+        assert!(r.contains("4000"));
+        assert!(r.contains("1021"));
+    }
+
+    #[test]
+    fn density_map_shape() {
+        let g = dataset_c(1);
+        let map = ascii_density(&g.data, 40, 10);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 40));
+        // Three blobs -> plenty of dark cells and plenty of empty space.
+        let dark = map
+            .chars()
+            .filter(|&c| c == '@' || c == '%' || c == '#')
+            .count();
+        let blank = map.chars().filter(|&c| c == ' ').count();
+        assert!(dark > 0);
+        assert!(blank > 100);
+    }
+
+    #[test]
+    fn empty_dataset_renders_placeholder() {
+        let d = Dataset::new(2);
+        assert_eq!(ascii_density(&d, 10, 5), "(empty)\n");
+    }
+}

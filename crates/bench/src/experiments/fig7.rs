@@ -1,0 +1,134 @@
+//! Figure 7 — overall runtime of central vs distributed clustering as the
+//! cardinality of (dataset-A-like) data grows.
+//!
+//! 7a sweeps large cardinalities, 7b small ones. For each `n`, the data is
+//! spread over 4 sites and we report: central DBSCAN time, DBDC time under
+//! both local models (the paper's cost model — slowest local phase plus the
+//! global phase), and the resulting speed-up factors. The paper's headline:
+//! at 100 000 points both DBDC variants beat central clustering by more
+//! than an order of magnitude, while for small data sets DBDC is slightly
+//! slower.
+
+use crate::ms;
+use crate::table::{f, Table};
+use dbdc::{central_dbscan, run_dbdc, DbdcParams, EpsGlobal, LocalModelKind, Partitioner};
+use dbdc_datagen::scaled_a;
+
+use super::{quick, SEED};
+
+/// One row of the Figure 7 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    /// Dataset cardinality.
+    pub n: usize,
+    /// Central DBSCAN wall time (ms).
+    pub central_ms: f64,
+    /// DBDC(REP_Scor) overall runtime under the paper's cost model (ms).
+    pub scor_ms: f64,
+    /// DBDC(REP_kMeans) overall runtime (ms).
+    pub kmeans_ms: f64,
+}
+
+/// Runs the sweep for the given cardinalities over `n_sites` sites.
+pub fn sweep(ns: &[usize], n_sites: usize) -> Vec<Fig7Row> {
+    let mut rows = Vec::with_capacity(ns.len());
+    for &n in ns {
+        let g = scaled_a(n, SEED);
+        let base = DbdcParams::new(g.suggested_eps, g.suggested_min_pts)
+            .with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+        let (_, central) = central_dbscan(&g.data, &base);
+        let part = Partitioner::RandomEqual { seed: SEED };
+        let scor = run_dbdc(
+            &g.data,
+            &base.with_model(LocalModelKind::Scor),
+            part,
+            n_sites,
+        );
+        let kmeans = run_dbdc(
+            &g.data,
+            &base.with_model(LocalModelKind::KMeans),
+            part,
+            n_sites,
+        );
+        rows.push(Fig7Row {
+            n,
+            central_ms: ms(central),
+            scor_ms: ms(scor.timings.dbdc_total()),
+            kmeans_ms: ms(kmeans.timings.dbdc_total()),
+        });
+    }
+    rows
+}
+
+fn render(title: &str, rows: &[Fig7Row]) -> String {
+    let mut t = Table::new([
+        "n",
+        "central [ms]",
+        "DBDC(REP_Scor) [ms]",
+        "DBDC(REP_kMeans) [ms]",
+        "speedup Scor",
+        "speedup kMeans",
+    ]);
+    for r in rows {
+        t.row([
+            r.n.to_string(),
+            f(r.central_ms, 1),
+            f(r.scor_ms, 1),
+            f(r.kmeans_ms, 1),
+            f(r.central_ms / r.scor_ms, 2),
+            f(r.central_ms / r.kmeans_ms, 2),
+        ]);
+    }
+    format!("## {title}\n\n{}", t.render())
+}
+
+/// Figure 7a: high cardinalities.
+pub fn run_large() -> String {
+    let ns: &[usize] = if quick() {
+        &[2_000, 4_000]
+    } else {
+        &[10_000, 25_000, 50_000, 100_000, 200_000]
+    };
+    render(
+        "fig7a — overall runtime, central vs DBDC, large cardinalities (4 sites)",
+        &sweep(ns, 4),
+    )
+}
+
+/// Figure 7b: small cardinalities.
+pub fn run_small() -> String {
+    let ns: &[usize] = if quick() {
+        &[500, 1_000]
+    } else {
+        &[1_000, 2_500, 5_000, 7_500, 10_000]
+    };
+    render(
+        "fig7b — overall runtime, central vs DBDC, small cardinalities (4 sites)",
+        &sweep(ns, 4),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_monotone_ns() {
+        let rows = sweep(&[500, 1_500], 3);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].n < rows[1].n);
+        for r in &rows {
+            assert!(r.central_ms > 0.0);
+            assert!(r.scor_ms > 0.0);
+            assert!(r.kmeans_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        std::env::set_var("DBDC_QUICK", "1");
+        let r = run_small();
+        assert!(r.contains("fig7b"));
+        assert!(r.contains("speedup"));
+    }
+}

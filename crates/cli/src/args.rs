@@ -1,0 +1,161 @@
+//! Tiny flag parser for the CLI — `--key value` pairs plus positional
+//! arguments, with typed accessors. Hand-rolled to keep the sanctioned
+//! dependency set.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+    /// Flags seen without a value (`--verbose`).
+    switches: Vec<String>,
+}
+
+/// Parse failures and typed-access errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A required flag was not supplied.
+    Missing(String),
+    /// A flag's value failed to parse (flag, value, expected type).
+    Invalid(String, String, &'static str),
+    /// An unknown flag was supplied.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Missing(k) => write!(f, "missing required flag --{k}"),
+            ArgError::Invalid(k, v, ty) => {
+                write!(f, "flag --{k}: {v:?} is not a valid {ty}")
+            }
+            ArgError::Unknown(k) => write!(f, "unknown flag --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments, validating flag names against `allowed`.
+    pub fn parse<S: AsRef<str>>(
+        raw: impl IntoIterator<Item = S>,
+        allowed: &[&str],
+    ) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let raw: Vec<String> = raw.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if !allowed.contains(&key) {
+                    return Err(ArgError::Unknown(key.to_string()));
+                }
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    args.flags.insert(key.to_string(), raw[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.switches.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                args.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string flag, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError::Missing(key.into()))
+    }
+
+    /// A typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::Invalid(key.into(), v.into(), std::any::type_name::<T>())),
+        }
+    }
+
+    /// A required typed flag.
+    pub fn require_as<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self.require(key)?;
+        v.parse()
+            .map_err(|_| ArgError::Invalid(key.into(), v.into(), std::any::type_name::<T>()))
+    }
+
+    /// Whether a valueless switch was passed.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALLOWED: &[&str] = &["eps", "sites", "out", "verbose"];
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(["input.csv", "--eps", "1.5", "--sites", "4"], ALLOWED).unwrap();
+        assert_eq!(a.positional(), &["input.csv".to_string()]);
+        assert_eq!(a.get("eps"), Some("1.5"));
+        assert_eq!(a.require_as::<usize>("sites").unwrap(), 4);
+        assert_eq!(a.get_or("out", "default".to_string()).unwrap(), "default");
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err = Args::parse(["--nope", "1"], ALLOWED).unwrap_err();
+        assert_eq!(err, ArgError::Unknown("nope".into()));
+    }
+
+    #[test]
+    fn missing_required() {
+        let a = Args::parse(["x"], ALLOWED).unwrap();
+        assert_eq!(
+            a.require("eps").unwrap_err(),
+            ArgError::Missing("eps".into())
+        );
+    }
+
+    #[test]
+    fn invalid_typed_value() {
+        let a = Args::parse(["--eps", "abc"], ALLOWED).unwrap();
+        assert!(matches!(
+            a.require_as::<f64>("eps").unwrap_err(),
+            ArgError::Invalid(..)
+        ));
+    }
+
+    #[test]
+    fn switches() {
+        let a = Args::parse(["--verbose", "--eps", "1.0"], ALLOWED).unwrap();
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("eps")); // has a value, not a switch
+        assert_eq!(a.get_or("sites", 2).unwrap(), 2);
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = Args::parse(["--eps", "1.0", "--verbose"], ALLOWED).unwrap();
+        assert!(a.switch("verbose"));
+    }
+}

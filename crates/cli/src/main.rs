@@ -1,0 +1,409 @@
+//! `dbdc-cli` — run DBDC from the command line.
+//!
+//! ```text
+//! dbdc-cli generate --set a --seed 42 --out points.csv
+//! dbdc-cli central  --input points.csv --eps 1.0 --min-pts 5 --out labels.csv
+//! dbdc-cli run      --input points.csv --eps 1.0 --min-pts 5 --sites 4 \
+//!                   --model scor --eps-global 2.0 --out labels.csv
+//! dbdc-cli compare  --input points.csv --eps 1.0 --min-pts 5 --sites 4
+//! ```
+
+mod args;
+mod csv;
+
+use args::Args;
+use dbdc::{
+    central_dbscan, q_dbdc, run_dbdc, run_dbdc_threaded, DbdcParams, EpsGlobal, LocalModelKind,
+    ObjectQuality, Partitioner,
+};
+use dbdc_geom::Dataset;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "central" => cmd_central(rest),
+        "run" => cmd_run(rest),
+        "compare" => cmd_compare(rest),
+        "plot" => cmd_plot(rest),
+        "suggest" => cmd_suggest(rest),
+        "stream" => cmd_stream(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+dbdc-cli — Density Based Distributed Clustering (EDBT 2004)
+
+commands:
+  generate --set a|b|c --seed N [--n N] [--out FILE] [--truth]
+      write a synthetic test data set as CSV (x,y; --truth appends labels)
+  central --input FILE --eps E --min-pts M [--index KIND] [--out FILE]
+      central DBSCAN over a CSV point file
+  run --input FILE --eps E --min-pts M --sites K [--model scor|kmeans]
+      [--eps-global MULT|max] [--partitioner random|roundrobin|stripes]
+      [--seed N] [--threaded] [--out FILE]
+      the DBDC protocol over K simulated sites
+  compare --input FILE --eps E --min-pts M --sites K [--model scor|kmeans]
+      [--eps-global MULT|max] [--seed N]
+      run both and report the paper's quality measures
+  plot --input FILE --out FILE.svg [--eps E --min-pts M] [--title T]
+      render a CSV point file as an SVG scatter plot, clustered with
+      DBSCAN when --eps/--min-pts are given
+  suggest --input FILE [--k K]
+      suggest an Eps via the sorted k-distance knee (k defaults to 4)
+  stream --input FILE --eps E --min-pts M --sites K [--batch N]
+      [--drift D] [--seed S]
+      replay the file as a stream into incremental client sessions and an
+      incremental server; report transmissions saved by drift gating
+
+KIND: linear|grid|kdtree|rstar (default rstar)";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Rejects stray positional arguments — every subcommand is flag-driven.
+fn no_positionals(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    match args.positional() {
+        [] => Ok(()),
+        extra => Err(format!("unexpected arguments: {extra:?}").into()),
+    }
+}
+
+fn read_input(args: &Args) -> Result<Dataset, Box<dyn std::error::Error>> {
+    let path = args.require("input")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(csv::read_dataset(BufReader::new(file))?)
+}
+
+fn write_output(
+    args: &Args,
+    data: &Dataset,
+    labels: &dbdc_geom::Clustering,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = args.get("out") {
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        csv::write_dataset(BufWriter::new(file), data, Some(labels))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn parse_eps_global(args: &Args) -> Result<EpsGlobal, Box<dyn std::error::Error>> {
+    match args.get("eps-global") {
+        None => Ok(EpsGlobal::MultipleOfLocal(2.0)),
+        Some("max") => Ok(EpsGlobal::MaxEpsRange),
+        Some(v) => {
+            let mult: f64 = v
+                .parse()
+                .map_err(|_| format!("--eps-global expects a multiplier or \"max\", got {v:?}"))?;
+            Ok(EpsGlobal::MultipleOfLocal(mult))
+        }
+    }
+}
+
+fn parse_model(args: &Args) -> Result<LocalModelKind, Box<dyn std::error::Error>> {
+    match args.get("model") {
+        None | Some("scor") => Ok(LocalModelKind::Scor),
+        Some("kmeans") => Ok(LocalModelKind::KMeans),
+        Some(v) => Err(format!("--model expects scor|kmeans, got {v:?}").into()),
+    }
+}
+
+fn parse_partitioner(args: &Args, seed: u64) -> Result<Partitioner, Box<dyn std::error::Error>> {
+    match args.get("partitioner") {
+        None | Some("random") => Ok(Partitioner::RandomEqual { seed }),
+        Some("roundrobin") => Ok(Partitioner::RoundRobin),
+        Some("stripes") => Ok(Partitioner::SpatialStripes { axis: 0 }),
+        Some(v) => {
+            Err(format!("--partitioner expects random|roundrobin|stripes, got {v:?}").into())
+        }
+    }
+}
+
+fn build_params(args: &Args) -> Result<DbdcParams, Box<dyn std::error::Error>> {
+    let eps: f64 = args.require_as("eps")?;
+    let min_pts: usize = args.require_as("min-pts")?;
+    let index: dbdc_index::IndexKind = args.get_or("index", dbdc_index::IndexKind::RStar)?;
+    Ok(DbdcParams::new(eps, min_pts)
+        .with_eps_global(parse_eps_global(args)?)
+        .with_model(parse_model(args)?)
+        .with_index(index))
+}
+
+fn cmd_generate(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &["set", "seed", "n", "out", "truth"])?;
+    no_positionals(&args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let g = match args.require("set")? {
+        "a" | "A" => match args.get("n") {
+            Some(_) => dbdc_datagen::scaled_a(args.require_as("n")?, seed),
+            None => dbdc_datagen::dataset_a(seed),
+        },
+        "b" | "B" => dbdc_datagen::dataset_b(seed),
+        "c" | "C" => dbdc_datagen::dataset_c(seed),
+        other => return Err(format!("--set expects a|b|c, got {other:?}").into()),
+    };
+    println!(
+        "generated {} points, {} true clusters (suggested: --eps {} --min-pts {})",
+        g.data.len(),
+        g.truth.n_clusters(),
+        g.suggested_eps,
+        g.suggested_min_pts
+    );
+    // Truth labels are written only on request: the default output must be
+    // directly consumable by `central`/`run`/`compare`.
+    let truth = args.switch("truth").then_some(&g.truth);
+    match args.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            csv::write_dataset(BufWriter::new(file), &g.data, truth)?;
+            println!("wrote {path}");
+        }
+        None => csv::write_dataset(std::io::stdout().lock(), &g.data, truth)?,
+    }
+    Ok(())
+}
+
+fn cmd_central(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &["input", "eps", "min-pts", "index", "out"])?;
+    no_positionals(&args)?;
+    let data = read_input(&args)?;
+    let params = DbdcParams::new(args.require_as("eps")?, args.require_as("min-pts")?)
+        .with_index(args.get_or("index", dbdc_index::IndexKind::RStar)?);
+    let (result, elapsed) = central_dbscan(&data, &params);
+    println!(
+        "central DBSCAN: {} points -> {} clusters, {} noise in {:.1} ms",
+        data.len(),
+        result.clustering.n_clusters(),
+        result.clustering.n_noise(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    write_output(&args, &data, &result.clustering)
+}
+
+fn cmd_run(raw: &[String]) -> CliResult {
+    let args = Args::parse(
+        raw,
+        &[
+            "input",
+            "eps",
+            "min-pts",
+            "sites",
+            "model",
+            "eps-global",
+            "partitioner",
+            "seed",
+            "threaded",
+            "index",
+            "out",
+        ],
+    )?;
+    no_positionals(&args)?;
+    let data = read_input(&args)?;
+    let params = build_params(&args)?;
+    let sites: usize = args.require_as("sites")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let part = parse_partitioner(&args, seed)?;
+    let outcome = if args.switch("threaded") {
+        run_dbdc_threaded(&data, &params, part, sites)
+    } else {
+        run_dbdc(&data, &params, part, sites)
+    };
+    println!(
+        "DBDC({}) over {sites} sites: {} clusters, {} noise",
+        params.model.name(),
+        outcome.assignment.n_clusters(),
+        outcome.assignment.n_noise()
+    );
+    println!(
+        "representatives: {} ({:.1}% of data); transfer: {} B up, {} B down",
+        outcome.n_representatives,
+        100.0 * outcome.representative_fraction(),
+        outcome.bytes_up,
+        outcome.bytes_down
+    );
+    println!(
+        "timings: local max {:.1} ms, global {:.1} ms, total {:.1} ms",
+        outcome.timings.local_max().as_secs_f64() * 1e3,
+        outcome.timings.global.as_secs_f64() * 1e3,
+        outcome.timings.dbdc_total().as_secs_f64() * 1e3
+    );
+    write_output(&args, &data, &outcome.assignment)
+}
+
+fn cmd_compare(raw: &[String]) -> CliResult {
+    let args = Args::parse(
+        raw,
+        &[
+            "input",
+            "eps",
+            "min-pts",
+            "sites",
+            "model",
+            "eps-global",
+            "seed",
+            "index",
+        ],
+    )?;
+    no_positionals(&args)?;
+    let data = read_input(&args)?;
+    let params = build_params(&args)?;
+    let sites: usize = args.require_as("sites")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let (central, central_time) = central_dbscan(&data, &params);
+    let outcome = run_dbdc(&data, &params, Partitioner::RandomEqual { seed }, sites);
+    let p1 = q_dbdc(
+        &outcome.assignment,
+        &central.clustering,
+        ObjectQuality::PI {
+            qp: params.min_pts_local,
+        },
+    );
+    let p2 = q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII);
+    println!(
+        "central: {} clusters in {:.1} ms | DBDC({}): {} clusters in {:.1} ms (speedup {:.2}x)",
+        central.clustering.n_clusters(),
+        central_time.as_secs_f64() * 1e3,
+        params.model.name(),
+        outcome.assignment.n_clusters(),
+        outcome.timings.dbdc_total().as_secs_f64() * 1e3,
+        central_time.as_secs_f64() / outcome.timings.dbdc_total().as_secs_f64()
+    );
+    println!(
+        "quality: P^I {:.1}%  P^II {:.1}%  | representatives {:.1}%  bytes up {}",
+        100.0 * p1.q,
+        100.0 * p2.q,
+        100.0 * outcome.representative_fraction(),
+        outcome.bytes_up
+    );
+    Ok(())
+}
+
+fn cmd_plot(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &["input", "out", "eps", "min-pts", "title", "index"])?;
+    no_positionals(&args)?;
+    let data = read_input(&args)?;
+    if data.dim() != 2 {
+        return Err("plot requires 2-d data".into());
+    }
+    let clustering = match (args.get("eps"), args.get("min-pts")) {
+        (Some(_), Some(_)) => {
+            let params = DbdcParams::new(args.require_as("eps")?, args.require_as("min-pts")?)
+                .with_index(args.get_or("index", dbdc_index::IndexKind::RStar)?);
+            let (result, _) = central_dbscan(&data, &params);
+            println!(
+                "clustered: {} clusters, {} noise",
+                result.clustering.n_clusters(),
+                result.clustering.n_noise()
+            );
+            Some(result.clustering)
+        }
+        (None, None) => None,
+        _ => return Err("--eps and --min-pts must be given together".into()),
+    };
+    let svg = dbdc_geom::svg::scatter_svg(
+        &data,
+        clustering.as_ref(),
+        &[],
+        &dbdc_geom::svg::SvgOptions {
+            title: args.get("title").unwrap_or_default().to_string(),
+            ..Default::default()
+        },
+    );
+    let path = args.require("out")?;
+    std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn cmd_suggest(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &["input", "k", "index"])?;
+    no_positionals(&args)?;
+    let data = read_input(&args)?;
+    let k: usize = args.get_or("k", 4)?;
+    let kind: dbdc_index::IndexKind = args.get_or("index", dbdc_index::IndexKind::RStar)?;
+    let index = dbdc_index::build_index(kind, &data, dbdc_geom::Euclidean, 1.0);
+    let kd = dbdc_cluster::k_distance(&data, index.as_ref(), k);
+    println!("sorted {k}-distance curve: {}", kd.sparkline(60));
+    println!(
+        "max {:.4}  p10 {:.4}  median {:.4}  p90 {:.4}  min {:.4}",
+        kd.quantile(0.0),
+        kd.quantile(0.1),
+        kd.quantile(0.5),
+        kd.quantile(0.9),
+        kd.quantile(1.0)
+    );
+    println!(
+        "suggested: --eps {:.4} --min-pts {} (knee of the curve)",
+        kd.knee(),
+        k + 1
+    );
+    Ok(())
+}
+
+fn cmd_stream(raw: &[String]) -> CliResult {
+    let args = Args::parse(
+        raw,
+        &["input", "eps", "min-pts", "sites", "batch", "drift", "seed"],
+    )?;
+    no_positionals(&args)?;
+    let data = read_input(&args)?;
+    let params = DbdcParams::new(args.require_as("eps")?, args.require_as("min-pts")?)
+        .with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+    let sites: usize = args.require_as("sites")?;
+    let batch: usize = args.get_or("batch", 200)?;
+    let drift_threshold: f64 = args.get_or("drift", 0.1)?;
+    if sites == 0 {
+        return Err("need at least one site".into());
+    }
+    let mut clients: Vec<dbdc::ClientSession> = (0..sites)
+        .map(|s| dbdc::ClientSession::new(s as u32, data.dim(), params))
+        .collect();
+    let mut server = dbdc::ServerSession::new(data.dim(), 2.0 * params.eps_local, &params);
+    let mut transmissions = 0usize;
+    let mut batches = 0usize;
+    for (i, p) in data.iter().enumerate() {
+        clients[i % sites].insert(p);
+        if (i + 1) % (batch * sites) == 0 || i + 1 == data.len() {
+            batches += 1;
+            for c in clients.iter_mut() {
+                if c.drift() > drift_threshold {
+                    server.ingest(&c.take_model());
+                    transmissions += 1;
+                }
+            }
+            let snap = server.snapshot();
+            println!(
+                "after {:>7} points: {} global clusters from {} representatives ({} transmissions)",
+                i + 1,
+                snap.n_clusters,
+                server.n_representatives(),
+                transmissions
+            );
+        }
+    }
+    let possible = batches * sites;
+    println!(
+        "drift gating sent {transmissions} of {possible} possible models ({:.0}% saved)",
+        100.0 * (1.0 - transmissions as f64 / possible.max(1) as f64)
+    );
+    Ok(())
+}

@@ -1,0 +1,175 @@
+//! End-to-end tests of the `dbdc-cli` binary: real process, real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dbdc-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dbdc_cli_e2e_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_compare_run_round_trip() {
+    let csv = tmp("pts.csv");
+    let labels = tmp("labels.csv");
+
+    let out = bin()
+        .args(["generate", "--set", "c", "--seed", "5", "--out"])
+        .arg(&csv)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "generate failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1021 points"), "{stdout}");
+
+    let out = bin()
+        .args(["compare", "--input"])
+        .arg(&csv)
+        .args(["--eps", "1.2", "--min-pts", "5", "--sites", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "compare failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("P^II"), "{stdout}");
+
+    let out = bin()
+        .args(["run", "--input"])
+        .arg(&csv)
+        .args(["--eps", "1.2", "--min-pts", "5", "--sites", "3", "--out"])
+        .arg(&labels)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "run failed: {out:?}");
+    let text = std::fs::read_to_string(&labels).expect("labels written");
+    assert_eq!(text.lines().count(), 1021);
+    // Every line ends in a cluster id or "noise".
+    assert!(text.lines().all(|l| l
+        .rsplit(',')
+        .next()
+        .map(|f| f == "noise" || f.parse::<u32>().is_ok())
+        == Some(true)));
+
+    let _ = std::fs::remove_file(&csv);
+    let _ = std::fs::remove_file(&labels);
+}
+
+#[test]
+fn suggest_reports_knee() {
+    let csv = tmp("suggest.csv");
+    assert!(bin()
+        .args(["generate", "--set", "c", "--seed", "9", "--out"])
+        .arg(&csv)
+        .status()
+        .expect("binary runs")
+        .success());
+    let out = bin()
+        .args(["suggest", "--input"])
+        .arg(&csv)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("suggested: --eps"), "{stdout}");
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn plot_writes_svg() {
+    let csv = tmp("plot.csv");
+    let svg = tmp("plot.svg");
+    assert!(bin()
+        .args(["generate", "--set", "c", "--seed", "2", "--out"])
+        .arg(&csv)
+        .status()
+        .expect("binary runs")
+        .success());
+    let out = bin()
+        .args(["plot", "--input"])
+        .arg(&csv)
+        .args(["--eps", "1.2", "--min-pts", "5", "--out"])
+        .arg(&svg)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "plot failed: {out:?}");
+    let text = std::fs::read_to_string(&svg).expect("svg written");
+    assert!(text.starts_with("<svg"));
+    assert!(text.contains("<circle"));
+    let _ = std::fs::remove_file(&csv);
+    let _ = std::fs::remove_file(&svg);
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_message() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = bin()
+        .args(["central", "--eps", "1.0", "--min-pts", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+
+    // Unknown flag.
+    let out = bin()
+        .args(["generate", "--set", "c", "--bogus", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    // Nonexistent input file.
+    let out = bin()
+        .args([
+            "central",
+            "--input",
+            "/nonexistent/nope.csv",
+            "--eps",
+            "1.0",
+            "--min-pts",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}
+
+#[test]
+fn stream_command_reports_transmissions() {
+    let csv = tmp("stream.csv");
+    assert!(bin()
+        .args(["generate", "--set", "c", "--seed", "3", "--out"])
+        .arg(&csv)
+        .status()
+        .expect("binary runs")
+        .success());
+    let out = bin()
+        .args(["stream", "--input"])
+        .arg(&csv)
+        .args([
+            "--eps",
+            "1.2",
+            "--min-pts",
+            "5",
+            "--sites",
+            "2",
+            "--batch",
+            "150",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stream failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("global clusters"), "{stdout}");
+    assert!(stdout.contains("drift gating sent"), "{stdout}");
+    let _ = std::fs::remove_file(&csv);
+}

@@ -1,0 +1,193 @@
+//! The sorted k-distance plot — DBSCAN's parameter heuristic.
+//!
+//! The original DBSCAN paper (the DBDC paper's reference \[7\]) proposes
+//! choosing `Eps` from the sorted k-distance graph: plot every point's
+//! distance to its k-th nearest neighbor in descending order and pick the
+//! first "valley" after the noise head. This module computes the curve and
+//! a simple automatic knee estimate, which the CLI's `suggest` command and
+//! the examples use to pick `Eps_local` for unknown data.
+
+use dbdc_geom::Dataset;
+use dbdc_index::NeighborIndex;
+
+/// The sorted k-distance curve of a dataset.
+#[derive(Debug, Clone)]
+pub struct KDistance {
+    /// `k` used (distance to the k-th nearest neighbor, self excluded).
+    pub k: usize,
+    /// k-distances sorted in descending order.
+    pub sorted: Vec<f64>,
+}
+
+/// Computes the k-distance curve using `index` for the kNN queries.
+///
+/// ```
+/// use dbdc_cluster::k_distance;
+/// use dbdc_geom::{Dataset, Euclidean};
+/// use dbdc_index::LinearScan;
+///
+/// let data = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, 0.0, 2.0, 0.0, 50.0, 0.0]);
+/// let index = LinearScan::new(&data, Euclidean);
+/// let curve = k_distance(&data, &index, 1);
+/// // Descending: the isolated point's nearest neighbor is 48 away.
+/// assert_eq!(curve.sorted[0], 48.0);
+/// assert_eq!(*curve.sorted.last().unwrap(), 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0` or the index does not cover `data`.
+pub fn k_distance(data: &Dataset, index: &dyn NeighborIndex, k: usize) -> KDistance {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(index.len(), data.len(), "index must cover the dataset");
+    let mut sorted: Vec<f64> = (0..data.len() as u32)
+        .map(|i| {
+            // +1 because the query point itself is included in the result.
+            let nn = index.knn(data.point(i), k + 1);
+            nn.last().map(|&(_, d)| d).unwrap_or(0.0)
+        })
+        .collect();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    KDistance { k, sorted }
+}
+
+impl KDistance {
+    /// The k-distance at the given quantile of the *descending* curve
+    /// (`0.0` = largest, `1.0` = smallest).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// A simple automatic `Eps` suggestion: the point of maximum distance
+    /// between the (normalized) curve and the straight line joining its
+    /// endpoints — the classic "knee" estimate. Falls back to the median
+    /// for degenerate curves.
+    pub fn knee(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 3 {
+            return self.quantile(0.5);
+        }
+        let (y0, y1) = (self.sorted[0], self.sorted[n - 1]);
+        let span = (y0 - y1).abs();
+        if span < 1e-12 {
+            return y0;
+        }
+        let mut best = (0usize, f64::MIN);
+        for (i, &y) in self.sorted.iter().enumerate() {
+            let t = i as f64 / (n - 1) as f64;
+            // Line from (0, y0) to (1, y1), both axes normalized.
+            let line = y0 + (y1 - y0) * t;
+            let dist = (line - y) / span; // signed: below-line knees count
+            if dist > best.1 {
+                best = (i, dist);
+            }
+        }
+        self.sorted[best.0]
+    }
+
+    /// Renders the curve as a compact ASCII sparkline (for CLI output).
+    pub fn sparkline(&self, width: usize) -> String {
+        if self.sorted.is_empty() || width == 0 {
+            return String::new();
+        }
+        let ramp: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.sorted[0].max(1e-300);
+        let n = self.sorted.len();
+        (0..width)
+            .map(|c| {
+                let idx = c * (n - 1) / width.max(1).saturating_sub(1).max(1);
+                let v = self.sorted[idx.min(n - 1)] / max;
+                ramp[((v * (ramp.len() - 1) as f64).round() as usize).min(ramp.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdc_geom::Euclidean;
+    use dbdc_index::LinearScan;
+
+    fn clustered_data() -> Dataset {
+        let mut d = Dataset::new(2);
+        // Two tight clusters and scattered noise.
+        for i in 0..50 {
+            let t = i as f64;
+            d.push(&[(t * 0.77).sin() * 0.5, (t * 1.3).cos() * 0.5]);
+        }
+        for i in 0..50 {
+            let t = i as f64;
+            d.push(&[20.0 + (t * 0.9).sin() * 0.5, 20.0 + (t * 0.7).cos() * 0.5]);
+        }
+        for i in 0..10 {
+            d.push(&[i as f64 * 7.3 + 3.0, 40.0 - i as f64 * 3.1]);
+        }
+        d
+    }
+
+    #[test]
+    fn curve_is_descending_and_complete() {
+        let d = clustered_data();
+        let idx = LinearScan::new(&d, Euclidean);
+        let kd = k_distance(&d, &idx, 4);
+        assert_eq!(kd.sorted.len(), d.len());
+        for w in kd.sorted.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn knee_separates_noise_from_cluster_scale() {
+        let d = clustered_data();
+        let idx = LinearScan::new(&d, Euclidean);
+        let kd = k_distance(&d, &idx, 4);
+        let eps = kd.knee();
+        // Cluster points have 4-distances well under 1.0; noise points are
+        // several units from their neighbors. The knee must land between.
+        assert!(eps > 0.2, "knee {eps} too small");
+        assert!(eps < 10.0, "knee {eps} too large");
+        // DBSCAN with the suggested eps finds the two clusters.
+        let r = crate::dbscan::dbscan(&d, &idx, &crate::dbscan::DbscanParams::new(eps, 4));
+        assert_eq!(r.clustering.n_clusters(), 2, "eps {eps}");
+    }
+
+    #[test]
+    fn quantiles() {
+        let d = clustered_data();
+        let idx = LinearScan::new(&d, Euclidean);
+        let kd = k_distance(&d, &idx, 3);
+        assert_eq!(kd.quantile(0.0), kd.sorted[0]);
+        assert_eq!(kd.quantile(1.0), *kd.sorted.last().unwrap());
+        assert!(kd.quantile(0.0) >= kd.quantile(0.5));
+    }
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let d = clustered_data();
+        let idx = LinearScan::new(&d, Euclidean);
+        let kd = k_distance(&d, &idx, 4);
+        let s = kd.sparkline(32);
+        assert_eq!(s.chars().count(), 32);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut d = Dataset::new(2);
+        d.push(&[0.0, 0.0]);
+        d.push(&[1.0, 0.0]);
+        let idx = LinearScan::new(&d, Euclidean);
+        let kd = k_distance(&d, &idx, 1);
+        assert_eq!(kd.sorted, vec![1.0, 1.0]);
+        assert_eq!(kd.knee(), 1.0);
+        let empty = Dataset::new(2);
+        let idx = LinearScan::new(&empty, Euclidean);
+        let kd = k_distance(&empty, &idx, 2);
+        assert!(kd.sorted.is_empty());
+        assert_eq!(kd.quantile(0.5), 0.0);
+    }
+}

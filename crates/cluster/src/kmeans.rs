@@ -1,0 +1,335 @@
+//! k-means (Lloyd's algorithm).
+//!
+//! Two roles in this workspace:
+//!
+//! * the refinement step of the `REP_kMeans` local model (Section 5.2): for
+//!   each DBSCAN cluster `C`, k-means is run *within* `C` with
+//!   `k = |Scor_C|` and the specific core points as the initial centroids —
+//!   this is [`kmeans_seeded`];
+//! * a conventional clustering baseline with k-means++ initialization
+//!   ([`kmeans_pp`]), used by examples to illustrate why the paper picks
+//!   DBSCAN for the local step (poor behaviour on non-globular clusters and
+//!   noise).
+
+use dbdc_geom::{Dataset, Euclidean, Metric, SquaredEuclidean};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Convergence controls for Lloyd's iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansParams {
+    /// Hard iteration cap.
+    pub max_iter: usize,
+    /// Stop when no centroid moves more than this (Euclidean) distance.
+    pub tol: f64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        Self {
+            max_iter: 100,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// The result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final centroids (`k` points). Centroids are synthetic points — they
+    /// need not coincide with any input point.
+    pub centroids: Dataset,
+    /// `assignment[i]` — centroid index of point `i`.
+    pub assignment: Vec<u32>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Maximum distance from any point assigned to centroid `j` to that
+    /// centroid — the `ε_{c_{i,j}}` of the paper's Section 5.2, computed
+    /// over the supplied dataset.
+    pub fn max_assigned_distance(&self, data: &Dataset, j: u32) -> f64 {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == j)
+            .map(|(i, _)| Euclidean.dist(data.point(i as u32), self.centroids.point(j)))
+            .fold(0.0f64, f64::max)
+    }
+}
+
+/// Runs Lloyd's algorithm from explicit starting centroids.
+///
+/// This is the form the `REP_kMeans` local model needs: `k` is implied by
+/// `seeds.len()` and the seeds are the specific core points. Empty clusters
+/// keep their previous centroid (deterministic, and appropriate here since
+/// seeds are well-separated core points).
+///
+/// ```
+/// use dbdc_cluster::{kmeans_seeded, KMeansParams};
+/// use dbdc_geom::Dataset;
+///
+/// let data = Dataset::from_flat(2, vec![0.0, 0.0, 0.0, 2.0, 10.0, 0.0, 10.0, 2.0]);
+/// let seeds = Dataset::from_flat(2, vec![1.0, 1.0, 9.0, 1.0]);
+/// let result = kmeans_seeded(&data, &seeds, &KMeansParams::default());
+/// assert_eq!(result.centroids.point(0), &[0.0, 1.0]);
+/// assert_eq!(result.centroids.point(1), &[10.0, 1.0]);
+/// assert_eq!(result.assignment, vec![0, 0, 1, 1]);
+/// ```
+///
+/// # Panics
+/// Panics if `seeds` is empty, dimensions mismatch, or `data` is empty.
+pub fn kmeans_seeded(data: &Dataset, seeds: &Dataset, params: &KMeansParams) -> KMeansResult {
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    assert!(!seeds.is_empty(), "need at least one seed centroid");
+    assert_eq!(data.dim(), seeds.dim(), "seed dimensionality mismatch");
+    let n = data.len();
+    let k = seeds.len();
+    let dim = data.dim();
+    let mut centroids = seeds.clone();
+    let mut assignment = vec![0u32; n];
+    let mut iterations = 0;
+
+    for _ in 0..params.max_iter {
+        iterations += 1;
+        // Assignment step.
+        for i in 0..n as u32 {
+            let p = data.point(i);
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for j in 0..k as u32 {
+                let d = SquaredEuclidean.dist(p, centroids.point(j));
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            assignment[i as usize] = best;
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignment.iter().enumerate() {
+            let j = a as usize;
+            counts[j] += 1;
+            for (dcoord, &c) in sums[j * dim..(j + 1) * dim]
+                .iter_mut()
+                .zip(data.point(i as u32))
+            {
+                *dcoord += c;
+            }
+        }
+        let mut moved = 0.0f64;
+        let mut new_flat = Vec::with_capacity(k * dim);
+        for j in 0..k {
+            if counts[j] == 0 {
+                // Keep the stale centroid: deterministic and harmless for
+                // the seeded use case.
+                new_flat.extend_from_slice(centroids.point(j as u32));
+                continue;
+            }
+            let start = new_flat.len();
+            for d in 0..dim {
+                new_flat.push(sums[j * dim + d] / counts[j] as f64);
+            }
+            moved = moved.max(Euclidean.dist(&new_flat[start..], centroids.point(j as u32)));
+        }
+        centroids = Dataset::from_flat(dim, new_flat);
+        if moved <= params.tol {
+            break;
+        }
+    }
+
+    let inertia = (0..n as u32)
+        .map(|i| SquaredEuclidean.dist(data.point(i), centroids.point(assignment[i as usize])))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+/// k-means++ initialization followed by Lloyd's algorithm.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > data.len()` or `data` is empty.
+pub fn kmeans_pp(data: &Dataset, k: usize, seed: u64, params: &KMeansParams) -> KMeansResult {
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    assert!(k > 0, "k must be positive");
+    assert!(k <= data.len(), "k cannot exceed the number of points");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = data.len();
+    let mut seeds = Dataset::with_capacity(data.dim(), k);
+    let first = rng.random_range(0..n) as u32;
+    seeds.push(data.point(first));
+    let mut dist_sq: Vec<f64> = (0..n as u32)
+        .map(|i| SquaredEuclidean.dist(data.point(i), data.point(first)))
+        .collect();
+    while seeds.len() < k {
+        let total: f64 = dist_sq.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with chosen seeds; pick any.
+            rng.random_range(0..n) as u32
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen as u32
+        };
+        seeds.push(data.point(next));
+        for i in 0..n as u32 {
+            let d = SquaredEuclidean.dist(data.point(i), data.point(next));
+            if d < dist_sq[i as usize] {
+                dist_sq[i as usize] = d;
+            }
+        }
+    }
+    kmeans_seeded(data, &seeds, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut d = Dataset::new(2);
+        for (cx, cy) in [(0.0, 0.0), (10.0, 10.0)] {
+            for i in 0..20 {
+                let t = i as f64 * 0.314;
+                d.push(&[cx + t.sin() * 0.5, cy + t.cos() * 0.5]);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn seeded_converges_to_blob_centers() {
+        let d = blobs();
+        let seeds = Dataset::from_flat(2, vec![1.0, 1.0, 9.0, 9.0]);
+        let r = kmeans_seeded(&d, &seeds, &KMeansParams::default());
+        assert_eq!(r.centroids.len(), 2);
+        // Centroids land near (0,0) and (10,10).
+        let c0 = r.centroids.point(0);
+        let c1 = r.centroids.point(1);
+        assert!(Euclidean.dist(c0, &[0.0, 0.0]) < 0.5, "c0 = {c0:?}");
+        assert!(Euclidean.dist(c1, &[10.0, 10.0]) < 0.5, "c1 = {c1:?}");
+        // First 20 points to centroid 0, rest to 1.
+        assert!(r.assignment[..20].iter().all(|&a| a == 0));
+        assert!(r.assignment[20..].iter().all(|&a| a == 1));
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_centroids() {
+        let d = blobs();
+        let r1 = kmeans_pp(&d, 1, 9, &KMeansParams::default());
+        let r2 = kmeans_pp(&d, 2, 9, &KMeansParams::default());
+        let r4 = kmeans_pp(&d, 4, 9, &KMeansParams::default());
+        assert!(r2.inertia < r1.inertia);
+        assert!(r4.inertia <= r2.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let mut d = Dataset::new(2);
+        for i in 0..5 {
+            d.push(&[i as f64 * 3.0, 0.0]);
+        }
+        let r = kmeans_pp(&d, 5, 1, &KMeansParams::default());
+        assert!(r.inertia < 1e-18, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn single_centroid_is_mean() {
+        let d = Dataset::from_flat(2, vec![0.0, 0.0, 2.0, 0.0, 0.0, 2.0, 2.0, 2.0]);
+        let seeds = Dataset::from_flat(2, vec![50.0, -50.0]);
+        let r = kmeans_seeded(&d, &seeds, &KMeansParams::default());
+        assert!(Euclidean.dist(r.centroids.point(0), &[1.0, 1.0]) < 1e-9);
+        assert_eq!(r.assignment, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_seed() {
+        // Second seed is so far away it never wins a point.
+        let d = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, 0.0]);
+        let seeds = Dataset::from_flat(2, vec![0.5, 0.0, 1000.0, 1000.0]);
+        let r = kmeans_seeded(&d, &seeds, &KMeansParams::default());
+        assert_eq!(r.centroids.point(1), &[1000.0, 1000.0]);
+        assert!(r.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn max_assigned_distance_covers_members() {
+        let d = blobs();
+        let seeds = Dataset::from_flat(2, vec![0.0, 0.0, 10.0, 10.0]);
+        let r = kmeans_seeded(&d, &seeds, &KMeansParams::default());
+        for j in 0..2u32 {
+            let eps = r.max_assigned_distance(&d, j);
+            for (i, &a) in r.assignment.iter().enumerate() {
+                if a == j {
+                    let dist = Euclidean.dist(d.point(i as u32), r.centroids.point(j));
+                    assert!(dist <= eps + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let d = blobs();
+        let a = kmeans_pp(&d, 3, 77, &KMeansParams::default());
+        let b = kmeans_pp(&d, 3, 77, &KMeansParams::default());
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn respects_max_iter() {
+        let d = blobs();
+        let seeds = Dataset::from_flat(2, vec![5.0, 5.0, 5.1, 5.1]);
+        let r = kmeans_seeded(
+            &d,
+            &seeds,
+            &KMeansParams {
+                max_iter: 1,
+                tol: 0.0,
+            },
+        );
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn duplicate_points_all_assigned() {
+        let mut d = Dataset::new(2);
+        for _ in 0..10 {
+            d.push(&[1.0, 1.0]);
+        }
+        let r = kmeans_pp(&d, 3, 3, &KMeansParams::default());
+        assert_eq!(r.assignment.len(), 10);
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn rejects_no_seeds() {
+        let d = blobs();
+        let _ = kmeans_seeded(&d, &Dataset::new(2), &KMeansParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn rejects_k_above_n() {
+        let d = Dataset::from_flat(2, vec![0.0, 0.0]);
+        let _ = kmeans_pp(&d, 2, 0, &KMeansParams::default());
+    }
+}

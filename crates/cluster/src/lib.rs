@@ -1,0 +1,35 @@
+//! Clustering algorithms for the DBDC reproduction.
+//!
+//! * [`mod@dbscan`] — DBSCAN \[Ester et al. 96\], the paper's local and global
+//!   clustering algorithm, with per-point core flags.
+//! * [`scp`] — the paper's "slightly enhanced DBSCAN" that extracts
+//!   *specific core points* and their specific ε-ranges on the fly
+//!   (Definitions 6 and 7), the substrate of both local models.
+//! * [`kmeans`] — seeded Lloyd's algorithm (for the `REP_kMeans` local
+//!   model, Section 5.2) and a k-means++ baseline.
+//! * [`mod@optics`] — OPTICS \[Ankerst et al. 99\], the alternative global-model
+//!   builder discussed in Section 6.
+//! * [`incremental`] — incremental DBSCAN \[Ester et al. 98\], the paper's
+//!   cited mechanism for keeping local models fresh without re-clustering.
+//! * [`singlelink`] — single-link agglomerative clustering, the rejected
+//!   alternative of Section 4, for comparisons.
+//! * [`mod@metric_dbscan`] — DBSCAN over arbitrary metric spaces via the
+//!   M-tree, demonstrating the "not confined to vector spaces" claim.
+
+pub mod dbscan;
+pub mod incremental;
+pub mod kdist;
+pub mod kmeans;
+pub mod metric_dbscan;
+pub mod optics;
+pub mod scp;
+pub mod singlelink;
+
+pub use dbscan::{dbscan, dbscan_euclidean, DbscanParams, DbscanResult};
+pub use incremental::IncrementalDbscan;
+pub use kdist::{k_distance, KDistance};
+pub use kmeans::{kmeans_pp, kmeans_seeded, KMeansParams, KMeansResult};
+pub use metric_dbscan::{metric_dbscan, MetricDbscanResult};
+pub use optics::{extract_dbscan, optics, OpticsResult};
+pub use scp::{dbscan_with_scp, ScpResult, SpecificCorePoint};
+pub use singlelink::{single_link, Dendrogram, Merge};

@@ -1,0 +1,176 @@
+//! DBSCAN over arbitrary metric spaces.
+//!
+//! Section 4 of the paper lists as a DBSCAN advantage that it "can be used
+//! for all kinds of metric data spaces and is not confined to vector
+//! spaces". This module delivers on that: the same algorithm as
+//! [`crate::dbscan()`], but generic over an object type `T` and a
+//! [`MetricSpace`]`<T>`, with the region queries served by an
+//! [`MTree`] — the metric access method the paper cites.
+
+use dbdc_geom::metric::MetricSpace;
+use dbdc_geom::{Clustering, Label};
+use dbdc_index::MTree;
+
+use crate::dbscan::DbscanParams;
+
+const UNCLASSIFIED: i64 = -2;
+const NOISE: i64 = -1;
+
+/// The result of a metric-space DBSCAN run.
+#[derive(Debug, Clone)]
+pub struct MetricDbscanResult {
+    /// Cluster labels, indexed by the objects' insertion order.
+    pub clustering: Clustering,
+    /// Core flags, indexed likewise.
+    pub core: Vec<bool>,
+}
+
+/// Clusters `objects` under the metric `space` with DBSCAN, using an M-tree
+/// for the ε-range queries. Objects are identified by their position in the
+/// input slice.
+///
+/// ```
+/// use dbdc_cluster::{metric_dbscan, DbscanParams};
+/// use dbdc_geom::metric::EditDistance;
+///
+/// let words: Vec<String> = ["kitten", "mitten", "bitten", "zebra"]
+///     .iter().map(|s| s.to_string()).collect();
+/// let result = metric_dbscan(&words, EditDistance, &DbscanParams::new(1.0, 2));
+/// assert_eq!(result.clustering.n_clusters(), 1);
+/// assert!(result.clustering.label(3).is_noise()); // "zebra"
+/// ```
+pub fn metric_dbscan<T: Clone, S: MetricSpace<T>>(
+    objects: &[T],
+    space: S,
+    params: &DbscanParams,
+) -> MetricDbscanResult {
+    let tree = MTree::from_objects(space, objects.iter().cloned());
+    let n = objects.len();
+    let mut state = vec![UNCLASSIFIED; n];
+    let mut core = vec![false; n];
+    let mut next_cluster: i64 = 0;
+    let mut seeds: Vec<u32> = Vec::new();
+    for i in 0..n as u32 {
+        if state[i as usize] != UNCLASSIFIED {
+            continue;
+        }
+        let neighbors = tree.range(&objects[i as usize], params.eps);
+        if neighbors.len() < params.min_pts {
+            state[i as usize] = NOISE;
+            continue;
+        }
+        let cluster = next_cluster;
+        next_cluster += 1;
+        core[i as usize] = true;
+        state[i as usize] = cluster;
+        seeds.clear();
+        for &q in &neighbors {
+            let s = &mut state[q as usize];
+            if *s == UNCLASSIFIED {
+                *s = cluster;
+                seeds.push(q);
+            } else if *s == NOISE {
+                *s = cluster;
+            }
+        }
+        while let Some(j) = seeds.pop() {
+            let neighbors = tree.range(&objects[j as usize], params.eps);
+            if neighbors.len() < params.min_pts {
+                continue;
+            }
+            core[j as usize] = true;
+            for &q in &neighbors {
+                let s = &mut state[q as usize];
+                if *s == UNCLASSIFIED {
+                    *s = cluster;
+                    seeds.push(q);
+                } else if *s == NOISE {
+                    *s = cluster;
+                }
+            }
+        }
+    }
+    let labels = state
+        .iter()
+        .map(|&s| {
+            if s < 0 {
+                Label::Noise
+            } else {
+                Label::Cluster(s as u32)
+            }
+        })
+        .collect();
+    MetricDbscanResult {
+        clustering: Clustering::from_labels(labels),
+        core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::dbscan;
+    use dbdc_geom::metric::{EditDistance, VectorSpace};
+    use dbdc_geom::{Dataset, Euclidean};
+    use dbdc_index::LinearScan;
+
+    #[test]
+    fn clusters_word_families_by_edit_distance() {
+        let words: Vec<String> = [
+            // family 1: "cluster" variants
+            "cluster",
+            "clusters",
+            "clustered",
+            "clusterer",
+            "cluster s",
+            // family 2: "string" variants
+            "string",
+            "strings",
+            "stringy",
+            "strong",
+            "sting",
+            // isolated
+            "zygomorphic",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let r = metric_dbscan(&words, EditDistance, &DbscanParams::new(2.0, 3));
+        assert_eq!(r.clustering.n_clusters(), 2);
+        assert!(r.clustering.label(10).is_noise(), "zygomorphic is noise");
+        // The two families are separated.
+        assert_eq!(r.clustering.label(0), r.clustering.label(1));
+        assert_eq!(r.clustering.label(5), r.clustering.label(6));
+        assert_ne!(r.clustering.label(0), r.clustering.label(5));
+    }
+
+    #[test]
+    fn agrees_with_vector_dbscan_on_vector_data() {
+        let mut d = Dataset::new(2);
+        let mut objs: Vec<Vec<f64>> = Vec::new();
+        for (cx, cy) in [(0.0f64, 0.0f64), (10.0, 10.0)] {
+            for i in 0..20 {
+                let t = i as f64 * 0.37;
+                let p = vec![cx + t.sin(), cy + t.cos()];
+                d.push(&p);
+                objs.push(p);
+            }
+        }
+        objs.push(vec![50.0, 50.0]);
+        d.push(&[50.0, 50.0]);
+        let params = DbscanParams::new(1.5, 4);
+        let idx = LinearScan::new(&d, Euclidean);
+        let vector = dbscan(&d, &idx, &params);
+        let metric = metric_dbscan(&objs, VectorSpace(Euclidean), &params);
+        assert_eq!(vector.clustering, metric.clustering);
+        assert_eq!(vector.core, metric.core);
+    }
+
+    #[test]
+    fn empty_input() {
+        let objs: Vec<String> = vec![];
+        let r = metric_dbscan(&objs, EditDistance, &DbscanParams::new(1.0, 2));
+        assert!(r.clustering.is_empty());
+        assert!(r.core.is_empty());
+    }
+}

@@ -1,0 +1,362 @@
+//! OPTICS (Ankerst, Breunig, Kriegel, Sander — SIGMOD 1999).
+//!
+//! Section 6 of the paper discusses OPTICS as an alternative way to build
+//! the global model: instead of committing to one `Eps_global`, the server
+//! could compute the full reachability ordering of the representatives and
+//! let the user cut it at any ε without re-clustering. The paper declines
+//! for practical reasons; we implement OPTICS anyway and use it in the
+//! `abl-optics` ablation to quantify that design decision.
+//!
+//! The implementation is the standard one: a reachability ordering computed
+//! with a lazy-deletion priority queue, plus the flat-clustering extraction
+//! (`ExtractDBSCAN-Clustering`) that recovers a DBSCAN-equivalent partition
+//! for any `eps_cut <= eps`.
+
+use crate::dbscan::DbscanParams;
+use dbdc_geom::{Clustering, Dataset, Euclidean, Label, Metric};
+use dbdc_index::NeighborIndex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The OPTICS ordering of a dataset.
+#[derive(Debug, Clone)]
+pub struct OpticsResult {
+    /// Point indices in processing (reachability) order.
+    pub order: Vec<u32>,
+    /// `reachability[i]` — reachability distance of point `i`
+    /// (`f64::INFINITY` where undefined, i.e. for the first point of each
+    /// density-connected component).
+    pub reachability: Vec<f64>,
+    /// `core_dist[i]` — core distance of point `i` (`f64::INFINITY` if `i`
+    /// is not a core point at the generating ε).
+    pub core_dist: Vec<f64>,
+    /// The generating parameters.
+    pub params: DbscanParams,
+}
+
+/// Computes the OPTICS ordering of `data` wrt. `params.eps` / `params.min_pts`.
+pub fn optics(data: &Dataset, index: &dyn NeighborIndex, params: &DbscanParams) -> OpticsResult {
+    assert_eq!(
+        index.len(),
+        data.len(),
+        "index must be built over the clustered dataset"
+    );
+    let n = data.len();
+    let metric = Euclidean;
+    let mut processed = vec![false; n];
+    let mut reachability = vec![f64::INFINITY; n];
+    let mut core_dist = vec![f64::INFINITY; n];
+    let mut order = Vec::with_capacity(n);
+    let mut neighbors: Vec<u32> = Vec::new();
+
+    let compute_core_dist = |neighbors: &[u32], p: u32, data: &Dataset| -> f64 {
+        if neighbors.len() < params.min_pts {
+            return f64::INFINITY;
+        }
+        let mut dists: Vec<f64> = neighbors
+            .iter()
+            .map(|&q| metric.dist(data.point(p), data.point(q)))
+            .collect();
+        let k = params.min_pts - 1; // self is included at distance 0
+        dists.select_nth_unstable_by(k, f64::total_cmp);
+        dists[k]
+    };
+
+    // Lazy-deletion priority queue of (reachability, id). Entries are stale
+    // when the stored reachability no longer matches.
+    let mut seeds: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let key = |d: f64| -> u64 { d.to_bits() }; // monotone for non-negative finite d
+
+    for start in 0..n as u32 {
+        if processed[start as usize] {
+            continue;
+        }
+        index.range(data.point(start), params.eps, &mut neighbors);
+        processed[start as usize] = true;
+        order.push(start);
+        core_dist[start as usize] = compute_core_dist(&neighbors, start, data);
+        if core_dist[start as usize].is_finite() {
+            update_seeds(
+                data,
+                &neighbors,
+                start,
+                core_dist[start as usize],
+                &processed,
+                &mut reachability,
+                &mut seeds,
+                key,
+            );
+            while let Some(Reverse((rbits, q))) = seeds.pop() {
+                if processed[q as usize] || key(reachability[q as usize]) != rbits {
+                    continue; // stale entry
+                }
+                index.range(data.point(q), params.eps, &mut neighbors);
+                processed[q as usize] = true;
+                order.push(q);
+                core_dist[q as usize] = compute_core_dist(&neighbors, q, data);
+                if core_dist[q as usize].is_finite() {
+                    update_seeds(
+                        data,
+                        &neighbors,
+                        q,
+                        core_dist[q as usize],
+                        &processed,
+                        &mut reachability,
+                        &mut seeds,
+                        key,
+                    );
+                }
+            }
+        }
+    }
+
+    OpticsResult {
+        order,
+        reachability,
+        core_dist,
+        params: *params,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn update_seeds(
+    data: &Dataset,
+    neighbors: &[u32],
+    center: u32,
+    center_core_dist: f64,
+    processed: &[bool],
+    reachability: &mut [f64],
+    seeds: &mut BinaryHeap<Reverse<(u64, u32)>>,
+    key: impl Fn(f64) -> u64,
+) {
+    let metric = Euclidean;
+    for &o in neighbors {
+        if processed[o as usize] {
+            continue;
+        }
+        let new_reach = center_core_dist.max(metric.dist(data.point(center), data.point(o)));
+        if new_reach < reachability[o as usize] {
+            reachability[o as usize] = new_reach;
+            seeds.push(Reverse((key(new_reach), o)));
+        }
+    }
+}
+
+/// Extracts a DBSCAN-equivalent flat clustering from an OPTICS ordering at
+/// cut radius `eps_cut` (must satisfy `eps_cut <= params.eps` for the result
+/// to be meaningful).
+///
+/// ```
+/// use dbdc_cluster::{optics, extract_dbscan, DbscanParams};
+/// use dbdc_geom::{Dataset, Euclidean};
+/// use dbdc_index::LinearScan;
+///
+/// let data = Dataset::from_flat(2, vec![
+///     0.0, 0.0,  0.3, 0.0,  0.6, 0.0,     // tight triple
+///     5.0, 0.0,  5.3, 0.0,  5.6, 0.0,     // second triple
+/// ]);
+/// let index = LinearScan::new(&data, Euclidean);
+/// let ordering = optics(&data, &index, &DbscanParams::new(10.0, 3));
+/// // One OPTICS run answers every cut: a tight cut separates the triples,
+/// // a loose one merges them.
+/// assert_eq!(extract_dbscan(&ordering, 1.0).n_clusters(), 2);
+/// assert_eq!(extract_dbscan(&ordering, 10.0).n_clusters(), 1);
+/// ```
+pub fn extract_dbscan(result: &OpticsResult, eps_cut: f64) -> Clustering {
+    assert!(
+        eps_cut <= result.params.eps,
+        "eps_cut must not exceed the generating eps"
+    );
+    let n = result.order.len();
+    let mut labels = vec![Label::Noise; n];
+    let mut current: Option<u32> = None;
+    let mut next = 0u32;
+    for &p in &result.order {
+        if result.reachability[p as usize] > eps_cut {
+            if result.core_dist[p as usize] <= eps_cut {
+                let c = next;
+                next += 1;
+                current = Some(c);
+                labels[p as usize] = Label::Cluster(c);
+            } else {
+                current = None;
+            }
+        } else if let Some(c) = current {
+            labels[p as usize] = Label::Cluster(c);
+        }
+    }
+    Clustering::from_labels(labels)
+}
+
+impl OpticsResult {
+    /// Renders the reachability plot as ASCII art: one column per point in
+    /// processing order, bar height proportional to reachability distance
+    /// (capped at the generating ε; `∞` bars span the full height).
+    /// Clusters appear as valleys, separations as peaks.
+    pub fn reachability_plot(&self, width: usize, height: usize) -> String {
+        if self.order.is_empty() || width == 0 || height == 0 {
+            return String::from("(empty)\n");
+        }
+        let n = self.order.len();
+        let cap = self.params.eps;
+        // Downsample to `width` columns by taking the max (peaks must stay
+        // visible — they are the cluster separators).
+        let cols: Vec<f64> = (0..width)
+            .map(|c| {
+                let lo = c * n / width;
+                let hi = ((c + 1) * n / width).max(lo + 1).min(n);
+                self.order[lo..hi]
+                    .iter()
+                    .map(|&p| self.reachability[p as usize].min(cap))
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        let mut out = String::with_capacity((width + 1) * height);
+        for row in (0..height).rev() {
+            let threshold = cap * (row as f64 + 0.5) / height as f64;
+            for &v in &cols {
+                out.push(if v >= threshold { '█' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::dbscan;
+    use dbdc_geom::adjusted_rand_index;
+    use dbdc_index::LinearScan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(2);
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (5.0, 12.0)] {
+            for _ in 0..80 {
+                d.push(&[
+                    cx + rng.random_range(-1.0..1.0),
+                    cy + rng.random_range(-1.0..1.0),
+                ]);
+            }
+        }
+        for _ in 0..20 {
+            d.push(&[rng.random_range(-10.0..20.0), rng.random_range(-10.0..25.0)]);
+        }
+        d
+    }
+
+    #[test]
+    fn ordering_covers_all_points_once() {
+        let d = blobs(1);
+        let idx = LinearScan::new(&d, Euclidean);
+        let r = optics(&d, &idx, &DbscanParams::new(1.0, 5));
+        assert_eq!(r.order.len(), d.len());
+        let mut seen = vec![false; d.len()];
+        for &p in &r.order {
+            assert!(!seen[p as usize], "point {p} appears twice");
+            seen[p as usize] = true;
+        }
+    }
+
+    #[test]
+    fn extraction_matches_dbscan_structure() {
+        // The extracted clustering at eps_cut == eps must match DBSCAN run
+        // at eps (up to border-point ambiguity): ARI should be ~1.
+        let d = blobs(2);
+        let idx = LinearScan::new(&d, Euclidean);
+        let params = DbscanParams::new(1.0, 5);
+        let o = optics(&d, &idx, &params);
+        let flat = extract_dbscan(&o, 1.0);
+        let base = dbscan(&d, &idx, &params).clustering;
+        assert_eq!(flat.n_clusters(), base.n_clusters());
+        let ari = adjusted_rand_index(&flat, &base);
+        assert!(ari > 0.98, "ARI {ari} too low");
+    }
+
+    #[test]
+    fn smaller_cut_gives_no_fewer_clusters() {
+        // OPTICS's selling point: one run, many eps cuts. A tighter cut can
+        // only fragment (or shrink) clusters, never merge them.
+        let d = blobs(3);
+        let idx = LinearScan::new(&d, Euclidean);
+        let o = optics(&d, &idx, &DbscanParams::new(2.0, 5));
+        let loose = extract_dbscan(&o, 2.0);
+        let tight = extract_dbscan(&o, 0.8);
+        assert!(tight.n_noise() >= loose.n_noise());
+        let idxx = LinearScan::new(&d, Euclidean);
+        let base_tight = dbscan(&d, &idxx, &DbscanParams::new(0.8, 5)).clustering;
+        let ari = adjusted_rand_index(&tight, &base_tight);
+        assert!(ari > 0.9, "tight-cut ARI {ari} too low");
+    }
+
+    #[test]
+    fn reachability_finite_inside_clusters() {
+        let d = blobs(4);
+        let idx = LinearScan::new(&d, Euclidean);
+        let o = optics(&d, &idx, &DbscanParams::new(1.0, 5));
+        // All but the first point of each component have finite
+        // reachability; there are 3 dense blobs, so at most a handful of
+        // infinities among the blob points.
+        let finite = o.reachability.iter().filter(|r| r.is_finite()).count();
+        assert!(finite > d.len() / 2);
+    }
+
+    #[test]
+    fn core_dist_is_min_pts_th_distance() {
+        let d = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        let idx = LinearScan::new(&d, Euclidean);
+        let o = optics(&d, &idx, &DbscanParams::new(2.5, 3));
+        // For point 0: neighbors within 2.5 are {0,1,2}; 3rd smallest
+        // distance (incl. self at 0) is 2.0.
+        assert_eq!(o.core_dist[0], 2.0);
+        // For point 1: neighbors {0,1,2,3}; 3rd smallest is 1.0.
+        assert_eq!(o.core_dist[1], 1.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(2);
+        let idx = LinearScan::new(&d, Euclidean);
+        let o = optics(&d, &idx, &DbscanParams::new(1.0, 3));
+        assert!(o.order.is_empty());
+        let c = extract_dbscan(&o, 1.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "eps_cut")]
+    fn extract_rejects_cut_above_eps() {
+        let d = Dataset::from_flat(2, vec![0.0, 0.0]);
+        let idx = LinearScan::new(&d, Euclidean);
+        let o = optics(&d, &idx, &DbscanParams::new(1.0, 2));
+        let _ = extract_dbscan(&o, 2.0);
+    }
+
+    #[test]
+    fn reachability_plot_shows_valleys_and_peaks() {
+        let d = blobs(6);
+        let idx = LinearScan::new(&d, Euclidean);
+        let o = optics(&d, &idx, &DbscanParams::new(2.0, 5));
+        let plot = o.reachability_plot(60, 8);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.chars().count() == 60));
+        // Bottom row is mostly filled (every point has some reachability),
+        // top row only at the separations.
+        let top = lines[0].matches('█').count();
+        let bottom = lines[7].matches('█').count();
+        assert!(bottom > top, "bottom {bottom} vs top {top}");
+
+        let empty = OpticsResult {
+            order: vec![],
+            reachability: vec![],
+            core_dist: vec![],
+            params: DbscanParams::new(1.0, 2),
+        };
+        assert_eq!(empty.reachability_plot(10, 4), "(empty)\n");
+    }
+}

@@ -1,0 +1,231 @@
+//! Single-link agglomerative clustering.
+//!
+//! Section 4 of the paper considers (and rejects) single-link as the local
+//! clustering algorithm: it captures non-globular shapes but "is very
+//! sensitive to noise and cannot handle clusters of varying density". This
+//! small implementation exists so that examples and tests can demonstrate
+//! that comparison concretely.
+//!
+//! Single-link with a distance cut is equivalent to connected components of
+//! the minimum spanning tree after removing edges longer than the cut, so
+//! the implementation computes Prim's MST in `O(n²)` (fine for the example
+//! scale) and cuts it.
+
+use dbdc_geom::{Clustering, Dataset, Label, Metric};
+
+/// A merge step of the single-link dendrogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// One endpoint of the MST edge realizing the merge.
+    pub a: u32,
+    /// The other endpoint.
+    pub b: u32,
+    /// The merge (edge) distance.
+    pub distance: f64,
+}
+
+/// The single-link dendrogram: MST edges in ascending distance order.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    /// `n` (number of points it was built over).
+    pub n: usize,
+    /// The `n - 1` merges, sorted by ascending distance.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cuts the dendrogram at `distance`: clusters are the connected
+    /// components using only merges with `distance <= cut`. Components
+    /// smaller than `min_size` become noise.
+    pub fn cut(&self, cut: f64, min_size: usize) -> Clustering {
+        let mut dsu = Dsu::new(self.n);
+        for m in &self.merges {
+            if m.distance <= cut {
+                dsu.union(m.a as usize, m.b as usize);
+            }
+        }
+        let mut sizes = vec![0usize; self.n];
+        for i in 0..self.n {
+            sizes[dsu.find(i)] += 1;
+        }
+        let labels = (0..self.n)
+            .map(|i| {
+                let root = dsu.find(i);
+                if sizes[root] >= min_size.max(1) {
+                    Label::Cluster(root as u32)
+                } else {
+                    Label::Noise
+                }
+            })
+            .collect();
+        Clustering::from_labels(labels)
+    }
+}
+
+/// Computes the single-link dendrogram of `data` under `metric` via Prim's
+/// MST. `O(n²)` time, `O(n)` memory.
+pub fn single_link<M: Metric>(data: &Dataset, metric: &M) -> Dendrogram {
+    let n = data.len();
+    if n == 0 {
+        return Dendrogram { n, merges: vec![] };
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_from = vec![0u32; n];
+    in_tree[0] = true;
+    for (i, d) in best_dist.iter_mut().enumerate().skip(1) {
+        *d = metric.dist(data.point(0), data.point(i as u32));
+    }
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    for _ in 1..n {
+        let (next, _) = best_dist
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !in_tree[i])
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("some point remains outside the tree");
+        in_tree[next] = true;
+        merges.push(Merge {
+            a: best_from[next],
+            b: next as u32,
+            distance: best_dist[next],
+        });
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = metric.dist(data.point(next as u32), data.point(i as u32));
+                if d < best_dist[i] {
+                    best_dist[i] = d;
+                    best_from[i] = next as u32;
+                }
+            }
+        }
+    }
+    merges.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    Dendrogram { n, merges }
+}
+
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdc_geom::Euclidean;
+
+    fn chain_and_blob() -> Dataset {
+        let mut d = Dataset::new(2);
+        // An elongated chain (non-globular).
+        for i in 0..10 {
+            d.push(&[i as f64, 0.0]);
+        }
+        // A compact blob far away.
+        for i in 0..5 {
+            d.push(&[50.0 + 0.1 * i as f64, 50.0]);
+        }
+        d
+    }
+
+    #[test]
+    fn mst_has_n_minus_one_edges() {
+        let d = chain_and_blob();
+        let dg = single_link(&d, &Euclidean);
+        assert_eq!(dg.merges.len(), d.len() - 1);
+        // Sorted ascending.
+        for w in dg.merges.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn cut_separates_chain_from_blob() {
+        let d = chain_and_blob();
+        let dg = single_link(&d, &Euclidean);
+        let c = dg.cut(1.5, 2);
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.n_noise(), 0);
+        // The chain is one cluster despite being non-globular — single
+        // link's strength.
+        let l = c.label(0);
+        for i in 0..10 {
+            assert_eq!(c.label(i), l);
+        }
+    }
+
+    #[test]
+    fn min_size_filters_singletons() {
+        let mut d = chain_and_blob();
+        d.push(&[-30.0, -30.0]); // isolated point
+        let dg = single_link(&d, &Euclidean);
+        let c = dg.cut(1.5, 2);
+        assert_eq!(c.n_noise(), 1);
+        assert!(c.label(15).is_noise());
+    }
+
+    #[test]
+    fn noise_chains_link_clusters_the_weakness() {
+        // A line of stepping stones between two blobs: single link merges
+        // them at a cut where DBSCAN (with min_pts > 2) would not — the
+        // noise sensitivity the paper cites.
+        let mut d = Dataset::new(2);
+        for i in 0..5 {
+            d.push(&[i as f64 * 0.2, 0.0]);
+        }
+        for i in 0..5 {
+            d.push(&[10.0 + i as f64 * 0.2, 0.0]);
+        }
+        for i in 1..10 {
+            d.push(&[i as f64, 0.0]); // bridge
+        }
+        let dg = single_link(&d, &Euclidean);
+        let c = dg.cut(1.0, 2);
+        assert_eq!(c.n_clusters(), 1, "single link chains through the bridge");
+    }
+
+    #[test]
+    fn cut_zero_gives_all_noise_with_min_size_two() {
+        let d = chain_and_blob();
+        let dg = single_link(&d, &Euclidean);
+        let c = dg.cut(0.0, 2);
+        assert_eq!(c.n_clusters(), 0);
+        assert_eq!(c.n_noise(), d.len());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let d = Dataset::new(2);
+        let dg = single_link(&d, &Euclidean);
+        assert!(dg.merges.is_empty());
+        assert!(dg.cut(1.0, 1).is_empty());
+
+        let mut one = Dataset::new(2);
+        one.push(&[1.0, 2.0]);
+        let dg = single_link(&one, &Euclidean);
+        assert!(dg.merges.is_empty());
+        let c = dg.cut(1.0, 1);
+        assert_eq!(c.n_clusters(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the DBSCAN definitions (paper Definitions 1-5)
+//! over randomly generated datasets: whatever the data, the result must be
+//! a valid density-based clustering.
+
+use dbdc_cluster::{dbscan, dbscan_with_scp, DbscanParams};
+use dbdc_geom::{Dataset, Euclidean, Metric};
+use dbdc_index::{LinearScan, NeighborIndex};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    // A mix of clumps (many points near a few centers) and background.
+    (
+        prop::collection::vec(((0.0..30.0f64, 0.0..30.0f64), 3..25usize), 1..4),
+        prop::collection::vec((0.0..30.0f64, 0.0..30.0f64), 0..15),
+    )
+        .prop_map(|(clumps, background)| {
+            let mut d = Dataset::new(2);
+            for ((cx, cy), n) in clumps {
+                for i in 0..n {
+                    let t = i as f64;
+                    d.push(&[cx + (t * 0.7).sin() * 0.8, cy + (t * 1.1).cos() * 0.8]);
+                }
+            }
+            for (x, y) in background {
+                d.push(&[x, y]);
+            }
+            d
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The DBSCAN validity invariants hold on arbitrary data:
+    /// 1. core flags match the definition exactly;
+    /// 2. clustered non-core points touch a core point of their cluster;
+    /// 3. noise points have no core point within eps;
+    /// 4. two core points within eps share a cluster (density connectivity).
+    #[test]
+    fn dbscan_output_is_valid(data in arb_dataset(), eps in 0.5..3.0f64, min_pts in 2usize..7) {
+        let idx = LinearScan::new(&data, Euclidean);
+        let params = DbscanParams::new(eps, min_pts);
+        let r = dbscan(&data, &idx, &params);
+
+        for i in 0..data.len() as u32 {
+            let neighbors = idx.range_vec(data.point(i), eps);
+            // 1. Core definition.
+            prop_assert_eq!(
+                r.core[i as usize],
+                neighbors.len() >= min_pts,
+                "core flag mismatch at {}", i
+            );
+            match r.clustering.label(i).cluster() {
+                Some(c) => {
+                    if !r.core[i as usize] {
+                        // 2. Border points are density-reachable.
+                        prop_assert!(
+                            neighbors.iter().any(|&q| r.core[q as usize]
+                                && r.clustering.label(q).cluster() == Some(c)),
+                            "border {} has no core neighbor in its cluster", i
+                        );
+                    }
+                }
+                None => {
+                    // 3. Noise is not reachable from any core.
+                    prop_assert!(
+                        neighbors.iter().all(|&q| !r.core[q as usize]),
+                        "noise {} within eps of a core point", i
+                    );
+                }
+            }
+            // 4. Core-core neighbors share a cluster.
+            if r.core[i as usize] {
+                for &q in &neighbors {
+                    if r.core[q as usize] {
+                        prop_assert_eq!(
+                            r.clustering.label(i).cluster(),
+                            r.clustering.label(q).cluster(),
+                            "connected cores {} and {} split", i, q
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The specific-core-point construction satisfies Definition 6 (subset
+    /// of cores, pairwise separation, coverage) and Definition 7 (ε-range
+    /// bounds) on arbitrary data.
+    #[test]
+    fn scp_invariants_hold(data in arb_dataset(), eps in 0.5..3.0f64, min_pts in 2usize..7) {
+        let idx = LinearScan::new(&data, Euclidean);
+        let params = DbscanParams::new(eps, min_pts);
+        let r = dbscan_with_scp(&data, &idx, &params);
+        for (c, list) in r.scp.iter().enumerate() {
+            for (i, a) in list.iter().enumerate() {
+                prop_assert!(r.dbscan.core[a.point as usize]);
+                prop_assert_eq!(
+                    r.dbscan.clustering.label(a.point).cluster(),
+                    Some(c as u32)
+                );
+                prop_assert!(a.eps_range >= eps - 1e-12);
+                prop_assert!(a.eps_range <= 2.0 * eps + 1e-12);
+                for b in &list[i + 1..] {
+                    prop_assert!(
+                        Euclidean.dist(data.point(a.point), data.point(b.point)) > eps,
+                        "scp separation violated in cluster {}", c
+                    );
+                }
+            }
+        }
+        // Coverage: every core point within eps of a scp of its cluster.
+        for i in 0..data.len() as u32 {
+            if r.dbscan.core[i as usize] {
+                let c = r.dbscan.clustering.label(i).cluster().unwrap() as usize;
+                prop_assert!(
+                    r.scp[c].iter().any(|s| {
+                        Euclidean.dist(data.point(s.point), data.point(i)) <= eps
+                    }),
+                    "core {} uncovered", i
+                );
+            }
+        }
+    }
+}

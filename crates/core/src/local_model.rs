@@ -1,0 +1,248 @@
+//! Local models (Section 5 of the paper).
+//!
+//! After a client site has clustered its data with the enhanced DBSCAN, it
+//! condenses each local cluster into a handful of *representatives*, each a
+//! pair `(r, ε_r)`: all objects of the site within `ε_r` of `r` are promised
+//! to belong to `r`'s cluster. Two constructions are provided:
+//!
+//! * [`build_scor`] — `REP_Scor` (Section 5.1): the specific core points
+//!   themselves, with the specific ε-ranges of Definition 7.
+//! * [`build_kmeans`] — `REP_kMeans` (Section 5.2): per cluster, run k-means
+//!   *inside* the cluster with `k = |Scor_C|`, seeded by the specific core
+//!   points; the centroids become the representatives and each takes the
+//!   maximum distance to its assigned objects as its ε-range.
+
+use crate::params::LocalModelKind;
+use dbdc_cluster::{kmeans_seeded, KMeansParams, ScpResult};
+use dbdc_geom::{Dataset, Point};
+
+/// One transmitted representative: a point, its validity radius, and the
+/// local cluster it stands for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Representative {
+    /// The representative object (a real data point for `REP_Scor`, a
+    /// synthetic centroid for `REP_kMeans`).
+    pub point: Point,
+    /// The ε-range: the radius within which this representative speaks for
+    /// its cluster.
+    pub eps_range: f64,
+    /// Id of the cluster on the origin site this representative describes.
+    pub local_cluster: u32,
+}
+
+/// The local model of one site: everything the site sends to the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalModel {
+    /// The site's identifier.
+    pub site: u32,
+    /// Dimensionality of the representatives.
+    pub dim: usize,
+    /// The representatives of all local clusters.
+    pub reps: Vec<Representative>,
+}
+
+impl LocalModel {
+    /// Number of representatives.
+    pub fn len(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Whether the model is empty (a site with no clusters).
+    pub fn is_empty(&self) -> bool {
+        self.reps.is_empty()
+    }
+
+    /// The largest ε-range in the model (0 if empty).
+    pub fn max_eps_range(&self) -> f64 {
+        self.reps.iter().map(|r| r.eps_range).fold(0.0, f64::max)
+    }
+}
+
+/// Builds the `REP_Scor` local model from an enhanced-DBSCAN result.
+pub fn build_scor(data: &Dataset, scp: &ScpResult, site: u32) -> LocalModel {
+    let mut reps = Vec::with_capacity(scp.n_representatives());
+    for (cluster, list) in scp.scp.iter().enumerate() {
+        for s in list {
+            reps.push(Representative {
+                point: Point::from(data.point(s.point)),
+                eps_range: s.eps_range,
+                local_cluster: cluster as u32,
+            });
+        }
+    }
+    LocalModel {
+        site,
+        dim: data.dim(),
+        reps,
+    }
+}
+
+/// Builds the `REP_kMeans` local model from an enhanced-DBSCAN result.
+///
+/// Per cluster `C`: `k = |Scor_C|`, initial centroids = the specific core
+/// points, data = the members of `C` only. Each centroid `c_{i,j}` receives
+/// `ε = max{ dist(o, c_{i,j}) | o assigned to c_{i,j} }`.
+pub fn build_kmeans(
+    data: &Dataset,
+    scp: &ScpResult,
+    site: u32,
+    kmeans_params: &KMeansParams,
+) -> LocalModel {
+    let mut reps = Vec::with_capacity(scp.n_representatives());
+    for (cluster, list) in scp.scp.iter().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        let members = scp.dbscan.clustering.members(cluster as u32);
+        let cluster_data = data.subset(&members);
+        let seed_ids: Vec<u32> = list.iter().map(|s| s.point).collect();
+        let seeds = data.subset(&seed_ids);
+        let km = kmeans_seeded(&cluster_data, &seeds, kmeans_params);
+        for j in 0..km.centroids.len() as u32 {
+            reps.push(Representative {
+                point: Point::from(km.centroids.point(j)),
+                eps_range: km.max_assigned_distance(&cluster_data, j),
+                local_cluster: cluster as u32,
+            });
+        }
+    }
+    LocalModel {
+        site,
+        dim: data.dim(),
+        reps,
+    }
+}
+
+/// Builds the local model of the requested kind.
+pub fn build_local_model(
+    kind: LocalModelKind,
+    data: &Dataset,
+    scp: &ScpResult,
+    site: u32,
+) -> LocalModel {
+    match kind {
+        LocalModelKind::Scor => build_scor(data, scp, site),
+        LocalModelKind::KMeans => build_kmeans(data, scp, site, &KMeansParams::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdc_cluster::{dbscan_with_scp, DbscanParams};
+    use dbdc_geom::{Euclidean, Metric};
+    use dbdc_index::LinearScan;
+
+    fn blobs() -> Dataset {
+        let mut d = Dataset::new(2);
+        for (cx, cy) in [(0.0, 0.0), (20.0, 20.0)] {
+            for i in 0..40 {
+                let t = i as f64;
+                d.push(&[cx + (t * 0.7).sin() * 1.5, cy + (t * 1.3).cos() * 1.5]);
+            }
+        }
+        d.push(&[100.0, 100.0]); // noise
+        d
+    }
+
+    fn scp_of(data: &Dataset, eps: f64, min_pts: usize) -> ScpResult {
+        let idx = LinearScan::new(data, Euclidean);
+        dbscan_with_scp(data, &idx, &DbscanParams::new(eps, min_pts))
+    }
+
+    #[test]
+    fn scor_model_mirrors_scp() {
+        let d = blobs();
+        let scp = scp_of(&d, 1.0, 4);
+        let m = build_scor(&d, &scp, 3);
+        assert_eq!(m.site, 3);
+        assert_eq!(m.dim, 2);
+        assert_eq!(m.len(), scp.n_representatives());
+        // Every representative is an actual data point with its scp range.
+        for r in &m.reps {
+            let found = scp.scp[r.local_cluster as usize]
+                .iter()
+                .any(|s| d.point(s.point) == r.point.coords() && s.eps_range == r.eps_range);
+            assert!(found, "representative without matching scp");
+        }
+    }
+
+    #[test]
+    fn kmeans_model_same_count_as_scor() {
+        // Section 5.2: "the number of representatives for each cluster is
+        // the same as in the previous approach".
+        let d = blobs();
+        let scp = scp_of(&d, 1.0, 4);
+        let scor = build_scor(&d, &scp, 0);
+        let km = build_kmeans(&d, &scp, 0, &KMeansParams::default());
+        assert_eq!(scor.len(), km.len());
+    }
+
+    #[test]
+    fn kmeans_ranges_cover_assigned_members() {
+        // Every cluster member lies within the ε-range of at least one of
+        // its cluster's representatives (its own centroid qualifies).
+        let d = blobs();
+        let scp = scp_of(&d, 1.0, 4);
+        let m = build_kmeans(&d, &scp, 0, &KMeansParams::default());
+        for i in 0..d.len() as u32 {
+            if let Some(c) = scp.dbscan.clustering.label(i).cluster() {
+                let covered =
+                    m.reps.iter().filter(|r| r.local_cluster == c).any(|r| {
+                        Euclidean.dist(r.point.coords(), d.point(i)) <= r.eps_range + 1e-9
+                    });
+                assert!(covered, "member {i} escapes all kmeans ε-ranges");
+            }
+        }
+    }
+
+    #[test]
+    fn scor_ranges_cover_members_too() {
+        let d = blobs();
+        let scp = scp_of(&d, 1.0, 4);
+        let m = build_scor(&d, &scp, 0);
+        for i in 0..d.len() as u32 {
+            if let Some(c) = scp.dbscan.clustering.label(i).cluster() {
+                let covered =
+                    m.reps.iter().filter(|r| r.local_cluster == c).any(|r| {
+                        Euclidean.dist(r.point.coords(), d.point(i)) <= r.eps_range + 1e-9
+                    });
+                assert!(covered, "member {i} escapes all scor ε-ranges");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_not_represented() {
+        let d = blobs();
+        let scp = scp_of(&d, 1.0, 4);
+        for kind in [LocalModelKind::Scor, LocalModelKind::KMeans] {
+            let m = build_local_model(kind, &d, &scp, 0);
+            // Representative clusters reference only real clusters.
+            let n_clusters = scp.dbscan.clustering.n_clusters();
+            for r in &m.reps {
+                assert!(r.local_cluster < n_clusters);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_site_produces_empty_model() {
+        let d = Dataset::new(2);
+        let scp = scp_of(&d, 1.0, 4);
+        let m = build_scor(&d, &scp, 9);
+        assert!(m.is_empty());
+        assert_eq!(m.max_eps_range(), 0.0);
+    }
+
+    #[test]
+    fn max_eps_range_is_max() {
+        let d = blobs();
+        let scp = scp_of(&d, 1.0, 4);
+        let m = build_scor(&d, &scp, 0);
+        let expect = m.reps.iter().map(|r| r.eps_range).fold(0.0, f64::max);
+        assert_eq!(m.max_eps_range(), expect);
+        assert!(m.max_eps_range() >= 1.0);
+        assert!(m.max_eps_range() <= 2.0 + 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Simulated network cost model.
+//!
+//! The paper motivates DBDC with limited-bandwidth links (telescopes
+//! producing 1 GB/hour, WAN-separated company sites) but evaluates on a
+//! single machine, reporting only CPU time. This module supplies the
+//! missing piece for the transmission-cost ablation: a simple
+//! latency + bandwidth model converting the wire byte counts into simulated
+//! transfer times, so experiments can report end-to-end times under
+//! different link assumptions.
+
+use std::time::Duration;
+
+/// A point-to-point link model: fixed per-message latency plus serialized
+/// throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Sustained throughput in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// One-way per-message latency.
+    pub latency: Duration,
+}
+
+impl NetworkModel {
+    /// A LAN-ish link: 1 Gbit/s, 0.2 ms latency.
+    pub fn lan() -> Self {
+        Self {
+            bandwidth_bytes_per_sec: 125_000_000.0,
+            latency: Duration::from_micros(200),
+        }
+    }
+
+    /// A WAN link: 50 Mbit/s, 30 ms latency — the "company sites on two
+    /// continents" scenario of the introduction.
+    pub fn wan() -> Self {
+        Self {
+            bandwidth_bytes_per_sec: 6_250_000.0,
+            latency: Duration::from_millis(30),
+        }
+    }
+
+    /// A slow uplink: 1 Mbit/s, 250 ms latency — the telescope scenario.
+    pub fn slow_uplink() -> Self {
+        Self {
+            bandwidth_bytes_per_sec: 125_000.0,
+            latency: Duration::from_millis(250),
+        }
+    }
+
+    /// Time to push one message of `bytes` over the link.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        assert!(
+            self.bandwidth_bytes_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+    }
+
+    /// Time for `k` sites to upload their models concurrently (the slowest
+    /// site dominates) — DBDC's upload phase.
+    pub fn concurrent_upload(&self, message_sizes: &[usize]) -> Duration {
+        message_sizes
+            .iter()
+            .map(|&b| self.transfer_time(b))
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = NetworkModel {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency: Duration::from_millis(10),
+        };
+        assert_eq!(m.transfer_time(0), Duration::from_millis(10));
+        assert_eq!(m.transfer_time(1000), Duration::from_millis(1010));
+        assert_eq!(m.transfer_time(2500), Duration::from_millis(2510));
+    }
+
+    #[test]
+    fn concurrent_upload_takes_slowest() {
+        let m = NetworkModel {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency: Duration::ZERO,
+        };
+        let t = m.concurrent_upload(&[100, 5000, 700]);
+        assert_eq!(t, Duration::from_secs(5));
+        assert_eq!(m.concurrent_upload(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let bytes = 1_000_000;
+        let lan = NetworkModel::lan().transfer_time(bytes);
+        let wan = NetworkModel::wan().transfer_time(bytes);
+        let slow = NetworkModel::slow_uplink().transfer_time(bytes);
+        assert!(lan < wan);
+        assert!(wan < slow);
+    }
+}

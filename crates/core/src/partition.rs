@@ -1,0 +1,170 @@
+//! Distribution of the data onto client sites.
+//!
+//! The paper's evaluation "equally distributed the data set onto the
+//! different client sites" — i.e. a random equal split, our default. The
+//! other schemes exist for the partitioning ablation: round-robin (equal and
+//! deterministic, but order-correlated) and spatial stripes (the adversarial
+//! opposite: whole regions — and thus whole clusters — land on single
+//! sites, which changes what the local models must capture).
+
+use dbdc_geom::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A strategy for assigning points to sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Partitioner {
+    /// Shuffle, then deal equally (sizes differ by at most 1). This is the
+    /// paper's setup.
+    RandomEqual {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Point `i` goes to site `i mod k`.
+    RoundRobin,
+    /// Sort by one coordinate and cut into `k` contiguous stripes —
+    /// maximally skewed spatial locality.
+    SpatialStripes {
+        /// The coordinate to stripe along.
+        axis: usize,
+    },
+}
+
+impl Partitioner {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Partitioner::RandomEqual { .. } => "random-equal",
+            Partitioner::RoundRobin => "round-robin",
+            Partitioner::SpatialStripes { .. } => "spatial-stripes",
+        }
+    }
+
+    /// Computes the site of every point; the result has one entry in
+    /// `0..k` per point.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or (for stripes) the axis is out of range.
+    pub fn assign(&self, data: &Dataset, k: usize) -> Vec<usize> {
+        assert!(k > 0, "need at least one site");
+        let n = data.len();
+        match *self {
+            Partitioner::RandomEqual { seed } => {
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut rng = StdRng::seed_from_u64(seed);
+                for i in (1..n).rev() {
+                    let j = rng.random_range(0..=i);
+                    order.swap(i, j);
+                }
+                let mut assignment = vec![0usize; n];
+                for (pos, &idx) in order.iter().enumerate() {
+                    assignment[idx] = pos % k;
+                }
+                assignment
+            }
+            Partitioner::RoundRobin => (0..n).map(|i| i % k).collect(),
+            Partitioner::SpatialStripes { axis } => {
+                assert!(axis < data.dim(), "stripe axis out of range");
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_by(|&a, &b| data.point(a)[axis].total_cmp(&data.point(b)[axis]));
+                let mut assignment = vec![0usize; n];
+                let per = n.div_ceil(k);
+                for (pos, &idx) in order.iter().enumerate() {
+                    assignment[idx as usize] = (pos / per.max(1)).min(k - 1);
+                }
+                assignment
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data(n: usize) -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..n {
+            d.push(&[i as f64, (i * 7 % 13) as f64]);
+        }
+        d
+    }
+
+    fn sizes(assignment: &[usize], k: usize) -> Vec<usize> {
+        let mut s = vec![0usize; k];
+        for &a in assignment {
+            s[a] += 1;
+        }
+        s
+    }
+
+    #[test]
+    fn random_equal_is_balanced() {
+        let d = grid_data(103);
+        let a = Partitioner::RandomEqual { seed: 5 }.assign(&d, 4);
+        let s = sizes(&a, 4);
+        assert_eq!(s.iter().sum::<usize>(), 103);
+        assert!(s.iter().all(|&x| x == 25 || x == 26), "sizes {s:?}");
+    }
+
+    #[test]
+    fn random_equal_deterministic_per_seed() {
+        let d = grid_data(50);
+        let a = Partitioner::RandomEqual { seed: 9 }.assign(&d, 3);
+        let b = Partitioner::RandomEqual { seed: 9 }.assign(&d, 3);
+        let c = Partitioner::RandomEqual { seed: 10 }.assign(&d, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn round_robin_pattern() {
+        let d = grid_data(7);
+        let a = Partitioner::RoundRobin.assign(&d, 3);
+        assert_eq!(a, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn stripes_respect_coordinate_order() {
+        let d = grid_data(100);
+        let a = Partitioner::SpatialStripes { axis: 0 }.assign(&d, 4);
+        // Points are already sorted by x in grid_data.
+        for w in 0..99 {
+            assert!(a[w] <= a[w + 1]);
+        }
+        let s = sizes(&a, 4);
+        assert_eq!(s, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn one_site_gets_everything() {
+        let d = grid_data(10);
+        for p in [
+            Partitioner::RandomEqual { seed: 0 },
+            Partitioner::RoundRobin,
+            Partitioner::SpatialStripes { axis: 1 },
+        ] {
+            assert!(p.assign(&d, 1).iter().all(|&a| a == 0), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn more_sites_than_points() {
+        let d = grid_data(3);
+        let a = Partitioner::RandomEqual { seed: 1 }.assign(&d, 10);
+        assert!(a.iter().all(|&s| s < 10));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_panics() {
+        Partitioner::RoundRobin.assign(&grid_data(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis out of range")]
+    fn bad_axis_panics() {
+        Partitioner::SpatialStripes { axis: 7 }.assign(&grid_data(3), 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! PDBSCAN — a parallel DBSCAN baseline (after Xu, Jäger, Kriegel 1999).
+//!
+//! The paper's Related Work (Section 2.2, reference \[21\]) contrasts DBDC
+//! with the *parallel* DBSCAN of Xu et al.: there, the complete data set
+//! starts on one central server, is partitioned spatially onto processors
+//! that share a distributed R\*-tree (the dR\*-tree), and the processors
+//! exchange messages so that the final clustering is **exact** — identical
+//! to a single DBSCAN run. DBDC instead never centralizes the data and
+//! accepts an approximate result in exchange for transmitting only models.
+//!
+//! This module implements the algorithmic core of that comparator so the
+//! `abl-pdbscan` ablation can quantify the trade-off:
+//!
+//! * the data is partitioned into spatial stripes (standing in for the
+//!   dR\*-tree's space partitioning);
+//! * every worker receives its stripe **plus a halo** of foreign points
+//!   within `eps` of its boundary (the replicated outer region the
+//!   message-passing scheme effectively gives each processor access to);
+//! * workers run DBSCAN locally; core points in the halo overlap induce
+//!   merge edges between worker-local clusters;
+//! * a union-find pass produces the exact global clustering.
+//!
+//! Exactness (equality with central DBSCAN on the core-point partition) is
+//! asserted by the tests; the ablation reports its runtime and the bytes a
+//! real deployment would move (halo replication + merge edges), which is
+//! where DBDC wins.
+
+use crate::params::DbdcParams;
+use dbdc_cluster::{dbscan, DbscanParams};
+use dbdc_geom::{Clustering, Dataset, Euclidean, Label};
+use std::time::{Duration, Instant};
+
+/// The result of a PDBSCAN run.
+#[derive(Debug, Clone)]
+pub struct PdbscanOutcome {
+    /// The exact global clustering, in original point order.
+    pub clustering: Clustering,
+    /// Wall time of each worker's local phase.
+    pub worker_times: Vec<Duration>,
+    /// Wall time of the merge phase.
+    pub merge_time: Duration,
+    /// Number of points replicated into halos (the scheme's communication
+    /// overhead, in points).
+    pub halo_points: usize,
+    /// Bytes a deployment would move: halo replication down + merge edges
+    /// up (8 bytes per coordinate, 8 bytes per merge edge).
+    pub bytes_moved: usize,
+}
+
+impl PdbscanOutcome {
+    /// The parallel cost model: slowest worker plus the merge phase.
+    pub fn total(&self) -> Duration {
+        self.worker_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
+            + self.merge_time
+    }
+}
+
+/// Runs the PDBSCAN simulation over `workers` spatial stripes.
+///
+/// # Panics
+/// Panics if `workers == 0`.
+pub fn run_pdbscan(data: &Dataset, params: &DbdcParams, workers: usize) -> PdbscanOutcome {
+    assert!(workers > 0, "need at least one worker");
+    let n = data.len();
+    let eps = params.eps_local;
+    let dbscan_params = DbscanParams::new(eps, params.min_pts_local);
+    if n == 0 {
+        return PdbscanOutcome {
+            clustering: Clustering::all_noise(0),
+            worker_times: vec![Duration::ZERO; workers],
+            merge_time: Duration::ZERO,
+            halo_points: 0,
+            bytes_moved: 0,
+        };
+    }
+
+    // --- Partition into stripes along axis 0 with eps halos. ---
+    let axis = 0;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| data.point(a)[axis].total_cmp(&data.point(b)[axis]));
+    let per = n.div_ceil(workers);
+    // Stripe boundaries in coordinate space.
+    let mut owners = vec![0usize; n];
+    let mut bounds = Vec::with_capacity(workers + 1); // [lo_0, lo_1, ..., hi_last]
+    bounds.push(f64::NEG_INFINITY);
+    for w in 1..workers {
+        let split_at = (w * per).min(n - 1);
+        bounds.push(data.point(order[split_at])[axis]);
+    }
+    bounds.push(f64::INFINITY);
+    for (pos, &idx) in order.iter().enumerate() {
+        owners[idx as usize] = (pos / per.max(1)).min(workers - 1);
+    }
+
+    // Worker datasets: owned points + halo (foreign points within eps of the
+    // stripe's coordinate range).
+    let mut worker_ids: Vec<Vec<u32>> = vec![Vec::new(); workers];
+    let mut is_halo: Vec<Vec<bool>> = vec![Vec::new(); workers];
+    let mut halo_points = 0usize;
+    for i in 0..n as u32 {
+        let x = data.point(i)[axis];
+        let own = owners[i as usize];
+        for (w, (ids, halo)) in worker_ids.iter_mut().zip(is_halo.iter_mut()).enumerate() {
+            if w == own {
+                ids.push(i);
+                halo.push(false);
+            } else if x >= bounds[w] - eps && x <= bounds[w + 1] + eps {
+                ids.push(i);
+                halo.push(true);
+                halo_points += 1;
+            }
+        }
+    }
+
+    // --- Local DBSCAN per worker. ---
+    struct WorkerOut {
+        ids: Vec<u32>,
+        halo: Vec<bool>,
+        clustering: Clustering,
+        core: Vec<bool>,
+    }
+    let mut outs = Vec::with_capacity(workers);
+    let mut worker_times = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let t0 = Instant::now();
+        let local_data = data.subset(&worker_ids[w]);
+        let index = dbdc_index::build_index(params.index, &local_data, Euclidean, eps);
+        let result = dbscan(&local_data, index.as_ref(), &dbscan_params);
+        worker_times.push(t0.elapsed());
+        outs.push(WorkerOut {
+            ids: std::mem::take(&mut worker_ids[w]),
+            halo: std::mem::take(&mut is_halo[w]),
+            clustering: result.clustering,
+            core: result.core,
+        });
+    }
+
+    // --- Merge phase. ---
+    // Global core property: a point owned by worker w has its full
+    // ε-neighborhood inside w's stripe+halo, so w's core flag is globally
+    // correct for owned points. Worker-local cluster ids become union-find
+    // nodes; two local clusters merge when a *core* point (owned by either
+    // side) carries both.
+    let t1 = Instant::now();
+    // Per-point: (worker, local label, local core) for the owning worker.
+    let mut owned_label: Vec<Label> = vec![Label::Noise; n];
+    let mut owned_core: Vec<bool> = vec![false; n];
+    // Offsets per worker into the union-find space.
+    let mut offsets = Vec::with_capacity(workers);
+    let mut total_clusters = 0usize;
+    for o in &outs {
+        offsets.push(total_clusters);
+        total_clusters += o.clustering.n_clusters() as usize;
+    }
+    let mut dsu: Vec<usize> = (0..total_clusters).collect();
+    fn find(dsu: &mut [usize], mut x: usize) -> usize {
+        while dsu[x] != x {
+            dsu[x] = dsu[dsu[x]];
+            x = dsu[x];
+        }
+        x
+    }
+    let mut merge_edges = 0usize;
+    for (w, o) in outs.iter().enumerate() {
+        for (pos, &gid) in o.ids.iter().enumerate() {
+            let label = o.clustering.label(pos as u32);
+            if !o.halo[pos] {
+                owned_label[gid as usize] = match label {
+                    Label::Noise => Label::Noise,
+                    Label::Cluster(c) => Label::Cluster((offsets[w] + c as usize) as u32),
+                };
+                owned_core[gid as usize] = o.core[pos];
+            }
+        }
+    }
+    // Merge via halo points that are core somewhere: a core point's cluster
+    // is the same everywhere it appears, so link the owner's cluster with
+    // the halo copy's cluster.
+    for (w, o) in outs.iter().enumerate() {
+        for (pos, &gid) in o.ids.iter().enumerate() {
+            if !o.halo[pos] {
+                continue;
+            }
+            // The copy is in w's halo; the owner is elsewhere.
+            let owner_label = owned_label[gid as usize];
+            let copy_label = o.clustering.label(pos as u32);
+            // Only core points (globally, i.e. per their owner) propagate
+            // cluster identity.
+            if !owned_core[gid as usize] {
+                continue;
+            }
+            if let (Label::Cluster(a), Label::Cluster(b)) = (owner_label, copy_label) {
+                let a = a as usize;
+                let b = offsets[w] + b as usize;
+                let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, b));
+                if ra != rb {
+                    dsu[ra] = rb;
+                    merge_edges += 1;
+                }
+            }
+        }
+    }
+    // Resolve final labels for owned points. Border points may sit in a
+    // halo-side cluster while their owner called them noise (their core
+    // neighbor lives across the boundary); adopt the halo assignment then.
+    let mut labels = vec![Label::Noise; n];
+    for i in 0..n {
+        if let Label::Cluster(c) = owned_label[i] {
+            labels[i] = Label::Cluster(find(&mut dsu, c as usize) as u32);
+        }
+    }
+    for (w, o) in outs.iter().enumerate() {
+        for (pos, &gid) in o.ids.iter().enumerate() {
+            if !o.halo[pos] || !labels[gid as usize].is_noise() {
+                continue;
+            }
+            if let Label::Cluster(b) = o.clustering.label(pos as u32) {
+                let b = offsets[w] + b as usize;
+                labels[gid as usize] = Label::Cluster(find(&mut dsu, b) as u32);
+            }
+        }
+    }
+    let merge_time = t1.elapsed();
+
+    let bytes_moved = halo_points * data.dim() * 8 + merge_edges * 8;
+    PdbscanOutcome {
+        clustering: Clustering::from_labels(labels),
+        worker_times,
+        merge_time,
+        halo_points,
+        bytes_moved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::central_dbscan;
+    use dbdc_datagen::{dataset_c, scaled_a};
+    use dbdc_geom::adjusted_rand_index;
+
+    fn params(eps: f64, min_pts: usize) -> DbdcParams {
+        DbdcParams::new(eps, min_pts)
+    }
+
+    /// PDBSCAN must be *exact*: same core-point partition as central DBSCAN.
+    fn assert_exact(data: &Dataset, p: &DbdcParams, workers: usize) {
+        let (central, _) = central_dbscan(data, p);
+        let parallel = run_pdbscan(data, p, workers);
+        // Noise sets must agree exactly on core points; border points can
+        // flip between adjacent clusters, so compare with ARI ~ 1.
+        let ari = adjusted_rand_index(&parallel.clustering, &central.clustering);
+        assert!(
+            ari > 0.999,
+            "PDBSCAN diverges from central DBSCAN: ARI {ari} ({} vs {} clusters)",
+            parallel.clustering.n_clusters(),
+            central.clustering.n_clusters()
+        );
+        assert_eq!(
+            parallel.clustering.n_clusters(),
+            central.clustering.n_clusters()
+        );
+    }
+
+    #[test]
+    fn exact_on_dataset_c() {
+        let g = dataset_c(5);
+        for workers in [1, 2, 3, 5, 8] {
+            assert_exact(
+                &g.data,
+                &params(g.suggested_eps, g.suggested_min_pts),
+                workers,
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_scaled_a() {
+        let g = scaled_a(4_000, 6);
+        for workers in [2, 4, 7] {
+            assert_exact(
+                &g.data,
+                &params(g.suggested_eps, g.suggested_min_pts),
+                workers,
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_spanning_stripes_is_joined() {
+        // One long horizontal chain crossing all stripe boundaries.
+        let mut d = Dataset::new(2);
+        for i in 0..200 {
+            d.push(&[i as f64 * 0.4, 0.0]);
+        }
+        let p = params(0.5, 3);
+        let out = run_pdbscan(&d, &p, 4);
+        assert_eq!(
+            out.clustering.n_clusters(),
+            1,
+            "chain must stay one cluster"
+        );
+        assert_eq!(out.clustering.n_noise(), 0);
+        assert!(out.halo_points > 0, "stripes must exchange halo points");
+    }
+
+    #[test]
+    fn halo_grows_with_workers() {
+        let g = scaled_a(3_000, 7);
+        let p = params(g.suggested_eps, g.suggested_min_pts);
+        let h2 = run_pdbscan(&g.data, &p, 2).halo_points;
+        let h8 = run_pdbscan(&g.data, &p, 8).halo_points;
+        assert!(h8 > h2, "more stripes -> more boundary replication");
+    }
+
+    #[test]
+    fn communication_exceeds_dbdc() {
+        // The comparison the ablation makes: PDBSCAN's halo+merge traffic
+        // is far larger than DBDC's model upload on the same data.
+        let g = scaled_a(3_000, 8);
+        let p = params(g.suggested_eps, g.suggested_min_pts);
+        let pd = run_pdbscan(&g.data, &p, 8);
+        let dbdc = crate::runtime::run_dbdc(
+            &g.data,
+            &p,
+            crate::partition::Partitioner::RandomEqual { seed: 8 },
+            8,
+        );
+        assert!(
+            pd.bytes_moved > dbdc.bytes_up,
+            "pdbscan {} B vs dbdc {} B",
+            pd.bytes_moved,
+            dbdc.bytes_up
+        );
+    }
+
+    #[test]
+    fn empty_and_single_worker() {
+        let d = Dataset::new(2);
+        let out = run_pdbscan(&d, &params(1.0, 3), 3);
+        assert!(out.clustering.is_empty());
+        let g = dataset_c(9);
+        let p = params(g.suggested_eps, g.suggested_min_pts);
+        let out = run_pdbscan(&g.data, &p, 1);
+        assert_eq!(out.halo_points, 0, "single worker has no halo");
+        assert_exact(&g.data, &p, 1);
+    }
+}

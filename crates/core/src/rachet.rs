@@ -1,0 +1,294 @@
+//! A RACHET-style hierarchical distributed clustering comparator.
+//!
+//! The paper's Related Work (Section 2.2, reference \[19\]) describes
+//! RACHET (Samatova et al. 2002): each site builds a clustering *hierarchy*
+//! locally, transmits per-node descriptive statistics (centroid
+//! approximations), and the server merges the hierarchies. The DBDC paper
+//! positions itself against this family — density-based flat models vs
+//! centroid-based hierarchical ones — so this module implements a compact
+//! member of that family to make the comparison measurable:
+//!
+//! * each site runs single-link clustering (the hierarchical algorithm of
+//!   the paper's Section 4 discussion) and cuts its dendrogram at the
+//!   local scale;
+//! * each local cluster is condensed into a `(centroid, radius, count)`
+//!   summary — the "descriptive statistics" of the RACHET scheme;
+//! * the server merges summaries agglomeratively: two summaries join when
+//!   their centroid distance is at most the merge threshold plus both
+//!   radii would allow their point sets to touch;
+//! * sites relabel their clusters from the merged summary ids. Local noise
+//!   stays noise — centroid summaries carry no validity region, so unlike
+//!   DBDC's ε-ranges they cannot adopt foreign noise. The `abl-rachet`
+//!   ablation quantifies exactly that difference.
+
+use crate::params::DbdcParams;
+use dbdc_cluster::single_link;
+use dbdc_geom::{Clustering, Dataset, Euclidean, Label, Metric};
+use std::time::{Duration, Instant};
+
+/// One transmitted cluster summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSummary {
+    /// Origin site.
+    pub site: u32,
+    /// Local cluster id on the origin site.
+    pub local_cluster: u32,
+    /// Cluster centroid.
+    pub centroid: Vec<f64>,
+    /// Maximum distance of a member from the centroid.
+    pub radius: f64,
+    /// Number of members.
+    pub count: usize,
+}
+
+/// The outcome of the RACHET-style run.
+#[derive(Debug, Clone)]
+pub struct RachetOutcome {
+    /// Final clustering of all points in original order.
+    pub clustering: Clustering,
+    /// Number of transmitted summaries.
+    pub n_summaries: usize,
+    /// Bytes transmitted (centroid coords + radius + count per summary).
+    pub bytes_up: usize,
+    /// Per-site local phase times.
+    pub local_times: Vec<Duration>,
+    /// Server merge time.
+    pub merge_time: Duration,
+}
+
+impl RachetOutcome {
+    /// Cost-model total: slowest local phase plus the merge.
+    pub fn total(&self) -> Duration {
+        self.local_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
+            + self.merge_time
+    }
+}
+
+/// Runs the comparator: single-link locally (cut at `params.eps_local`,
+/// minimum cluster size `params.min_pts_local`), centroid summaries merged
+/// centrally when centroids are within `merge_eps` (use
+/// `2·Eps_local`-style values for parity with DBDC).
+pub fn run_rachet(
+    data: &Dataset,
+    params: &DbdcParams,
+    site_assignment: &[usize],
+    n_sites: usize,
+    merge_eps: f64,
+) -> RachetOutcome {
+    let (parts, back) = data.partition(n_sites, site_assignment);
+    let mut summaries: Vec<ClusterSummary> = Vec::new();
+    let mut site_clusterings: Vec<Clustering> = Vec::with_capacity(n_sites);
+    let mut local_times = Vec::with_capacity(n_sites);
+    for (site, part) in parts.iter().enumerate() {
+        let t0 = Instant::now();
+        let clustering = if part.is_empty() {
+            Clustering::all_noise(0)
+        } else {
+            let dendrogram = single_link(part, &Euclidean);
+            dendrogram.cut(params.eps_local, params.min_pts_local)
+        };
+        for c in 0..clustering.n_clusters() {
+            let members = clustering.members(c);
+            let dim = part.dim();
+            let mut centroid = vec![0.0; dim];
+            for &m in &members {
+                for (acc, &v) in centroid.iter_mut().zip(part.point(m)) {
+                    *acc += v;
+                }
+            }
+            for v in centroid.iter_mut() {
+                *v /= members.len() as f64;
+            }
+            let radius = members
+                .iter()
+                .map(|&m| Euclidean.dist(&centroid, part.point(m)))
+                .fold(0.0f64, f64::max);
+            summaries.push(ClusterSummary {
+                site: site as u32,
+                local_cluster: c,
+                centroid,
+                radius,
+                count: members.len(),
+            });
+        }
+        site_clusterings.push(clustering);
+        local_times.push(t0.elapsed());
+    }
+
+    // Server: single-link over the summaries where the inter-summary
+    // distance is the centroid gap minus both radii (how far apart the two
+    // point clouds can be at their closest, optimistically).
+    let t1 = Instant::now();
+    let k = summaries.len();
+    let mut dsu: Vec<usize> = (0..k).collect();
+    fn find(dsu: &mut [usize], mut x: usize) -> usize {
+        while dsu[x] != x {
+            dsu[x] = dsu[dsu[x]];
+            x = dsu[x];
+        }
+        x
+    }
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let gap = Euclidean.dist(&summaries[i].centroid, &summaries[j].centroid)
+                - summaries[i].radius
+                - summaries[j].radius;
+            if gap <= merge_eps {
+                let (a, b) = (find(&mut dsu, i), find(&mut dsu, j));
+                if a != b {
+                    dsu[a] = b;
+                }
+            }
+        }
+    }
+    let merge_time = t1.elapsed();
+
+    // Relabel: every local cluster takes its summary's merged root id.
+    let mut labels = vec![Label::Noise; data.len()];
+    for (si, ids) in back.iter().enumerate() {
+        // summary lookup for this site: local_cluster -> summary index.
+        for (pos, &orig) in ids.iter().enumerate() {
+            if let Label::Cluster(lc) = site_clusterings[si].label(pos as u32) {
+                let summary_idx = summaries
+                    .iter()
+                    .position(|s| s.site == si as u32 && s.local_cluster == lc)
+                    .expect("every local cluster has a summary");
+                labels[orig as usize] = Label::Cluster(find(&mut dsu, summary_idx) as u32);
+            }
+        }
+    }
+
+    let dim = data.dim();
+    let bytes_up = summaries.len() * (dim * 8 + 8 + 8);
+    RachetOutcome {
+        clustering: Clustering::from_labels(labels),
+        n_summaries: summaries.len(),
+        bytes_up,
+        local_times,
+        merge_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use crate::quality::{q_dbdc, ObjectQuality};
+    use crate::runtime::{central_dbscan, run_dbdc};
+    use dbdc_datagen::{dataset_b, dataset_c};
+
+    #[test]
+    fn recovers_clean_clusters() {
+        let g = dataset_c(61);
+        let params = DbdcParams::new(g.suggested_eps, g.suggested_min_pts);
+        let assignment = Partitioner::RandomEqual { seed: 61 }.assign(&g.data, 4);
+        let out = run_rachet(&g.data, &params, &assignment, 4, 2.0 * params.eps_local);
+        // Clean, well-separated clusters: the centroid scheme works fine.
+        assert_eq!(out.clustering.n_clusters(), 3);
+        let (central, _) = central_dbscan(&g.data, &params);
+        let q = q_dbdc(&out.clustering, &central.clustering, ObjectQuality::PII);
+        assert!(q.q > 0.85, "clean-data quality {:.3}", q.q);
+        assert!(out.n_summaries >= 3);
+        assert!(out.bytes_up > 0);
+    }
+
+    #[test]
+    fn dbdc_at_least_matches_rachet_on_dataset_b() {
+        // On data set B (sparse noise) both schemes hold up; DBDC must not
+        // trail the hierarchical comparator.
+        let g = dataset_b(62);
+        let params = DbdcParams::new(g.suggested_eps, g.suggested_min_pts)
+            .with_eps_global(crate::params::EpsGlobal::MultipleOfLocal(2.0));
+        let (central, _) = central_dbscan(&g.data, &params);
+        let assignment = Partitioner::RandomEqual { seed: 62 }.assign(&g.data, 4);
+        let rachet = run_rachet(&g.data, &params, &assignment, 4, 2.0 * params.eps_local);
+        let dbdc = run_dbdc(&g.data, &params, Partitioner::RandomEqual { seed: 62 }, 4);
+        let q_r = q_dbdc(&rachet.clustering, &central.clustering, ObjectQuality::PII).q;
+        let q_d = q_dbdc(&dbdc.assignment, &central.clustering, ObjectQuality::PII).q;
+        assert!(
+            q_d + 1e-9 >= q_r,
+            "DBDC {q_d:.3} trails RACHET-style {q_r:.3}"
+        );
+    }
+
+    #[test]
+    fn noise_bridge_breaks_single_link_but_not_dbdc() {
+        // The comparison the paper's Section 4 predicts: single link "is
+        // very sensitive to noise" — a thin stepping-stone bridge of noise
+        // chains two distinct clusters at the merge scale, while density-
+        // based clustering ignores it (bridge points never reach MinPts).
+        use dbdc_datagen::{ClusterSpec, MixtureSpec, Profile};
+        let spec = MixtureSpec {
+            clusters: vec![
+                ClusterSpec {
+                    center: [25.0, 50.0],
+                    radii: [4.0, 4.0],
+                    angle: 0.0,
+                    n: 1_200,
+                    profile: Profile::Uniform,
+                },
+                ClusterSpec {
+                    center: [75.0, 50.0],
+                    radii: [4.0, 4.0],
+                    angle: 0.0,
+                    n: 1_200,
+                    profile: Profile::Uniform,
+                },
+            ],
+            noise: 100,
+            bounds: [[0.0, 100.0], [0.0, 100.0]],
+        };
+        let mut g = spec.generate(64);
+        // The stepping stones: a line of points every 0.4 units joining the
+        // two clusters — each has ~5 neighbors within eps 1.0, below
+        // MinPts 6, but single link chains through them even after the
+        // round-robin split halves the line's density.
+        let mut data = g.data.clone();
+        let mut x = 29.5;
+        while x < 71.0 {
+            data.push(&[x, 50.0]);
+            x += 0.4;
+        }
+        g.data = data;
+        let params =
+            DbdcParams::new(1.0, 6).with_eps_global(crate::params::EpsGlobal::MultipleOfLocal(2.0));
+        let (central, _) = central_dbscan(&g.data, &params);
+        assert_eq!(
+            central.clustering.n_clusters(),
+            2,
+            "DBSCAN sees two clusters"
+        );
+        let assignment = Partitioner::RoundRobin.assign(&g.data, 2);
+        let rachet = run_rachet(&g.data, &params, &assignment, 2, 2.0 * params.eps_local);
+        let dbdc = run_dbdc(&g.data, &params, Partitioner::RoundRobin, 2);
+        let q_r = q_dbdc(&rachet.clustering, &central.clustering, ObjectQuality::PII).q;
+        let q_d = q_dbdc(&dbdc.assignment, &central.clustering, ObjectQuality::PII).q;
+        assert!(
+            q_d > q_r + 0.1,
+            "DBDC {q_d:.3} should clearly beat the single-link comparator {q_r:.3} under a noise bridge"
+        );
+    }
+
+    #[test]
+    fn summaries_are_tiny() {
+        let g = dataset_c(63);
+        let params = DbdcParams::new(g.suggested_eps, g.suggested_min_pts);
+        let assignment = Partitioner::RandomEqual { seed: 63 }.assign(&g.data, 4);
+        let out = run_rachet(&g.data, &params, &assignment, 4, 2.0 * params.eps_local);
+        assert!(out.bytes_up < 10_000, "bytes {}", out.bytes_up);
+        assert!(out.total() >= out.merge_time);
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = Dataset::new(2);
+        let params = DbdcParams::new(1.0, 3);
+        let out = run_rachet(&d, &params, &[], 2, 2.0);
+        assert!(out.clustering.is_empty());
+        assert_eq!(out.n_summaries, 0);
+    }
+}

@@ -1,0 +1,397 @@
+//! The DBDC runtime: orchestration of the four protocol steps.
+//!
+//! Section 3 of the paper: (1) local clustering, (2) determination of the
+//! local models, (3) determination of the global model, (4) relabeling of
+//! all local data. This module runs the whole protocol over a partitioned
+//! dataset, either sequentially (the paper's measurement setup — "we
+//! carried out all local clusterings sequentially ... the overall runtime
+//! was formed by adding the time needed for the global clustering to the
+//! maximum time needed for the local clusterings") or with one thread per
+//! site for wall-clock validation.
+//!
+//! Local models travel through the wire codec in both modes, so the byte
+//! counts reported in [`DbdcOutcome`] are exact message sizes.
+
+use crate::global_model::{build_global_model, GlobalModel};
+use crate::local_model::{build_local_model, LocalModel};
+use crate::params::DbdcParams;
+use crate::partition::Partitioner;
+use crate::relabel::relabel_site;
+use crate::wire;
+use dbdc_cluster::{dbscan, dbscan_with_scp, DbscanParams, DbscanResult, ScpResult};
+use dbdc_geom::{Clustering, Dataset, Euclidean, Label};
+use std::time::{Duration, Instant};
+
+/// Timings of all protocol phases.
+#[derive(Debug, Clone, Default)]
+pub struct Timings {
+    /// Wall time of each site's local clustering + model extraction.
+    pub local: Vec<Duration>,
+    /// Server-side global clustering (including model decode).
+    pub global: Duration,
+    /// Wall time of each site's relabeling.
+    pub relabel: Vec<Duration>,
+}
+
+impl Timings {
+    /// The slowest local phase — the paper's distributed local cost.
+    pub fn local_max(&self) -> Duration {
+        self.local.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// The slowest relabel phase.
+    pub fn relabel_max(&self) -> Duration {
+        self.relabel.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// The paper's overall-runtime cost model:
+    /// `max(local times) + global time`.
+    pub fn dbdc_total(&self) -> Duration {
+        self.local_max() + self.global
+    }
+
+    /// The cost model extended with the (concurrent) relabel phase.
+    pub fn dbdc_total_with_relabel(&self) -> Duration {
+        self.dbdc_total() + self.relabel_max()
+    }
+}
+
+/// Everything a DBDC run produces.
+#[derive(Debug, Clone)]
+pub struct DbdcOutcome {
+    /// Number of client sites.
+    pub n_sites: usize,
+    /// The server's global model.
+    pub global: GlobalModel,
+    /// The final distributed clustering of **all** points, in the original
+    /// dataset order, with dense cluster ids.
+    pub assignment: Clustering,
+    /// Per-site timings.
+    pub timings: Timings,
+    /// Total client→server bytes (all encoded local models).
+    pub bytes_up: usize,
+    /// Total server→client bytes (the encoded global model, once per site).
+    pub bytes_down: usize,
+    /// Total number of transmitted representatives.
+    pub n_representatives: usize,
+    /// Per-site point counts.
+    pub site_sizes: Vec<usize>,
+}
+
+impl DbdcOutcome {
+    /// Representatives as a fraction of the dataset size — the "number of
+    /// local repr. \[%\]" column of the paper's Figure 10.
+    pub fn representative_fraction(&self) -> f64 {
+        let n: usize = self.site_sizes.iter().sum();
+        if n == 0 {
+            0.0
+        } else {
+            self.n_representatives as f64 / n as f64
+        }
+    }
+
+    /// The paper's cost model extended with simulated network transfers
+    /// over `net`: concurrent model uploads (slowest site dominates), one
+    /// broadcast of the global model per site (also concurrent), plus the
+    /// compute phases.
+    pub fn total_with_network(&self, net: &crate::network::NetworkModel) -> Duration {
+        let per_site_up = if self.n_sites == 0 {
+            0
+        } else {
+            self.bytes_up.div_ceil(self.n_sites)
+        };
+        let per_site_down = if self.n_sites == 0 {
+            0
+        } else {
+            self.bytes_down / self.n_sites.max(1)
+        };
+        self.timings.dbdc_total_with_relabel()
+            + net.transfer_time(per_site_up)
+            + net.transfer_time(per_site_down)
+    }
+}
+
+/// One site's local phase: cluster, extract the model, encode it.
+/// Returns the encoded model bytes together with the site's clustering
+/// (which stays on the site for the relabel phase).
+fn local_phase(
+    site: u32,
+    site_data: &Dataset,
+    params: &DbdcParams,
+) -> (ScpResult, bytes::Bytes, Duration) {
+    let t0 = Instant::now();
+    let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
+    let index = dbdc_index::build_index(params.index, site_data, Euclidean, params.eps_local);
+    let scp = dbscan_with_scp(site_data, index.as_ref(), &dbscan_params);
+    let model: LocalModel = build_local_model(params.model, site_data, &scp, site);
+    let encoded = wire::encode_local_model(&model);
+    (scp, encoded, t0.elapsed())
+}
+
+/// Runs the full DBDC protocol sequentially (the paper's measurement mode).
+pub fn run_dbdc(
+    data: &Dataset,
+    params: &DbdcParams,
+    partitioner: Partitioner,
+    n_sites: usize,
+) -> DbdcOutcome {
+    let assignment = partitioner.assign(data, n_sites);
+    let (parts, back) = data.partition(n_sites, &assignment);
+    let mut locals: Vec<(ScpResult, bytes::Bytes, Duration)> = Vec::with_capacity(n_sites);
+    for (site, part) in parts.iter().enumerate() {
+        locals.push(local_phase(site as u32, part, params));
+    }
+    assemble(data, params, parts, back, locals, None)
+}
+
+/// Runs the full DBDC protocol with one OS thread per site. The timings
+/// still record per-site wall time; the protocol result is identical to the
+/// sequential mode (asserted by tests).
+pub fn run_dbdc_threaded(
+    data: &Dataset,
+    params: &DbdcParams,
+    partitioner: Partitioner,
+    n_sites: usize,
+) -> DbdcOutcome {
+    let assignment = partitioner.assign(data, n_sites);
+    let (parts, back) = data.partition(n_sites, &assignment);
+    let slots: Vec<parking_lot::Mutex<Option<(ScpResult, bytes::Bytes, Duration)>>> = (0..n_sites)
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    crossbeam::thread::scope(|scope| {
+        for (site, part) in parts.iter().enumerate() {
+            let slot = &slots[site];
+            scope.spawn(move |_| {
+                *slot.lock() = Some(local_phase(site as u32, part, params));
+            });
+        }
+    })
+    .expect("site thread panicked");
+    let locals: Vec<(ScpResult, bytes::Bytes, Duration)> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every site completed"))
+        .collect();
+    assemble(data, params, parts, back, locals, Some(()))
+}
+
+/// Server + relabel phases shared by both modes.
+fn assemble(
+    data: &Dataset,
+    params: &DbdcParams,
+    parts: Vec<Dataset>,
+    back: Vec<Vec<u32>>,
+    locals: Vec<(ScpResult, bytes::Bytes, Duration)>,
+    threaded: Option<()>,
+) -> DbdcOutcome {
+    // --- Server: decode the models, cluster the representatives. ---
+    let t_global = Instant::now();
+    let bytes_up: usize = locals.iter().map(|(_, b, _)| b.len()).sum();
+    let models: Vec<LocalModel> = locals
+        .iter()
+        .map(|(_, b, _)| wire::decode_local_model(b).expect("self-encoded model decodes"))
+        .collect();
+    let n_representatives: usize = models.iter().map(|m| m.len()).sum();
+    let global = build_global_model(&models, params);
+    let encoded_global = wire::encode_global_model(&global);
+    let global_time = t_global.elapsed();
+    let bytes_down = encoded_global.len() * parts.len();
+
+    // --- Clients: relabel (sequentially or threaded). ---
+    let n_sites = parts.len();
+    let mut site_labels: Vec<Clustering> = Vec::with_capacity(n_sites);
+    let mut relabel_times = vec![Duration::ZERO; n_sites];
+    if threaded.is_some() {
+        let slots: Vec<parking_lot::Mutex<Option<(Clustering, Duration)>>> = (0..n_sites)
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
+        crossbeam::thread::scope(|scope| {
+            for (site, part) in parts.iter().enumerate() {
+                let slot = &slots[site];
+                let local = &locals[site].0;
+                let global = &global;
+                let encoded_global = &encoded_global;
+                scope.spawn(move |_| {
+                    let t0 = Instant::now();
+                    // Each site decodes the broadcast copy.
+                    let g = wire::decode_global_model(encoded_global)
+                        .expect("self-encoded model decodes");
+                    debug_assert_eq!(g.n_clusters, global.n_clusters);
+                    let labels = relabel_site(part, &local.dbscan.clustering, &g);
+                    *slot.lock() = Some((labels, t0.elapsed()));
+                });
+            }
+        })
+        .expect("relabel thread panicked");
+        for (site, slot) in slots.into_iter().enumerate() {
+            let (labels, t) = slot.into_inner().expect("every site completed");
+            site_labels.push(labels);
+            relabel_times[site] = t;
+        }
+    } else {
+        for (site, part) in parts.iter().enumerate() {
+            let t0 = Instant::now();
+            let g = wire::decode_global_model(&encoded_global).expect("self-encoded model decodes");
+            let labels = relabel_site(part, &locals[site].0.dbscan.clustering, &g);
+            site_labels.push(labels);
+            relabel_times[site] = t0.elapsed();
+        }
+    }
+
+    // --- Reassemble the full clustering in original order. ---
+    let mut full = vec![Label::Noise; data.len()];
+    for (site, ids) in back.iter().enumerate() {
+        for (pos, &orig) in ids.iter().enumerate() {
+            full[orig as usize] = site_labels[site].label(pos as u32);
+        }
+    }
+    let assignment = Clustering::from_labels(full);
+
+    DbdcOutcome {
+        n_sites,
+        assignment,
+        timings: Timings {
+            local: locals.iter().map(|(_, _, t)| *t).collect(),
+            global: global_time,
+            relabel: relabel_times,
+        },
+        global,
+        bytes_up,
+        bytes_down,
+        n_representatives,
+        site_sizes: parts.iter().map(|p| p.len()).collect(),
+    }
+}
+
+/// The central baseline: one DBSCAN over the complete dataset with the
+/// local parameters, timed. This is the `CL_central` reference of Section 8
+/// and the efficiency baseline of Section 9.
+pub fn central_dbscan(data: &Dataset, params: &DbdcParams) -> (DbscanResult, Duration) {
+    let t0 = Instant::now();
+    let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
+    let index = dbdc_index::build_index(params.index, data, Euclidean, params.eps_local);
+    let result = dbscan(data, index.as_ref(), &dbscan_params);
+    (result, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{EpsGlobal, LocalModelKind};
+    use crate::quality::{q_dbdc, ObjectQuality};
+    use dbdc_datagen::dataset_c;
+
+    fn params() -> DbdcParams {
+        DbdcParams::new(1.6, 5).with_eps_global(EpsGlobal::MultipleOfLocal(2.0))
+    }
+
+    #[test]
+    fn end_to_end_matches_central_on_dataset_c() {
+        let g = dataset_c(1);
+        let p = params();
+        let outcome = run_dbdc(&g.data, &p, Partitioner::RandomEqual { seed: 4 }, 4);
+        let (central, _) = central_dbscan(&g.data, &p);
+        // Data set C has 3 clean clusters: both clusterings find them and
+        // the distributed quality is near-perfect (paper Figure 11).
+        assert_eq!(central.clustering.n_clusters(), 3);
+        assert_eq!(outcome.assignment.n_clusters(), 3);
+        let q2 = q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII);
+        assert!(q2.q > 0.9, "P^II quality {}", q2.q);
+        let q1 = q_dbdc(
+            &outcome.assignment,
+            &central.clustering,
+            ObjectQuality::PI {
+                qp: p.min_pts_local,
+            },
+        );
+        assert!(q1.q > 0.9, "P^I quality {}", q1.q);
+    }
+
+    #[test]
+    fn kmeans_model_also_works() {
+        let g = dataset_c(2);
+        let p = params().with_model(LocalModelKind::KMeans);
+        let outcome = run_dbdc(&g.data, &p, Partitioner::RandomEqual { seed: 4 }, 4);
+        let (central, _) = central_dbscan(&g.data, &p);
+        let q2 = q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII);
+        assert!(q2.q > 0.9, "P^II quality {}", q2.q);
+    }
+
+    #[test]
+    fn threaded_equals_sequential() {
+        let g = dataset_c(3);
+        let p = params();
+        let seq = run_dbdc(&g.data, &p, Partitioner::RandomEqual { seed: 9 }, 5);
+        let thr = run_dbdc_threaded(&g.data, &p, Partitioner::RandomEqual { seed: 9 }, 5);
+        assert_eq!(seq.assignment, thr.assignment);
+        assert_eq!(seq.bytes_up, thr.bytes_up);
+        assert_eq!(seq.n_representatives, thr.n_representatives);
+    }
+
+    #[test]
+    fn transmission_is_small() {
+        let g = dataset_c(4);
+        let p = params();
+        let outcome = run_dbdc(&g.data, &p, Partitioner::RandomEqual { seed: 1 }, 4);
+        let raw = wire::raw_data_bytes(g.data.len(), 2);
+        assert!(
+            outcome.bytes_up * 2 < raw,
+            "model bytes {} vs raw {}",
+            outcome.bytes_up,
+            raw
+        );
+        assert!(outcome.n_representatives > 0);
+        assert!(outcome.representative_fraction() < 0.5);
+    }
+
+    #[test]
+    fn single_site_degenerates_to_central_clustering() {
+        // With one site, the local clustering is the central clustering and
+        // relabeling through the model must preserve it almost exactly.
+        let g = dataset_c(5);
+        let p = params();
+        let outcome = run_dbdc(&g.data, &p, Partitioner::RoundRobin, 1);
+        let (central, _) = central_dbscan(&g.data, &p);
+        let q = q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII);
+        assert!(q.q > 0.95, "quality {}", q.q);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let g = dataset_c(6);
+        let outcome = run_dbdc(&g.data, &params(), Partitioner::RoundRobin, 3);
+        assert_eq!(outcome.timings.local.len(), 3);
+        assert_eq!(outcome.timings.relabel.len(), 3);
+        assert!(outcome.timings.dbdc_total() >= outcome.timings.local_max());
+        assert!(outcome.timings.dbdc_total_with_relabel() >= outcome.timings.dbdc_total());
+        assert_eq!(outcome.site_sizes.iter().sum::<usize>(), g.data.len());
+    }
+
+    #[test]
+    fn empty_dataset_runs() {
+        let d = Dataset::new(2);
+        let outcome = run_dbdc(&d, &params(), Partitioner::RoundRobin, 2);
+        assert_eq!(outcome.assignment.len(), 0);
+        assert_eq!(outcome.n_representatives, 0);
+    }
+
+    #[test]
+    fn many_sites_on_small_data() {
+        let g = dataset_c(7);
+        let outcome = run_dbdc(&g.data, &params(), Partitioner::RandomEqual { seed: 2 }, 20);
+        assert_eq!(outcome.n_sites, 20);
+        assert_eq!(outcome.assignment.len(), g.data.len());
+    }
+
+    #[test]
+    fn network_extended_cost_model() {
+        let g = dataset_c(8);
+        let outcome = run_dbdc(&g.data, &params(), Partitioner::RoundRobin, 4);
+        let lan = crate::network::NetworkModel::lan();
+        let slow = crate::network::NetworkModel::slow_uplink();
+        let base = outcome.timings.dbdc_total_with_relabel();
+        let with_lan = outcome.total_with_network(&lan);
+        let with_slow = outcome.total_with_network(&slow);
+        assert!(with_lan > base);
+        assert!(with_slow > with_lan, "slow uplink must dominate LAN");
+    }
+}

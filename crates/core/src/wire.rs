@@ -1,0 +1,527 @@
+//! Wire format for model transmission.
+//!
+//! DBDC's efficiency argument rests on transmitting *models* instead of
+//! data, so the byte cost of a model is a first-class measurement in this
+//! reproduction (the `abl-wire` ablation compares it against shipping the
+//! raw points). This module defines a compact little-endian binary format
+//! for local and global models with a magic header, a version byte, and an
+//! FNV-1a checksum, and exposes exact byte counts.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! local model:   "DBDC" ver=1 kind=0x01 site:u32 dim:u16 count:u32
+//!                ( coords:f64×dim  eps_range:f64  local_cluster:u32 )×count
+//!                checksum:u64
+//! global model:  "DBDC" ver=1 kind=0x02 n_clusters:u32 eps_global:f64
+//!                dim:u16 count:u32
+//!                ( coords:f64×dim eps:f64 site:u32 local:u32 global:u32 )×count
+//!                checksum:u64
+//! ```
+
+use crate::global_model::{GlobalModel, GlobalRep};
+use crate::local_model::{LocalModel, Representative};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dbdc_geom::Point;
+
+const MAGIC: &[u8; 4] = b"DBDC";
+const VERSION: u8 = 1;
+const KIND_LOCAL: u8 = 0x01;
+const KIND_GLOBAL: u8 = 0x02;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the header/payload requires.
+    Truncated,
+    /// The magic bytes are not `DBDC`.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// The message kind does not match the requested decoder.
+    BadKind(u8),
+    /// Checksum mismatch — the payload was corrupted.
+    BadChecksum,
+    /// A coordinate or radius decoded to a non-finite value.
+    NonFinite,
+    /// The header declares an impossible dimensionality or entry count.
+    BadHeader,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadMagic => write!(f, "bad magic bytes"),
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::BadKind(k) => write!(f, "unexpected message kind {k:#04x}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::NonFinite => write!(f, "non-finite value in payload"),
+            WireError::BadHeader => write!(f, "implausible header (dim or count)"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn finish(mut buf: BytesMut) -> Bytes {
+    let sum = fnv1a(&buf);
+    buf.put_u64_le(sum);
+    buf.freeze()
+}
+
+fn open(bytes: &[u8], kind: u8) -> Result<&[u8], WireError> {
+    if bytes.len() < MAGIC.len() + 2 + 8 {
+        return Err(WireError::Truncated);
+    }
+    let (payload, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let expect = u64::from_le_bytes(sum_bytes.try_into().expect("8 bytes"));
+    if fnv1a(payload) != expect {
+        return Err(WireError::BadChecksum);
+    }
+    if &payload[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if payload[4] != VERSION {
+        return Err(WireError::BadVersion(payload[4]));
+    }
+    if payload[5] != kind {
+        return Err(WireError::BadKind(payload[5]));
+    }
+    Ok(&payload[6..])
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let v = buf.get_f64_le();
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(WireError::NonFinite)
+    }
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16, WireError> {
+    if buf.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u16_le())
+}
+
+/// Encodes a local model for transmission to the server.
+///
+/// ```
+/// use dbdc::{wire, LocalModel, Representative};
+/// use dbdc_geom::Point;
+///
+/// let model = LocalModel {
+///     site: 3,
+///     dim: 2,
+///     reps: vec![Representative {
+///         point: Point::xy(1.0, 2.0),
+///         eps_range: 1.5,
+///         local_cluster: 0,
+///     }],
+/// };
+/// let bytes = wire::encode_local_model(&model);
+/// assert_eq!(wire::decode_local_model(&bytes).unwrap(), model);
+/// // Corruption is detected by the checksum.
+/// let mut bad = bytes.to_vec();
+/// bad[20] ^= 0xFF;
+/// assert!(wire::decode_local_model(&bad).is_err());
+/// ```
+pub fn encode_local_model(m: &LocalModel) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + m.reps.len() * (m.dim * 8 + 12));
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(KIND_LOCAL);
+    buf.put_u32_le(m.site);
+    buf.put_u16_le(m.dim as u16);
+    buf.put_u32_le(m.reps.len() as u32);
+    for r in &m.reps {
+        debug_assert_eq!(r.point.dim(), m.dim);
+        for &c in r.point.coords() {
+            buf.put_f64_le(c);
+        }
+        buf.put_f64_le(r.eps_range);
+        buf.put_u32_le(r.local_cluster);
+    }
+    finish(buf)
+}
+
+/// Decodes a local model.
+pub fn decode_local_model(bytes: &[u8]) -> Result<LocalModel, WireError> {
+    let mut buf = open(bytes, KIND_LOCAL)?;
+    let site = get_u32(&mut buf)?;
+    let dim = get_u16(&mut buf)? as usize;
+    let count = get_u32(&mut buf)? as usize;
+    // Reject impossible headers before allocating: each entry needs
+    // dim·8 + 12 bytes, and representative points need >= 1 dimension.
+    if (dim == 0 && count > 0) || buf.len() < count.saturating_mul(dim * 8 + 12) {
+        return Err(WireError::BadHeader);
+    }
+    let mut reps = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut coords = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            coords.push(get_f64(&mut buf)?);
+        }
+        let eps_range = get_f64(&mut buf)?;
+        let local_cluster = get_u32(&mut buf)?;
+        reps.push(Representative {
+            point: Point::new(coords),
+            eps_range,
+            local_cluster,
+        });
+    }
+    if !buf.is_empty() {
+        return Err(WireError::Truncated); // trailing garbage
+    }
+    Ok(LocalModel { site, dim, reps })
+}
+
+/// Encodes the global model for broadcast to the client sites.
+pub fn encode_global_model(g: &GlobalModel) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + g.reps.len() * (g.dim * 8 + 20));
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(KIND_GLOBAL);
+    buf.put_u32_le(g.n_clusters);
+    buf.put_f64_le(g.eps_global);
+    buf.put_u16_le(g.dim as u16);
+    buf.put_u32_le(g.reps.len() as u32);
+    for r in &g.reps {
+        for &c in r.point.coords() {
+            buf.put_f64_le(c);
+        }
+        buf.put_f64_le(r.eps_range);
+        buf.put_u32_le(r.site);
+        buf.put_u32_le(r.local_cluster);
+        buf.put_u32_le(r.global_cluster);
+    }
+    finish(buf)
+}
+
+/// Decodes a global model.
+pub fn decode_global_model(bytes: &[u8]) -> Result<GlobalModel, WireError> {
+    let mut buf = open(bytes, KIND_GLOBAL)?;
+    let n_clusters = get_u32(&mut buf)?;
+    let eps_global = get_f64(&mut buf)?;
+    let dim = get_u16(&mut buf)? as usize;
+    let count = get_u32(&mut buf)? as usize;
+    if (dim == 0 && count > 0) || buf.len() < count.saturating_mul(dim * 8 + 20) {
+        return Err(WireError::BadHeader);
+    }
+    let mut reps = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut coords = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            coords.push(get_f64(&mut buf)?);
+        }
+        let eps_range = get_f64(&mut buf)?;
+        let site = get_u32(&mut buf)?;
+        let local_cluster = get_u32(&mut buf)?;
+        let global_cluster = get_u32(&mut buf)?;
+        reps.push(GlobalRep {
+            point: Point::new(coords),
+            eps_range,
+            site,
+            local_cluster,
+            global_cluster,
+        });
+    }
+    if !buf.is_empty() {
+        return Err(WireError::Truncated);
+    }
+    Ok(GlobalModel {
+        dim,
+        reps,
+        n_clusters,
+        eps_global,
+    })
+}
+
+/// Bytes needed to ship `n` raw `dim`-dimensional points — the baseline the
+/// paper's transmission-cost argument compares against.
+pub fn raw_data_bytes(n: usize, dim: usize) -> usize {
+    n * dim * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local() -> LocalModel {
+        LocalModel {
+            site: 7,
+            dim: 2,
+            reps: vec![
+                Representative {
+                    point: Point::xy(1.5, -2.25),
+                    eps_range: 1.75,
+                    local_cluster: 0,
+                },
+                Representative {
+                    point: Point::xy(10.0, 20.0),
+                    eps_range: 2.0,
+                    local_cluster: 1,
+                },
+            ],
+        }
+    }
+
+    fn global() -> GlobalModel {
+        GlobalModel {
+            dim: 2,
+            reps: vec![GlobalRep {
+                point: Point::xy(0.5, 0.5),
+                eps_range: 1.9,
+                site: 3,
+                local_cluster: 2,
+                global_cluster: 11,
+            }],
+            n_clusters: 12,
+            eps_global: 2.4,
+        }
+    }
+
+    #[test]
+    fn local_round_trip() {
+        let m = local();
+        let bytes = encode_local_model(&m);
+        let back = decode_local_model(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn global_round_trip() {
+        let g = global();
+        let bytes = encode_global_model(&g);
+        let back = decode_global_model(&bytes).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn empty_models_round_trip() {
+        let m = LocalModel {
+            site: 0,
+            dim: 2,
+            reps: vec![],
+        };
+        assert_eq!(decode_local_model(&encode_local_model(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = encode_local_model(&local()).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert_eq!(decode_local_model(&bytes), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_local_model(&local());
+        assert_eq!(decode_local_model(&bytes[..4]), Err(WireError::Truncated));
+        // Cutting the tail invalidates the checksum.
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(decode_local_model(cut).is_err());
+    }
+
+    #[test]
+    fn kind_confusion_is_detected() {
+        let bytes = encode_global_model(&global());
+        assert_eq!(decode_local_model(&bytes), Err(WireError::BadKind(0x02)));
+        let bytes = encode_local_model(&local());
+        assert_eq!(decode_global_model(&bytes), Err(WireError::BadKind(0x01)));
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut bytes = encode_local_model(&local()).to_vec();
+        bytes[0] = b'X';
+        // Fix the checksum so magic is reached.
+        let len = bytes.len();
+        let sum = fnv1a(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_local_model(&bytes), Err(WireError::BadMagic));
+
+        let mut bytes = encode_local_model(&local()).to_vec();
+        bytes[4] = 9;
+        let len = bytes.len();
+        let sum = fnv1a(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_local_model(&bytes), Err(WireError::BadVersion(9)));
+    }
+
+    #[test]
+    fn model_is_much_smaller_than_raw_data() {
+        // The transmission-cost claim: a model of 20 representatives for a
+        // site of 10 000 2-d points is a tiny fraction of the raw bytes.
+        let m = LocalModel {
+            site: 0,
+            dim: 2,
+            reps: (0..20)
+                .map(|i| Representative {
+                    point: Point::xy(i as f64, 0.0),
+                    eps_range: 1.0,
+                    local_cluster: 0,
+                })
+                .collect(),
+        };
+        let model_bytes = encode_local_model(&m).len();
+        let raw = raw_data_bytes(10_000, 2);
+        assert!(model_bytes * 100 < raw, "{model_bytes} vs {raw}");
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert_eq!(WireError::Truncated.to_string(), "message truncated");
+        assert!(WireError::BadKind(2).to_string().contains("0x02"));
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Decoding must never panic, whatever the bytes.
+        #[test]
+        fn decode_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decode_local_model(&bytes);
+            let _ = decode_global_model(&bytes);
+        }
+
+        /// Single-bit corruption of a valid message is always rejected (the
+        /// checksum covers every payload byte) or decodes to the original.
+        #[test]
+        fn bit_flips_are_detected(flip_byte in 0usize..200, flip_bit in 0u8..8) {
+            let m = LocalModel {
+                site: 3,
+                dim: 2,
+                reps: (0..8)
+                    .map(|i| Representative {
+                        point: Point::xy(i as f64, -(i as f64)),
+                        eps_range: 1.0 + i as f64 * 0.1,
+                        local_cluster: i % 3,
+                    })
+                    .collect(),
+            };
+            let mut bytes = encode_local_model(&m).to_vec();
+            let idx = flip_byte % bytes.len();
+            bytes[idx] ^= 1 << flip_bit;
+            // Flips inside the checksum itself, or the astronomically
+            // unlikely colliding payload, must at worst produce an
+            // error — never a silently different model.
+            if let Ok(decoded) = decode_local_model(&bytes) {
+                prop_assert_eq!(decoded, m);
+            }
+        }
+
+        /// Round trip holds for arbitrary generated models.
+        #[test]
+        fn round_trip_arbitrary_models(
+            site in 0u32..1000,
+            reps in prop::collection::vec(
+                ((-1e6..1e6f64, -1e6..1e6f64), 0.0..1e3f64, 0u32..64),
+                0..32
+            )
+        ) {
+            let m = LocalModel {
+                site,
+                dim: 2,
+                reps: reps
+                    .into_iter()
+                    .map(|((x, y), eps_range, local_cluster)| Representative {
+                        point: Point::xy(x, y),
+                        eps_range,
+                        local_cluster,
+                    })
+                    .collect(),
+            };
+            let decoded = decode_local_model(&encode_local_model(&m)).unwrap();
+            prop_assert_eq!(decoded, m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod crafted_tests {
+    use super::*;
+
+    /// Re-checksum a tampered payload so the corruption reaches the parser.
+    fn reseal(mut payload: Vec<u8>) -> Vec<u8> {
+        let len = payload.len();
+        let sum = fnv1a(&payload[..len - 8]);
+        payload[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        payload
+    }
+
+    #[test]
+    fn huge_count_is_rejected_without_allocation() {
+        let m = LocalModel {
+            site: 0,
+            dim: 2,
+            reps: vec![],
+        };
+        let mut bytes = encode_local_model(&m).to_vec();
+        // count field sits after magic(4)+ver(1)+kind(1)+site(4)+dim(2).
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        let bytes = reseal(bytes);
+        assert_eq!(decode_local_model(&bytes), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn zero_dim_with_entries_is_rejected() {
+        let m = LocalModel {
+            site: 0,
+            dim: 2,
+            reps: vec![Representative {
+                point: Point::xy(1.0, 2.0),
+                eps_range: 1.0,
+                local_cluster: 0,
+            }],
+        };
+        let mut bytes = encode_local_model(&m).to_vec();
+        bytes[10..12].copy_from_slice(&0u16.to_le_bytes()); // dim := 0
+        let bytes = reseal(bytes);
+        // Either BadHeader (dim 0) or Truncated (trailing bytes) — never a
+        // panic.
+        assert!(decode_local_model(&bytes).is_err());
+    }
+
+    #[test]
+    fn global_huge_count_rejected() {
+        let g = GlobalModel {
+            dim: 2,
+            reps: vec![],
+            n_clusters: 0,
+            eps_global: 1.0,
+        };
+        let mut bytes = encode_global_model(&g).to_vec();
+        // count sits after magic(4)+ver+kind(2)+n_clusters(4)+eps(8)+dim(2).
+        bytes[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        let bytes = reseal(bytes);
+        assert_eq!(decode_global_model(&bytes), Err(WireError::BadHeader));
+    }
+}

@@ -1,0 +1,235 @@
+//! d-dimensional mixture generator.
+//!
+//! The paper evaluates on 2-d data, but nothing in DBDC is specific to two
+//! dimensions — the whole stack (indexes, DBSCAN, models, relabeling) is
+//! dimension-generic. This module generates uniform-density hyperballs (and
+//! Gaussian blobs) in arbitrary dimension so the integration tests can
+//! exercise the pipeline in 3-d and beyond.
+
+use crate::normal::Normal;
+use crate::GeneratedData;
+use dbdc_geom::{Clustering, Dataset, Label};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One spherical cluster in `dim` dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperCluster {
+    /// Cluster center (defines the dimensionality).
+    pub center: Vec<f64>,
+    /// Ball radius (uniform profile) or standard deviation (Gaussian).
+    pub radius: f64,
+    /// Number of points.
+    pub n: usize,
+    /// Uniform ball (true) or isotropic Gaussian (false).
+    pub uniform: bool,
+}
+
+/// A d-dimensional mixture: clusters plus uniform noise in a hyperbox.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperMixtureSpec {
+    /// The clusters (all centers must share dimensionality).
+    pub clusters: Vec<HyperCluster>,
+    /// Number of uniform noise points.
+    pub noise: usize,
+    /// Noise bounds, `[lo, hi]` applied to every dimension.
+    pub bounds: [f64; 2],
+}
+
+impl HyperMixtureSpec {
+    /// Generates the dataset with ground truth, shuffled.
+    ///
+    /// # Panics
+    /// Panics if there are no clusters or the centers disagree on
+    /// dimensionality.
+    pub fn generate(&self, seed: u64) -> GeneratedData {
+        assert!(!self.clusters.is_empty(), "need at least one cluster");
+        let dim = self.clusters[0].center.len();
+        assert!(dim > 0, "dimensionality must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = Normal::new();
+        let total: usize = self.clusters.iter().map(|c| c.n).sum::<usize>() + self.noise;
+        let mut points: Vec<(Vec<f64>, Label)> = Vec::with_capacity(total);
+        for (ci, c) in self.clusters.iter().enumerate() {
+            assert_eq!(c.center.len(), dim, "cluster centers disagree on dim");
+            for _ in 0..c.n {
+                // Direction: normalized Gaussian vector (uniform on the
+                // sphere); length: r·u^(1/d) for uniform balls.
+                let mut v: Vec<f64> = (0..dim).map(|_| normal.sample(&mut rng)).collect();
+                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+                let len = if c.uniform {
+                    c.radius * rng.random_range(0.0..1.0f64).powf(1.0 / dim as f64)
+                } else {
+                    // For a Gaussian profile keep the Gaussian vector as-is
+                    // (scaled), rather than projecting onto the sphere.
+                    c.radius
+                };
+                if c.uniform {
+                    for (x, cc) in v.iter_mut().zip(c.center.iter()) {
+                        *x = cc + *x / norm * len;
+                    }
+                } else {
+                    for (x, cc) in v.iter_mut().zip(c.center.iter()) {
+                        *x = cc + *x * len;
+                    }
+                }
+                points.push((v, Label::Cluster(ci as u32)));
+            }
+        }
+        for _ in 0..self.noise {
+            let v: Vec<f64> = (0..dim)
+                .map(|_| rng.random_range(self.bounds[0]..self.bounds[1]))
+                .collect();
+            points.push((v, Label::Noise));
+        }
+        for i in (1..points.len()).rev() {
+            let j = rng.random_range(0..=i);
+            points.swap(i, j);
+        }
+        let mut data = Dataset::with_capacity(dim, points.len());
+        let mut labels = Vec::with_capacity(points.len());
+        for (p, l) in points {
+            data.push(&p);
+            labels.push(l);
+        }
+        GeneratedData {
+            data,
+            truth: Clustering::from_labels(labels),
+            suggested_eps: 0.0,
+            suggested_min_pts: 0,
+        }
+    }
+}
+
+/// A convenience d-dimensional test mixture: `k` well-separated uniform
+/// balls on a diagonal lattice plus 5% noise, with DBSCAN parameters sized
+/// so the core condition holds per cluster.
+pub fn hyper_blobs(dim: usize, k: usize, per_cluster: usize, seed: u64) -> GeneratedData {
+    assert!(dim > 0 && k > 0 && per_cluster > 0);
+    let radius = 3.0;
+    let spacing = 14.0;
+    let clusters = (0..k)
+        .map(|i| HyperCluster {
+            center: (0..dim)
+                .map(|d| {
+                    if d % 2 == 0 {
+                        (i as f64 + 1.0) * spacing
+                    } else {
+                        ((k - i) as f64) * spacing
+                    }
+                })
+                .collect(),
+            radius,
+            n: per_cluster,
+            uniform: true,
+        })
+        .collect();
+    let mut g = HyperMixtureSpec {
+        clusters,
+        noise: (k * per_cluster) / 20,
+        bounds: [0.0, (k as f64 + 1.0) * spacing],
+    }
+    .generate(seed);
+    // Size eps so an eps-ball inside a cluster holds comfortably more than
+    // min_pts points: per-point volume share = V_ball(eps)/V_ball(radius) =
+    // (eps/radius)^dim; ask for ~4·min_pts expected neighbors.
+    let min_pts = 2 * dim + 1; // a common DBSCAN rule of thumb
+    let frac = (4.0 * min_pts as f64 / per_cluster as f64).min(0.9);
+    g.suggested_eps = radius * frac.powf(1.0 / dim as f64);
+    g.suggested_min_pts = min_pts;
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let g = hyper_blobs(3, 4, 200, 1);
+        assert_eq!(g.data.dim(), 3);
+        assert_eq!(g.data.len(), 4 * 200 + 40);
+        assert_eq!(g.truth.n_clusters(), 4);
+        assert_eq!(g.truth.n_noise(), 40);
+        assert!(g.suggested_eps > 0.0);
+    }
+
+    #[test]
+    fn uniform_ball_points_stay_in_radius() {
+        let spec = HyperMixtureSpec {
+            clusters: vec![HyperCluster {
+                center: vec![5.0, 5.0, 5.0, 5.0],
+                radius: 2.0,
+                n: 500,
+                uniform: true,
+            }],
+            noise: 0,
+            bounds: [0.0, 10.0],
+        };
+        let g = spec.generate(3);
+        for p in g.data.iter() {
+            let d2: f64 = p.iter().map(|&x| (x - 5.0) * (x - 5.0)).sum();
+            assert!(d2.sqrt() <= 2.0 + 1e-9, "point escapes ball: {p:?}");
+        }
+    }
+
+    #[test]
+    fn ball_is_roughly_uniform_not_center_heavy() {
+        // In a uniform d-ball, the median distance from the center is
+        // R·(1/2)^(1/d) — far from 0. Check the 3-d case.
+        let spec = HyperMixtureSpec {
+            clusters: vec![HyperCluster {
+                center: vec![0.0, 0.0, 0.0],
+                radius: 1.0,
+                n: 4000,
+                uniform: true,
+            }],
+            noise: 0,
+            bounds: [-1.0, 1.0],
+        };
+        let g = spec.generate(5);
+        let mut dists: Vec<f64> = g
+            .data
+            .iter()
+            .map(|p| p.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
+        dists.sort_by(f64::total_cmp);
+        let median = dists[dists.len() / 2];
+        let expect = 0.5f64.powf(1.0 / 3.0); // ≈ 0.794
+        assert!(
+            (median - expect).abs() < 0.03,
+            "median {median}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = hyper_blobs(5, 3, 100, 9);
+        let b = hyper_blobs(5, 3, 100, 9);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on dim")]
+    fn rejects_mixed_dims() {
+        let spec = HyperMixtureSpec {
+            clusters: vec![
+                HyperCluster {
+                    center: vec![0.0, 0.0],
+                    radius: 1.0,
+                    n: 1,
+                    uniform: true,
+                },
+                HyperCluster {
+                    center: vec![0.0],
+                    radius: 1.0,
+                    n: 1,
+                    uniform: true,
+                },
+            ],
+            noise: 0,
+            bounds: [0.0, 1.0],
+        };
+        let _ = spec.generate(0);
+    }
+}

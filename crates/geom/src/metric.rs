@@ -1,0 +1,333 @@
+//! Distance metrics.
+//!
+//! DBSCAN — and therefore DBDC — only needs a distance function, not vector
+//! coordinates (the paper lists "can be used for all kinds of metric data
+//! spaces" as one of the reasons for choosing DBSCAN). Two abstractions are
+//! provided:
+//!
+//! * [`Metric`] — a metric on coordinate slices (`&[f64]`). This is what the
+//!   vector-space indexes (grid, kd-tree, R*-tree) and the standard pipeline
+//!   use.
+//! * [`MetricSpace`] — a metric on arbitrary objects, used by the M-tree and
+//!   by the metric-space example (edit distance on strings).
+
+/// A metric on `d`-dimensional coordinate slices.
+///
+/// Implementations must satisfy the metric axioms (non-negativity, identity,
+/// symmetry, triangle inequality) for the spatial indexes to return correct
+/// results. All provided implementations do.
+pub trait Metric: Send + Sync {
+    /// The distance between `a` and `b`.
+    ///
+    /// Callers guarantee `a.len() == b.len()`.
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// A monotone surrogate of the distance that is cheaper to compute, used
+    /// for comparisons only (e.g. nearest-neighbour pruning). For the
+    /// Euclidean metric this is the squared distance. The default is the
+    /// distance itself.
+    #[inline]
+    fn surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.dist(a, b)
+    }
+
+    /// Converts a true distance into surrogate units.
+    #[inline]
+    fn to_surrogate(&self, d: f64) -> f64 {
+        d
+    }
+}
+
+/// The Euclidean (L2) metric — the metric used in all of the paper's
+/// experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+impl Metric for Euclidean {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        sq_dist(a, b).sqrt()
+    }
+
+    #[inline]
+    fn surrogate(&self, a: &[f64], b: &[f64]) -> f64 {
+        sq_dist(a, b)
+    }
+
+    #[inline]
+    fn to_surrogate(&self, d: f64) -> f64 {
+        d * d
+    }
+}
+
+/// The squared Euclidean "metric".
+///
+/// Not a metric (it violates the triangle inequality) — provided only as a
+/// building block for algorithms that explicitly work in squared space, such
+/// as k-means' assignment step. It must **not** be used with the spatial
+/// indexes, which rely on the triangle inequality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SquaredEuclidean;
+
+impl Metric for SquaredEuclidean {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        sq_dist(a, b)
+    }
+}
+
+/// The Manhattan (L1) metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+    }
+}
+
+/// The Chebyshev (L∞) metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The Minkowski (Lp) metric for a caller-chosen order `p >= 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minkowski {
+    p: f64,
+}
+
+impl Minkowski {
+    /// Creates an Lp metric.
+    ///
+    /// # Panics
+    /// Panics if `p < 1` (the Lp "distance" is not a metric for `p < 1`).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "Minkowski order must be >= 1 to form a metric");
+        Self { p }
+    }
+
+    /// The order `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric for Minkowski {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        let s: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum();
+        s.powf(1.0 / self.p)
+    }
+}
+
+/// A metric on arbitrary objects, for use with the M-tree and other
+/// metric-space access methods.
+pub trait MetricSpace<T: ?Sized>: Send + Sync {
+    /// The distance between two objects.
+    fn dist(&self, a: &T, b: &T) -> f64;
+}
+
+/// Adapts any [`Metric`] into a [`MetricSpace`] over coordinate vectors, so
+/// vector data can be stored in metric-space indexes like the M-tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VectorSpace<M>(pub M);
+
+impl<M: Metric> MetricSpace<[f64]> for VectorSpace<M> {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.0.dist(a, b)
+    }
+}
+
+impl<M: Metric> MetricSpace<Vec<f64>> for VectorSpace<M> {
+    #[inline]
+    fn dist(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        self.0.dist(a, b)
+    }
+}
+
+/// Levenshtein edit distance on strings — a genuine non-vector metric used
+/// by the metric-space example and the M-tree tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EditDistance;
+
+impl MetricSpace<str> for EditDistance {
+    fn dist(&self, a: &str, b: &str) -> f64 {
+        levenshtein(a, b) as f64
+    }
+}
+
+impl MetricSpace<String> for EditDistance {
+    fn dist(&self, a: &String, b: &String) -> f64 {
+        levenshtein(a, b) as f64
+    }
+}
+
+/// Classic two-row dynamic-programming Levenshtein distance, operating on
+/// Unicode scalar values.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn euclidean_basic() {
+        let m = Euclidean;
+        assert_eq!(m.dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(m.dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_surrogate_is_squared() {
+        let m = Euclidean;
+        assert_eq!(m.surrogate(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(m.to_surrogate(5.0), 25.0);
+    }
+
+    #[test]
+    fn manhattan_basic() {
+        assert_eq!(Manhattan.dist(&[0.0, 0.0], &[3.0, -4.0]), 7.0);
+    }
+
+    #[test]
+    fn chebyshev_basic() {
+        assert_eq!(Chebyshev.dist(&[0.0, 0.0], &[3.0, -4.0]), 4.0);
+        assert_eq!(Chebyshev.dist(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn minkowski_reduces_to_l1_l2() {
+        let a = [0.3, -1.2, 4.0];
+        let b = [2.0, 0.5, -0.25];
+        assert!((Minkowski::new(1.0).dist(&a, &b) - Manhattan.dist(&a, &b)).abs() < 1e-12);
+        assert!((Minkowski::new(2.0).dist(&a, &b) - Euclidean.dist(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn minkowski_rejects_sub_one() {
+        let _ = Minkowski::new(0.5);
+    }
+
+    #[test]
+    fn levenshtein_basic() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn edit_distance_metric_space() {
+        let m = EditDistance;
+        assert_eq!(m.dist("rust", "crust"), 1.0);
+        let s1 = String::from("graph");
+        let s2 = String::from("giraffe");
+        assert_eq!(m.dist(&s1, &s2), levenshtein("graph", "giraffe") as f64);
+    }
+
+    #[test]
+    fn vector_space_adapter_matches_inner_metric() {
+        let vs = VectorSpace(Euclidean);
+        let a = vec![0.0, 0.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(MetricSpace::<[f64]>::dist(&vs, &a, &b), 5.0);
+        assert_eq!(MetricSpace::<Vec<f64>>::dist(&vs, &a, &b), 5.0);
+    }
+
+    fn coords() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(-1e3..1e3f64, 3)
+    }
+
+    proptest! {
+        #[test]
+        fn euclidean_axioms((a, b, c) in (coords(), coords(), coords())) {
+            metric_axioms(&Euclidean, &a, &b, &c);
+        }
+
+        #[test]
+        fn manhattan_axioms((a, b, c) in (coords(), coords(), coords())) {
+            metric_axioms(&Manhattan, &a, &b, &c);
+        }
+
+        #[test]
+        fn chebyshev_axioms((a, b, c) in (coords(), coords(), coords())) {
+            metric_axioms(&Chebyshev, &a, &b, &c);
+        }
+
+        #[test]
+        fn minkowski_axioms((a, b, c, p) in (coords(), coords(), coords(), 1.0..5.0f64)) {
+            metric_axioms(&Minkowski::new(p), &a, &b, &c);
+        }
+
+        #[test]
+        fn levenshtein_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc);
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+    }
+
+    fn metric_axioms<M: Metric>(m: &M, a: &[f64], b: &[f64], c: &[f64]) {
+        let ab = m.dist(a, b);
+        let ba = m.dist(b, a);
+        let aa = m.dist(a, a);
+        assert!(ab >= 0.0, "non-negative");
+        assert!(aa.abs() < 1e-9, "identity");
+        assert!((ab - ba).abs() < 1e-9, "symmetry");
+        let ac = m.dist(a, c);
+        let cb = m.dist(c, b);
+        assert!(ab <= ac + cb + 1e-9, "triangle: {ab} > {ac} + {cb}");
+    }
+}

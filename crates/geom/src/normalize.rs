@@ -1,0 +1,192 @@
+//! Feature normalization.
+//!
+//! DBSCAN's single ε treats every dimension alike, so features on wildly
+//! different scales (euros vs. visit counts in the retail example) must be
+//! normalized before clustering. Two standard scalers are provided; both
+//! are fitted on one dataset and can then be applied to others (e.g. fit on
+//! a reference site, apply on every site — the transform must agree across
+//! DBDC sites or their models would live in different spaces).
+
+use crate::dataset::Dataset;
+
+/// A fitted per-dimension affine transform `x' = (x - offset) / scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaler {
+    offset: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits a min-max scaler mapping each dimension of `data` to `[0, 1]`.
+    /// Constant dimensions map to 0.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn min_max(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit a scaler on an empty dataset");
+        let bbox = data.bounding_rect().expect("non-empty");
+        let offset = bbox.lo().to_vec();
+        let scale = bbox
+            .lo()
+            .iter()
+            .zip(bbox.hi())
+            .map(|(l, h)| {
+                let s = h - l;
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { offset, scale }
+    }
+
+    /// Fits a z-score scaler (mean 0, standard deviation 1 per dimension).
+    /// Constant dimensions map to 0.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn z_score(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit a scaler on an empty dataset");
+        let (n, dim) = (data.len() as f64, data.dim());
+        let mut mean = vec![0.0; dim];
+        for p in data.iter() {
+            for (m, &x) in mean.iter_mut().zip(p) {
+                *m += x;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for p in data.iter() {
+            for ((v, &m), &x) in var.iter_mut().zip(&mean).zip(p) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let scale = var
+            .iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self {
+            offset: mean,
+            scale,
+        }
+    }
+
+    /// Applies the transform, producing a new dataset.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn apply(&self, data: &Dataset) -> Dataset {
+        assert_eq!(data.dim(), self.offset.len(), "dimensionality mismatch");
+        let mut out = Dataset::with_capacity(data.dim(), data.len());
+        let mut buf = vec![0.0; data.dim()];
+        for p in data.iter() {
+            for (b, ((&x, &o), &s)) in buf
+                .iter_mut()
+                .zip(p.iter().zip(&self.offset).zip(&self.scale))
+            {
+                *b = (x - o) / s;
+            }
+            out.push(&buf);
+        }
+        out
+    }
+
+    /// Inverts the transform for a single point (e.g. to report centroids in
+    /// original units).
+    pub fn invert(&self, p: &[f64]) -> Vec<f64> {
+        assert_eq!(p.len(), self.offset.len(), "dimensionality mismatch");
+        p.iter()
+            .zip(&self.offset)
+            .zip(&self.scale)
+            .map(|((&x, &o), &s)| x * s + o)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed() -> Dataset {
+        // x in [0, 1000], y in [0, 1].
+        Dataset::from_flat(2, vec![0.0, 0.0, 500.0, 0.5, 1000.0, 1.0, 250.0, 0.25])
+    }
+
+    #[test]
+    fn min_max_maps_to_unit_box() {
+        let d = skewed();
+        let scaler = Scaler::min_max(&d);
+        let t = scaler.apply(&d);
+        let bbox = t.bounding_rect().unwrap();
+        assert_eq!(bbox.lo(), &[0.0, 0.0]);
+        assert_eq!(bbox.hi(), &[1.0, 1.0]);
+        // Both dimensions now contribute equally.
+        assert_eq!(t.point(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn z_score_centers_and_scales() {
+        let d = skewed();
+        let scaler = Scaler::z_score(&d);
+        let t = scaler.apply(&d);
+        for dim in 0..2 {
+            let mean: f64 = t.iter().map(|p| p[dim]).sum::<f64>() / t.len() as f64;
+            let var: f64 = t.iter().map(|p| p[dim] * p[dim]).sum::<f64>() / t.len() as f64;
+            assert!(mean.abs() < 1e-12, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "variance {var}");
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_safe() {
+        let d = Dataset::from_flat(2, vec![5.0, 1.0, 5.0, 2.0, 5.0, 3.0]);
+        for scaler in [Scaler::min_max(&d), Scaler::z_score(&d)] {
+            let t = scaler.apply(&d);
+            assert!(t.iter().all(|p| p[0].abs() < 1e-12 || p[0] == 0.0));
+            assert!(t.iter().all(|p| p.iter().all(|c| c.is_finite())));
+        }
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let d = skewed();
+        for scaler in [Scaler::min_max(&d), Scaler::z_score(&d)] {
+            let t = scaler.apply(&d);
+            for (orig, trans) in d.iter().zip(t.iter()) {
+                let back = scaler.invert(trans);
+                for (a, b) in orig.iter().zip(&back) {
+                    assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_transform_is_portable() {
+        // Fit on one "site", apply to another: the transform must be the
+        // same function, not re-fitted.
+        let site_a = skewed();
+        let scaler = Scaler::min_max(&site_a);
+        let mut site_b = Dataset::new(2);
+        site_b.push(&[2000.0, 2.0]); // outside site A's range
+        let t = scaler.apply(&site_b);
+        assert_eq!(t.point(0), &[2.0, 2.0]); // linear extension, not clamped
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_fit() {
+        let _ = Scaler::min_max(&Dataset::new(2));
+    }
+}

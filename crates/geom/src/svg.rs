@@ -1,0 +1,237 @@
+//! Minimal SVG scatter-plot rendering for datasets and clusterings.
+//!
+//! The paper's Figure 6 presents its data sets as scatter plots; this
+//! module lets the reproduction do the same without any plotting
+//! dependency. Output is a self-contained SVG string: points colored by
+//! cluster (noise in grey), with an optional overlay of representative
+//! circles (a representative's specific ε-range is drawn as a ring — handy
+//! for debugging local models).
+
+use crate::clustering::{Clustering, Label};
+use crate::dataset::Dataset;
+use std::fmt::Write as _;
+
+/// A circle overlay (e.g. a representative with its ε-range).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ring {
+    /// Center x.
+    pub x: f64,
+    /// Center y.
+    pub y: f64,
+    /// Radius in data units.
+    pub r: f64,
+    /// Color index (same palette as the clusters).
+    pub color: u32,
+}
+
+/// Options for [`scatter_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Point radius in pixels.
+    pub point_radius: f64,
+    /// Plot title (empty for none).
+    pub title: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width: 640,
+            height: 640,
+            point_radius: 1.6,
+            title: String::new(),
+        }
+    }
+}
+
+/// A qualitative 12-color palette (colorblind-aware Set3-ish).
+const PALETTE: [&str; 12] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+];
+const NOISE_COLOR: &str = "#c8c8c8";
+
+/// Color for cluster `c`.
+pub fn cluster_color(c: u32) -> &'static str {
+    PALETTE[(c as usize) % PALETTE.len()]
+}
+
+/// Renders a 2-d dataset as an SVG scatter plot. Points are colored by the
+/// optional clustering (grey noise); `rings` draws circle overlays in data
+/// coordinates.
+///
+/// # Panics
+/// Panics if the dataset is not 2-dimensional or the clustering length
+/// mismatches.
+pub fn scatter_svg(
+    data: &Dataset,
+    clustering: Option<&Clustering>,
+    rings: &[Ring],
+    opts: &SvgOptions,
+) -> String {
+    assert_eq!(data.dim(), 2, "scatter_svg renders 2-d data");
+    if let Some(c) = clustering {
+        assert_eq!(c.len(), data.len(), "clustering must cover the dataset");
+    }
+    let (w, h) = (opts.width as f64, opts.height as f64);
+    let margin = 12.0;
+    // Data bounds including ring extents.
+    let mut lo = [f64::INFINITY; 2];
+    let mut hi = [f64::NEG_INFINITY; 2];
+    for p in data.iter() {
+        for d in 0..2 {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    for r in rings {
+        lo[0] = lo[0].min(r.x - r.r);
+        lo[1] = lo[1].min(r.y - r.r);
+        hi[0] = hi[0].max(r.x + r.r);
+        hi[1] = hi[1].max(r.y + r.r);
+    }
+    if data.is_empty() && rings.is_empty() {
+        lo = [0.0, 0.0];
+        hi = [1.0, 1.0];
+    }
+    let span = [(hi[0] - lo[0]).max(1e-12), (hi[1] - lo[1]).max(1e-12)];
+    // Uniform scale preserving aspect ratio; y axis flipped (SVG grows
+    // downward).
+    let scale = ((w - 2.0 * margin) / span[0]).min((h - 2.0 * margin) / span[1]);
+    let sx = |x: f64| margin + (x - lo[0]) * scale;
+    let sy = |y: f64| h - margin - (y - lo[1]) * scale;
+
+    let mut out = String::with_capacity(64 * data.len() + 512);
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        opts.width, opts.height, opts.width, opts.height
+    );
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    if !opts.title.is_empty() {
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="13">{}</text>"#,
+            margin,
+            margin + 2.0,
+            xml_escape(&opts.title)
+        );
+    }
+    for (i, p) in data.iter().enumerate() {
+        let color = match clustering.map(|c| c.label(i as u32)) {
+            Some(Label::Cluster(c)) => cluster_color(c),
+            Some(Label::Noise) => NOISE_COLOR,
+            None => PALETTE[0],
+        };
+        let _ = writeln!(
+            out,
+            r#"<circle cx="{:.2}" cy="{:.2}" r="{:.2}" fill="{color}"/>"#,
+            sx(p[0]),
+            sy(p[1]),
+            opts.point_radius
+        );
+    }
+    for r in rings {
+        let _ = writeln!(
+            out,
+            r#"<circle cx="{:.2}" cy="{:.2}" r="{:.2}" fill="none" stroke="{}" stroke-width="1.2" stroke-opacity="0.8"/>"#,
+            sx(r.x),
+            sy(r.y),
+            r.r * scale,
+            cluster_color(r.color)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Dataset, Clustering) {
+        let d = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, 1.0, 5.0, 5.0]);
+        let c = Clustering::from_labels(vec![Label::Cluster(0), Label::Cluster(0), Label::Noise]);
+        (d, c)
+    }
+
+    #[test]
+    fn renders_points_and_noise() {
+        let (d, c) = sample();
+        let svg = scatter_svg(&d, Some(&c), &[], &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains(NOISE_COLOR));
+        assert!(svg.contains(cluster_color(0)));
+    }
+
+    #[test]
+    fn renders_rings() {
+        let (d, _) = sample();
+        let rings = [Ring {
+            x: 0.5,
+            y: 0.5,
+            r: 2.0,
+            color: 1,
+        }];
+        let svg = scatter_svg(&d, None, &rings, &SvgOptions::default());
+        assert!(svg.contains("stroke="));
+        assert_eq!(svg.matches("<circle").count(), 4);
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let (d, _) = sample();
+        let svg = scatter_svg(
+            &d,
+            None,
+            &[],
+            &SvgOptions {
+                title: "<A & B>".to_string(),
+                ..SvgOptions::default()
+            },
+        );
+        assert!(svg.contains("&lt;A &amp; B&gt;"));
+    }
+
+    #[test]
+    fn empty_dataset_renders() {
+        let d = Dataset::new(2);
+        let svg = scatter_svg(&d, None, &[], &SvgOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "2-d")]
+    fn rejects_3d() {
+        let d = Dataset::from_flat(3, vec![0.0, 0.0, 0.0]);
+        let _ = scatter_svg(&d, None, &[], &SvgOptions::default());
+    }
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(cluster_color(0), cluster_color(12));
+        assert_ne!(cluster_color(0), cluster_color(1));
+    }
+
+    #[test]
+    fn coordinates_stay_in_canvas() {
+        let (d, c) = sample();
+        let svg = scatter_svg(&d, Some(&c), &[], &SvgOptions::default());
+        for cap in svg.split("cx=\"").skip(1) {
+            let v: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=640.0).contains(&v), "cx {v} escapes canvas");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Uniform grid index.
+//!
+//! Buckets points into hypercube cells of side `cell` (typically the ε the
+//! index will be queried with). An ε-range query then only inspects the
+//! cells overlapping the query box, which for `cell == eps` in 2-d is at
+//! most 3×3 cells. For the low-dimensional, roughly uniform data of the
+//! paper's evaluation this is the fastest structure by a wide margin, which
+//! is why the index ablation benchmark includes it.
+//!
+//! Correct for every Lp metric: the ε-ball under any Lp (p ≥ 1) is contained
+//! in the L∞ box of radius ε, so scanning the cells that intersect that box
+//! and verifying each candidate with the exact metric cannot miss a result.
+
+use crate::linear::ordered::F64;
+use crate::NeighborIndex;
+use dbdc_geom::{Dataset, Metric};
+use std::collections::{BinaryHeap, HashMap};
+
+/// A uniform grid over a dataset.
+#[derive(Debug, Clone)]
+pub struct GridIndex<'a, M> {
+    data: &'a Dataset,
+    metric: M,
+    cell: f64,
+    /// Cell coordinates -> point indices. A HashMap keeps memory proportional
+    /// to the number of *occupied* cells, so sparse/clustered data does not
+    /// explode the grid.
+    cells: HashMap<Box<[i64]>, Vec<u32>>,
+}
+
+impl<'a, M: Metric> GridIndex<'a, M> {
+    /// Builds a grid with cells of side `cell` over `data`.
+    ///
+    /// # Panics
+    /// Panics if `cell` is not finite and positive.
+    pub fn new(data: &'a Dataset, metric: M, cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "grid cell size must be positive and finite"
+        );
+        let mut cells: HashMap<Box<[i64]>, Vec<u32>> = HashMap::new();
+        for (i, p) in data.iter().enumerate() {
+            cells
+                .entry(Self::cell_of(p, cell))
+                .or_default()
+                .push(i as u32);
+        }
+        Self {
+            data,
+            metric,
+            cell,
+            cells,
+        }
+    }
+
+    fn cell_of(p: &[f64], cell: f64) -> Box<[i64]> {
+        p.iter().map(|&c| (c / cell).floor() as i64).collect()
+    }
+
+    /// The configured cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Visits every point in cells intersecting the L∞ box of radius `r`
+    /// around `q`.
+    fn for_candidates(&self, q: &[f64], r: f64, mut f: impl FnMut(u32)) {
+        let dim = self.data.dim();
+        let lo: Vec<i64> = (0..dim)
+            .map(|i| ((q[i] - r) / self.cell).floor() as i64)
+            .collect();
+        let hi: Vec<i64> = (0..dim)
+            .map(|i| ((q[i] + r) / self.cell).floor() as i64)
+            .collect();
+        // Iterate the (hi-lo+1)^dim cell lattice with an odometer; dim is
+        // small (2-3) in this workspace so this stays cheap.
+        let mut cur = lo.clone();
+        'outer: loop {
+            if let Some(points) = self.cells.get(cur.as_slice()) {
+                for &i in points {
+                    f(i);
+                }
+            }
+            for d in 0..dim {
+                if cur[d] < hi[d] {
+                    cur[d] += 1;
+                    continue 'outer;
+                }
+                cur[d] = lo[d];
+            }
+            break;
+        }
+    }
+}
+
+impl<M: Metric> NeighborIndex for GridIndex<'_, M> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let bound = self.metric.to_surrogate(eps);
+        self.for_candidates(q, eps, |i| {
+            if self.metric.surrogate(q, self.data.point(i)) <= bound {
+                out.push(i);
+            }
+        });
+    }
+
+    fn knn(&self, q: &[f64], k: usize) -> Vec<(u32, f64)> {
+        if k == 0 || self.data.is_empty() {
+            return Vec::new();
+        }
+        // Expand shells of cells until the k-th best distance is covered by
+        // the scanned radius; each pass rescans from scratch, which is fine
+        // because knn is not on DBSCAN's hot path.
+        let mut r = self.cell;
+        loop {
+            let mut heap: BinaryHeap<(F64, u32)> = BinaryHeap::with_capacity(k + 1);
+            self.for_candidates(q, r, |i| {
+                let d = self.metric.dist(q, self.data.point(i));
+                if heap.len() < k {
+                    heap.push((F64(d), i));
+                } else if let Some(&(worst, _)) = heap.peek() {
+                    if d < worst.0 {
+                        heap.pop();
+                        heap.push((F64(d), i));
+                    }
+                }
+            });
+            let full = heap.len() == k.min(self.data.len());
+            let worst = heap.peek().map(|&(d, _)| d.0).unwrap_or(f64::INFINITY);
+            // The scan at L∞ radius r is guaranteed complete for all true
+            // distances <= r (since Lp >= L∞ for p >= 1... note the reverse:
+            // L∞ <= Lp, so a point at Lp distance d has L∞ distance <= d and
+            // was scanned if d <= r).
+            if full && worst <= r {
+                let mut out: Vec<(u32, f64)> = heap.into_iter().map(|(d, i)| (i, d.0)).collect();
+                out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                return out;
+            }
+            if full {
+                // Grow just enough to certify the current worst candidate.
+                r = worst.max(r * 2.0);
+            } else {
+                r *= 2.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use dbdc_geom::{Chebyshev, Euclidean, Manhattan};
+
+    #[test]
+    fn matches_linear_scan_euclidean() {
+        let d = testutil::random_dataset(400, 42);
+        let idx = GridIndex::new(&d, Euclidean, 5.0);
+        testutil::check_against_linear(&idx, &d, Euclidean);
+    }
+
+    #[test]
+    fn matches_linear_scan_manhattan() {
+        let d = testutil::random_dataset(300, 7);
+        let idx = GridIndex::new(&d, Manhattan, 2.0);
+        testutil::check_against_linear(&idx, &d, Manhattan);
+    }
+
+    #[test]
+    fn matches_linear_scan_chebyshev() {
+        let d = testutil::random_dataset(300, 8);
+        let idx = GridIndex::new(&d, Chebyshev, 3.0);
+        testutil::check_against_linear(&idx, &d, Chebyshev);
+    }
+
+    #[test]
+    fn tiny_cell_size_still_correct() {
+        let d = testutil::random_dataset(100, 3);
+        let idx = GridIndex::new(&d, Euclidean, 0.05);
+        testutil::check_against_linear(&idx, &d, Euclidean);
+    }
+
+    #[test]
+    fn huge_cell_size_still_correct() {
+        let d = testutil::random_dataset(100, 4);
+        let idx = GridIndex::new(&d, Euclidean, 1000.0);
+        // Points in [-50, 50] straddle the cell boundary at 0, so up to 2
+        // cells per dimension may be occupied.
+        assert!(idx.occupied_cells() <= 4);
+        testutil::check_against_linear(&idx, &d, Euclidean);
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let d = Dataset::from_flat(2, vec![-0.5, -0.5, 0.5, 0.5, -1.5, -1.5]);
+        let idx = GridIndex::new(&d, Euclidean, 1.0);
+        let mut out = Vec::new();
+        idx.range(&[-0.5, -0.5], 1.5, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(2);
+        let idx = GridIndex::new(&d, Euclidean, 1.0);
+        assert!(idx.is_empty());
+        assert!(idx.range_vec(&[0.0, 0.0], 5.0).is_empty());
+        assert!(idx.knn(&[0.0, 0.0], 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_cell() {
+        let d = Dataset::new(2);
+        let _ = GridIndex::new(&d, Euclidean, 0.0);
+    }
+
+    #[test]
+    fn knn_across_distant_shells() {
+        // Points far from the query force multiple shell expansions.
+        let d = Dataset::from_flat(2, vec![100.0, 0.0, 200.0, 0.0, 300.0, 0.0]);
+        let idx = GridIndex::new(&d, Euclidean, 1.0);
+        let nn = idx.knn(&[0.0, 0.0], 2);
+        assert_eq!(nn[0], (0, 100.0));
+        assert_eq!(nn[1], (1, 200.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Balanced kd-tree.
+//!
+//! Built once by recursive median splits (no insertion support — the
+//! clustering pipeline builds the index per run), with leaves holding small
+//! point buckets. Range queries prune subtrees by the distance from the
+//! query to the subtree's bounding box, which is metric-correct via
+//! [`crate::dist_to_box`].
+
+use crate::linear::ordered::F64;
+use crate::{dist_to_box, NeighborIndex};
+use dbdc_geom::{Dataset, Metric, Rect};
+use std::collections::BinaryHeap;
+
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        /// Indices into the dataset.
+        points: Vec<u32>,
+    },
+    Inner {
+        bbox_left: Rect,
+        bbox_right: Rect,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A static, balanced kd-tree over a dataset.
+#[derive(Debug)]
+pub struct KdTree<'a, M> {
+    data: &'a Dataset,
+    metric: M,
+    root: Option<Node>,
+    bbox: Option<Rect>,
+}
+
+impl<'a, M: Metric> KdTree<'a, M> {
+    /// Builds the tree by recursive median splits along the widest
+    /// dimension. `O(n log² n)` build via per-level sorts.
+    pub fn new(data: &'a Dataset, metric: M) -> Self {
+        let mut ids: Vec<u32> = (0..data.len() as u32).collect();
+        let bbox = data.bounding_rect();
+        let root = bbox
+            .as_ref()
+            .map(|b| Self::build(data, &mut ids, b.clone()));
+        Self {
+            data,
+            metric,
+            root,
+            bbox,
+        }
+    }
+
+    fn build(data: &Dataset, ids: &mut [u32], bbox: Rect) -> Node {
+        if ids.len() <= LEAF_SIZE {
+            return Node::Leaf {
+                points: ids.to_vec(),
+            };
+        }
+        // Split along the widest dimension of the actual bounding box.
+        let dim = (0..data.dim())
+            .max_by(|&a, &b| {
+                let wa = bbox.hi()[a] - bbox.lo()[a];
+                let wb = bbox.hi()[b] - bbox.lo()[b];
+                wa.total_cmp(&wb)
+            })
+            .expect("dataset has at least 1 dimension");
+        let mid = ids.len() / 2;
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            data.point(a)[dim].total_cmp(&data.point(b)[dim])
+        });
+        let (l, r) = ids.split_at_mut(mid);
+        let bbox_left =
+            Rect::bounding(l.iter().map(|&i| data.point(i))).expect("left split is non-empty");
+        let bbox_right =
+            Rect::bounding(r.iter().map(|&i| data.point(i))).expect("right split is non-empty");
+        Node::Inner {
+            left: Box::new(Self::build(data, l, bbox_left.clone())),
+            right: Box::new(Self::build(data, r, bbox_right.clone())),
+            bbox_left,
+            bbox_right,
+        }
+    }
+
+    fn range_rec(&self, node: &Node, bbox: &Rect, q: &[f64], eps: f64, out: &mut Vec<u32>) {
+        if dist_to_box(&self.metric, q, bbox.lo(), bbox.hi()) > eps {
+            return;
+        }
+        match node {
+            Node::Leaf { points } => {
+                let bound = self.metric.to_surrogate(eps);
+                for &i in points {
+                    if self.metric.surrogate(q, self.data.point(i)) <= bound {
+                        out.push(i);
+                    }
+                }
+            }
+            Node::Inner {
+                bbox_left,
+                bbox_right,
+                left,
+                right,
+                ..
+            } => {
+                self.range_rec(left, bbox_left, q, eps, out);
+                self.range_rec(right, bbox_right, q, eps, out);
+            }
+        }
+    }
+
+    fn knn_rec(
+        &self,
+        node: &Node,
+        bbox: &Rect,
+        q: &[f64],
+        k: usize,
+        heap: &mut BinaryHeap<(F64, u32)>,
+    ) {
+        let worst = if heap.len() == k {
+            heap.peek().map(|&(d, _)| d.0).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        };
+        if dist_to_box(&self.metric, q, bbox.lo(), bbox.hi()) > worst {
+            return;
+        }
+        match node {
+            Node::Leaf { points } => {
+                for &i in points {
+                    let d = self.metric.dist(q, self.data.point(i));
+                    if heap.len() < k {
+                        heap.push((F64(d), i));
+                    } else if let Some(&(w, _)) = heap.peek() {
+                        if d < w.0 {
+                            heap.pop();
+                            heap.push((F64(d), i));
+                        }
+                    }
+                }
+            }
+            Node::Inner {
+                bbox_left,
+                bbox_right,
+                left,
+                right,
+                ..
+            } => {
+                // Descend into the nearer child first to tighten the bound.
+                let dl = dist_to_box(&self.metric, q, bbox_left.lo(), bbox_left.hi());
+                let dr = dist_to_box(&self.metric, q, bbox_right.lo(), bbox_right.hi());
+                if dl <= dr {
+                    self.knn_rec(left, bbox_left, q, k, heap);
+                    self.knn_rec(right, bbox_right, q, k, heap);
+                } else {
+                    self.knn_rec(right, bbox_right, q, k, heap);
+                    self.knn_rec(left, bbox_left, q, k, heap);
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree (1 for a single leaf); diagnostic.
+    pub fn depth(&self) -> usize {
+        fn depth(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Inner { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        self.root.as_ref().map(depth).unwrap_or(0)
+    }
+}
+
+impl<M: Metric> NeighborIndex for KdTree<'_, M> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if let (Some(root), Some(bbox)) = (&self.root, &self.bbox) {
+            self.range_rec(root, bbox, q, eps, out);
+        }
+    }
+
+    fn knn(&self, q: &[f64], k: usize) -> Vec<(u32, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap = BinaryHeap::with_capacity(k + 1);
+        if let (Some(root), Some(bbox)) = (&self.root, &self.bbox) {
+            self.knn_rec(root, bbox, q, k, &mut heap);
+        }
+        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|(d, i)| (i, d.0)).collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use dbdc_geom::{Chebyshev, Euclidean, Manhattan};
+
+    #[test]
+    fn matches_linear_scan_euclidean() {
+        let d = testutil::random_dataset(500, 11);
+        let idx = KdTree::new(&d, Euclidean);
+        testutil::check_against_linear(&idx, &d, Euclidean);
+    }
+
+    #[test]
+    fn matches_linear_scan_manhattan() {
+        let d = testutil::random_dataset(300, 12);
+        let idx = KdTree::new(&d, Manhattan);
+        testutil::check_against_linear(&idx, &d, Manhattan);
+    }
+
+    #[test]
+    fn matches_linear_scan_chebyshev() {
+        let d = testutil::random_dataset(300, 13);
+        let idx = KdTree::new(&d, Chebyshev);
+        testutil::check_against_linear(&idx, &d, Chebyshev);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let mut flat = Vec::new();
+        for _ in 0..100 {
+            flat.extend_from_slice(&[1.0, 1.0]);
+        }
+        for _ in 0..100 {
+            flat.extend_from_slice(&[2.0, 2.0]);
+        }
+        let d = Dataset::from_flat(2, flat);
+        let idx = KdTree::new(&d, Euclidean);
+        assert_eq!(idx.range_vec(&[1.0, 1.0], 0.5).len(), 100);
+        assert_eq!(idx.range_vec(&[1.5, 1.5], 10.0).len(), 200);
+        assert_eq!(idx.knn(&[1.0, 1.0], 150).len(), 150);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let d = testutil::random_dataset(1024, 5);
+        let idx = KdTree::new(&d, Euclidean);
+        // 1024 points / leaf 16 = 64 leaves -> depth ~7; allow slack for
+        // uneven medians.
+        assert!(idx.depth() <= 12, "depth {} too large", idx.depth());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Dataset::new(2);
+        let idx = KdTree::new(&empty, Euclidean);
+        assert!(idx.is_empty());
+        assert!(idx.range_vec(&[0.0, 0.0], 1.0).is_empty());
+        assert!(idx.knn(&[0.0, 0.0], 1).is_empty());
+
+        let mut one = Dataset::new(2);
+        one.push(&[3.0, 4.0]);
+        let idx = KdTree::new(&one, Euclidean);
+        assert_eq!(idx.knn(&[0.0, 0.0], 5), vec![(0, 5.0)]);
+        assert_eq!(idx.range_vec(&[0.0, 0.0], 5.0), vec![0]);
+        assert!(idx.range_vec(&[0.0, 0.0], 4.9).is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Spatial access methods for the DBDC reproduction.
+//!
+//! DBSCAN's hot operation is the ε-range query ("all points within `eps` of
+//! `q`"); the paper executes it through an R*-tree \[3\] for vector data and
+//! an M-tree \[4\] for metric data. This crate provides both, plus a linear
+//! scan (the correctness oracle), a uniform grid, and a kd-tree, all behind
+//! the [`NeighborIndex`] trait so the clustering layer is index-agnostic.
+//!
+//! All vector indexes borrow the [`Dataset`] they are built over and return
+//! point indices into it; they never copy coordinates. The metric-space
+//! indexes ([`MTree`], [`VpTree`]) own their objects instead, since there
+//! is no flat storage for arbitrary `T`.
+
+pub mod grid;
+pub mod kdtree;
+pub mod linear;
+pub mod mtree;
+pub mod rstar;
+pub mod vptree;
+
+use dbdc_geom::{Dataset, Metric};
+
+pub use grid::GridIndex;
+pub use kdtree::KdTree;
+pub use linear::LinearScan;
+pub use mtree::MTree;
+pub use rstar::RStarTree;
+pub use vptree::VpTree;
+
+/// A spatial index over a [`Dataset`] answering ε-range and k-nearest-
+/// neighbour queries under some [`Metric`].
+///
+/// Implementations must return **exactly** the points `p` with
+/// `dist(q, p) <= eps` (closed ball, matching the paper's
+/// `N_Eps(q)` definition), in any order.
+pub trait NeighborIndex: Send + Sync {
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends the indices of all points within distance `eps` of `q`
+    /// (inclusive) to `out`. `out` is cleared first.
+    fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>);
+
+    /// Convenience wrapper around [`NeighborIndex::range`] returning a fresh
+    /// vector.
+    fn range_vec(&self, q: &[f64], eps: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.range(q, eps, &mut out);
+        out
+    }
+
+    /// The `k` nearest neighbours of `q` as `(index, distance)` pairs sorted
+    /// by ascending distance (ties broken arbitrarily). Returns fewer than
+    /// `k` pairs if the index holds fewer points. The query point itself is
+    /// *not* excluded — queries from indexed points include themselves.
+    fn knn(&self, q: &[f64], k: usize) -> Vec<(u32, f64)>;
+}
+
+/// Which index structure to build — used by benchmarks and the DBDC
+/// configuration to select the neighborhood backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndexKind {
+    /// Brute-force linear scan, `O(n)` per query.
+    Linear,
+    /// Uniform grid with ε-sized cells; excellent for 2-d data.
+    Grid,
+    /// Balanced kd-tree built by median splits.
+    KdTree,
+    /// R*-tree (Beckmann et al. 1990) — the paper's index.
+    #[default]
+    RStar,
+}
+
+impl IndexKind {
+    /// All available kinds, for sweeps.
+    pub const ALL: [IndexKind; 4] = [
+        IndexKind::Linear,
+        IndexKind::Grid,
+        IndexKind::KdTree,
+        IndexKind::RStar,
+    ];
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Linear => "linear",
+            IndexKind::Grid => "grid",
+            IndexKind::KdTree => "kdtree",
+            IndexKind::RStar => "rstar",
+        }
+    }
+}
+
+impl std::str::FromStr for IndexKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "linear" => Ok(IndexKind::Linear),
+            "grid" => Ok(IndexKind::Grid),
+            "kdtree" => Ok(IndexKind::KdTree),
+            "rstar" => Ok(IndexKind::RStar),
+            other => Err(format!(
+                "unknown index kind {other:?} (expected linear|grid|kdtree|rstar)"
+            )),
+        }
+    }
+}
+
+/// Builds the chosen index over `data` with metric `m`.
+///
+/// `eps_hint` sizes the grid cells for [`IndexKind::Grid`]; it should be the
+/// ε the index will mostly be queried with (DBSCAN's `Eps`). The other index
+/// kinds ignore it.
+///
+/// ```
+/// use dbdc_geom::{Dataset, Euclidean};
+/// use dbdc_index::{build_index, IndexKind};
+///
+/// let data = Dataset::from_flat(2, vec![0.0, 0.0, 1.0, 0.0, 10.0, 10.0]);
+/// let index = build_index(IndexKind::RStar, &data, Euclidean, 1.5);
+/// let mut hits = index.range_vec(&[0.5, 0.0], 1.0);
+/// hits.sort();
+/// assert_eq!(hits, vec![0, 1]);
+/// assert_eq!(index.knn(&[9.0, 9.0], 1)[0].0, 2);
+/// ```
+pub fn build_index<'a, M: Metric + Clone + 'a>(
+    kind: IndexKind,
+    data: &'a Dataset,
+    m: M,
+    eps_hint: f64,
+) -> Box<dyn NeighborIndex + 'a> {
+    match kind {
+        IndexKind::Linear => Box::new(LinearScan::new(data, m)),
+        IndexKind::Grid => Box::new(GridIndex::new(data, m, eps_hint)),
+        IndexKind::KdTree => Box::new(KdTree::new(data, m)),
+        IndexKind::RStar => Box::new(RStarTree::bulk_load(data, m)),
+    }
+}
+
+/// Lower bound on the distance from `q` to any point inside the axis-aligned
+/// box `[lo, hi]`, under metric `m`.
+///
+/// Works for every translation-invariant metric that is monotone in the
+/// per-coordinate absolute differences (all Lp metrics qualify): the closest
+/// point of the box to `q` is the per-coordinate clamp of `q`, so the
+/// distance is the metric norm of the per-coordinate gap vector.
+pub fn dist_to_box<M: Metric>(m: &M, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+    let mut gaps = vec![0.0; q.len()];
+    let zeros = vec![0.0; q.len()];
+    for i in 0..q.len() {
+        gaps[i] = if q[i] < lo[i] {
+            lo[i] - q[i]
+        } else if q[i] > hi[i] {
+            q[i] - hi[i]
+        } else {
+            0.0
+        };
+    }
+    m.dist(&gaps, &zeros)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use dbdc_geom::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A deterministic random 2-d dataset for cross-checking indexes.
+    pub fn random_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::with_capacity(2, n);
+        for _ in 0..n {
+            let p = [rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0)];
+            d.push(&p);
+        }
+        d
+    }
+
+    /// Asserts `idx` agrees with a linear scan on a batch of range and knn
+    /// queries over `data`.
+    pub fn check_against_linear<M: Metric + Clone>(idx: &dyn NeighborIndex, data: &Dataset, m: M) {
+        let oracle = LinearScan::new(data, m);
+        assert_eq!(idx.len(), data.len());
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        let step = 7.max(data.len() / 13);
+        let queries: Vec<Vec<f64>> = data
+            .iter()
+            .step_by(step)
+            .map(|p| p.to_vec())
+            .chain([vec![0.0, 0.0], vec![100.0, 100.0], vec![-3.3, 7.7]])
+            .collect();
+        for q in &queries {
+            for eps in [0.1, 1.0, 5.0, 25.0] {
+                idx.range(q, eps, &mut got);
+                oracle.range(q, eps, &mut want);
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "range mismatch at q={q:?} eps={eps}");
+            }
+            for k in [1usize, 3, 10] {
+                let got = idx.knn(q, k);
+                let want = oracle.knn(q, k);
+                assert_eq!(got.len(), want.len(), "knn count mismatch");
+                for (g, w) in got.iter().zip(want.iter()) {
+                    // Distances must agree; indices may differ on exact ties.
+                    assert!(
+                        (g.1 - w.1).abs() < 1e-9,
+                        "knn distance mismatch at q={q:?} k={k}: {got:?} vs {want:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! M-tree (Ciaccia, Patella, Zezula — VLDB 1997).
+//!
+//! The paper cites the M-tree (reference \[4\]) as the access method that
+//! lets DBSCAN run on general metric data, not just vector spaces. This
+//! implementation is generic over the object type `T` and a
+//! [`MetricSpace`]`<T>`: it supports dynamic insertion with node splits
+//! (max-distance promotion, generalized-hyperplane partition) and
+//! ε-range queries pruned by the triangle inequality, including the
+//! distance-to-parent shortcut that skips distance computations.
+//!
+//! Unlike the vector indexes, the M-tree owns its objects (there is no flat
+//! `Dataset` for arbitrary `T`); queries return the insertion ids.
+
+use dbdc_geom::metric::MetricSpace;
+
+const NODE_CAPACITY: usize = 16;
+
+struct Entry {
+    /// Object id (index into `MTree::objects`) acting as the entry's pivot.
+    obj: u32,
+    /// Covering radius of the subtree (0 for leaf entries).
+    radius: f64,
+    /// Distance from this entry's pivot to the parent routing pivot
+    /// (`f64::NAN` for entries in the root, which has no parent pivot).
+    dist_to_parent: f64,
+    /// `None` for leaf entries.
+    child: Option<Box<MNode>>,
+}
+
+struct MNode {
+    is_leaf: bool,
+    entries: Vec<Entry>,
+}
+
+/// A dynamic M-tree over owned objects of type `T`.
+pub struct MTree<T, S> {
+    space: S,
+    objects: Vec<T>,
+    root: Option<Box<MNode>>,
+}
+
+impl<T, S: MetricSpace<T>> MTree<T, S> {
+    /// Creates an empty tree.
+    pub fn new(space: S) -> Self {
+        Self {
+            space,
+            objects: Vec::new(),
+            root: None,
+        }
+    }
+
+    /// Builds a tree from a collection of objects.
+    pub fn from_objects(space: S, objects: impl IntoIterator<Item = T>) -> Self {
+        let mut tree = Self::new(space);
+        for o in objects {
+            tree.insert(o);
+        }
+        tree
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The object with insertion id `id`.
+    pub fn object(&self, id: u32) -> &T {
+        &self.objects[id as usize]
+    }
+
+    fn d(&self, a: u32, b: u32) -> f64 {
+        self.space
+            .dist(&self.objects[a as usize], &self.objects[b as usize])
+    }
+
+    /// Inserts an object and returns its id.
+    pub fn insert(&mut self, obj: T) -> u32 {
+        let id = self.objects.len() as u32;
+        self.objects.push(obj);
+        match self.root.take() {
+            None => {
+                self.root = Some(Box::new(MNode {
+                    is_leaf: true,
+                    entries: vec![Entry {
+                        obj: id,
+                        radius: 0.0,
+                        dist_to_parent: f64::NAN,
+                        child: None,
+                    }],
+                }));
+            }
+            Some(mut root) => {
+                if let Some((e1, e2)) = self.insert_rec(&mut root, id, None) {
+                    // Root split: new root with the two promoted entries.
+                    self.root = Some(Box::new(MNode {
+                        is_leaf: false,
+                        entries: vec![e1, e2],
+                    }));
+                } else {
+                    self.root = Some(root);
+                }
+                if self.root.is_none() {
+                    unreachable!("root restored above");
+                }
+            }
+        }
+        id
+    }
+
+    /// Recursive insert. `parent` is the pivot id of the routing entry that
+    /// points at `node` (None for the root). Returns `Some((e1, e2))` if the
+    /// node split, in which case the caller must replace its routing entry.
+    fn insert_rec(&self, node: &mut MNode, id: u32, parent: Option<u32>) -> Option<(Entry, Entry)> {
+        if node.is_leaf {
+            let dist_to_parent = parent.map(|p| self.d(p, id)).unwrap_or(f64::NAN);
+            node.entries.push(Entry {
+                obj: id,
+                radius: 0.0,
+                dist_to_parent,
+                child: None,
+            });
+        } else {
+            // Choose the routing entry: prefer one whose ball already covers
+            // the object (minimum distance); otherwise minimum radius
+            // enlargement.
+            let mut best: Option<(usize, f64, bool)> = None; // (idx, key, covered)
+            for (i, e) in node.entries.iter().enumerate() {
+                let dist = self.d(e.obj, id);
+                let covered = dist <= e.radius;
+                let key = if covered { dist } else { dist - e.radius };
+                let better = match &best {
+                    None => true,
+                    Some((_, bk, bc)) => match (covered, bc) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        _ => key < *bk,
+                    },
+                };
+                if better {
+                    best = Some((i, key, covered));
+                }
+            }
+            let (idx, _, covered) = best.expect("inner nodes are non-empty");
+            let pivot = node.entries[idx].obj;
+            if !covered {
+                let dist = self.d(pivot, id);
+                node.entries[idx].radius = node.entries[idx].radius.max(dist);
+            }
+            let child = node.entries[idx]
+                .child
+                .as_mut()
+                .expect("routing entries have children");
+            if let Some((e1, e2)) = self.insert_rec(child, id, Some(pivot)) {
+                // Replace entry idx with the two promoted entries; fix their
+                // dist_to_parent relative to this node's parent.
+                node.entries.swap_remove(idx);
+                let mut push = |mut e: Entry| {
+                    e.dist_to_parent = parent.map(|p| self.d(p, e.obj)).unwrap_or(f64::NAN);
+                    node.entries.push(e);
+                };
+                push(e1);
+                push(e2);
+            }
+        }
+        if node.entries.len() > NODE_CAPACITY {
+            Some(self.split(node))
+        } else {
+            None
+        }
+    }
+
+    /// Splits an overflowing node: promotes the two entries at maximum
+    /// pairwise pivot distance (exact over the ≤ CAPACITY+1 entries) and
+    /// partitions the rest to the nearer promoted pivot.
+    fn split(&self, node: &mut MNode) -> (Entry, Entry) {
+        let n = node.entries.len();
+        let (mut pa, mut pb, mut best) = (0usize, 1usize, -1.0f64);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.d(node.entries[i].obj, node.entries[j].obj);
+                if d > best {
+                    best = d;
+                    pa = i;
+                    pb = j;
+                }
+            }
+        }
+        let pivot_a = node.entries[pa].obj;
+        let pivot_b = node.entries[pb].obj;
+        let is_leaf = node.is_leaf;
+        let mut group_a = Vec::new();
+        let mut group_b = Vec::new();
+        let mut radius_a = 0.0f64;
+        let mut radius_b = 0.0f64;
+        for mut e in node.entries.drain(..) {
+            let da = self.d(pivot_a, e.obj);
+            let db = self.d(pivot_b, e.obj);
+            if da <= db {
+                e.dist_to_parent = da;
+                radius_a = radius_a.max(da + e.radius);
+                group_a.push(e);
+            } else {
+                e.dist_to_parent = db;
+                radius_b = radius_b.max(db + e.radius);
+                group_b.push(e);
+            }
+        }
+        let make = |pivot: u32, radius: f64, entries: Vec<Entry>| Entry {
+            obj: pivot,
+            radius,
+            dist_to_parent: f64::NAN, // set by the caller
+            child: Some(Box::new(MNode { is_leaf, entries })),
+        };
+        (
+            make(pivot_a, radius_a, group_a),
+            make(pivot_b, radius_b, group_b),
+        )
+    }
+
+    /// All object ids within distance `eps` (inclusive) of `query`.
+    ///
+    /// The query object does not have to be stored in the tree.
+    pub fn range(&self, query: &T, eps: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            self.range_rec(root, query, eps, None, &mut out);
+        }
+        out
+    }
+
+    /// `dist_q_parent` is `dist(query, parent pivot)` for the node's parent
+    /// routing pivot, used for the triangle-inequality shortcut.
+    fn range_rec(
+        &self,
+        node: &MNode,
+        query: &T,
+        eps: f64,
+        dist_q_parent: Option<f64>,
+        out: &mut Vec<u32>,
+    ) {
+        for e in &node.entries {
+            // Shortcut: |d(q, parent) - d(e, parent)| > eps + radius implies
+            // d(q, e) > eps + radius, so the entry cannot qualify.
+            if let Some(dqp) = dist_q_parent {
+                if !e.dist_to_parent.is_nan() && (dqp - e.dist_to_parent).abs() > eps + e.radius {
+                    continue;
+                }
+            }
+            let d = self.space.dist(query, &self.objects[e.obj as usize]);
+            match &e.child {
+                None => {
+                    if d <= eps {
+                        out.push(e.obj);
+                    }
+                }
+                Some(child) => {
+                    if d <= eps + e.radius {
+                        self.range_rec(child, query, eps, Some(d), out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `k` nearest stored objects to `query`, as `(id, distance)` pairs
+    /// sorted by ascending distance. Best-first search pruned with the
+    /// covering radii: a subtree with pivot `p` and radius `r` cannot hold
+    /// anything closer than `max(0, d(q, p) - r)`.
+    pub fn knn(&self, query: &T, k: usize) -> Vec<(u32, f64)> {
+        use crate::linear::ordered::F64;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        if k == 0 || self.root.is_none() {
+            return Vec::new();
+        }
+        enum Item<'n> {
+            Node(&'n MNode),
+            Object(u32, f64),
+        }
+        struct Entry2<'n> {
+            key: Reverse<(F64, usize)>,
+            item: Item<'n>,
+        }
+        impl PartialEq for Entry2<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.key == other.key
+            }
+        }
+        impl Eq for Entry2<'_> {}
+        impl PartialOrd for Entry2<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry2<'_> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.key.cmp(&other.key)
+            }
+        }
+        let mut tiebreak = 0usize;
+        let mut frontier: BinaryHeap<Entry2> = BinaryHeap::new();
+        frontier.push(Entry2 {
+            key: Reverse((F64(0.0), tiebreak)),
+            item: Item::Node(self.root.as_ref().expect("checked above")),
+        });
+        let mut out = Vec::with_capacity(k);
+        while let Some(Entry2 {
+            key: Reverse((F64(_bound), _)),
+            item,
+        }) = frontier.pop()
+        {
+            if out.len() == k {
+                break;
+            }
+            match item {
+                Item::Object(id, d) => out.push((id, d)),
+                Item::Node(node) => {
+                    for e in &node.entries {
+                        let d = self.space.dist(query, &self.objects[e.obj as usize]);
+                        tiebreak += 1;
+                        match &e.child {
+                            None => frontier.push(Entry2 {
+                                key: Reverse((F64(d), tiebreak)),
+                                item: Item::Object(e.obj, d),
+                            }),
+                            Some(child) => {
+                                let bound = (d - e.radius).max(0.0);
+                                frontier.push(Entry2 {
+                                    key: Reverse((F64(bound), tiebreak)),
+                                    item: Item::Node(child),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates the covering-radius invariant; test/diagnostic helper.
+    /// Returns the number of stored leaf entries.
+    pub fn validate(&self) -> usize {
+        fn walk<T, S: MetricSpace<T>>(
+            tree: &MTree<T, S>,
+            node: &MNode,
+            pivot: Option<(u32, f64)>,
+        ) -> usize {
+            let mut count = 0;
+            for e in &node.entries {
+                if let Some((p, radius)) = pivot {
+                    let d = tree.d(p, e.obj);
+                    assert!(
+                        d <= radius + 1e-9,
+                        "entry pivot escapes parent covering radius: {d} > {radius}"
+                    );
+                    assert!((d - e.dist_to_parent).abs() < 1e-9, "stale dist_to_parent");
+                }
+                match &e.child {
+                    None => {
+                        assert!(node.is_leaf, "leaf entry in inner node");
+                        count += 1;
+                    }
+                    Some(child) => {
+                        assert!(!node.is_leaf, "routing entry in leaf");
+                        count += walk(tree, child, Some((e.obj, e.radius)));
+                    }
+                }
+            }
+            count
+        }
+        match &self.root {
+            None => 0,
+            Some(root) => walk(self, root, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdc_geom::metric::{EditDistance, VectorSpace};
+    use dbdc_geom::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| vec![rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0)])
+            .collect()
+    }
+
+    fn brute_range(objs: &[Vec<f64>], q: &Vec<f64>, eps: f64) -> Vec<u32> {
+        let vs = VectorSpace(Euclidean);
+        objs.iter()
+            .enumerate()
+            .filter(|(_, o)| MetricSpace::<Vec<f64>>::dist(&vs, q, o) <= eps)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let objs = random_vectors(500, 31);
+        let tree = MTree::from_objects(VectorSpace(Euclidean), objs.clone());
+        assert_eq!(tree.validate(), 500);
+        for (qi, q) in objs.iter().enumerate().step_by(37) {
+            for eps in [0.5, 3.0, 12.0, 40.0] {
+                let mut got = tree.range(q, eps);
+                got.sort_unstable();
+                let want = brute_range(&objs, q, eps);
+                assert_eq!(got, want, "mismatch at query {qi} eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_with_external_query_object() {
+        let objs = random_vectors(200, 32);
+        let tree = MTree::from_objects(VectorSpace(Euclidean), objs.clone());
+        let q = vec![3.21, -7.65];
+        let mut got = tree.range(&q, 20.0);
+        got.sort_unstable();
+        assert_eq!(got, brute_range(&objs, &q, 20.0));
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let words = [
+            "cluster",
+            "clusters",
+            "clustering",
+            "blister",
+            "luster",
+            "cloister",
+            "monster",
+            "minster",
+            "mister",
+            "master",
+            "faster",
+            "raster",
+        ];
+        let tree = MTree::from_objects(EditDistance, words.iter().map(|s| s.to_string()));
+        assert_eq!(tree.validate(), words.len());
+        let hits = tree.range(&"cluster".to_string(), 1.0);
+        let found: Vec<&str> = hits.iter().map(|&i| tree.object(i).as_str()).collect();
+        assert!(found.contains(&"cluster"));
+        assert!(found.contains(&"clusters"));
+        assert!(found.contains(&"luster"));
+        assert!(!found.contains(&"master"));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut tree: MTree<Vec<f64>, _> = MTree::new(VectorSpace(Euclidean));
+        assert!(tree.is_empty());
+        assert!(tree.range(&vec![0.0, 0.0], 100.0).is_empty());
+        let id = tree.insert(vec![1.0, 1.0]);
+        assert_eq!(id, 0);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.range(&vec![0.0, 0.0], 2.0), vec![0]);
+        assert!(tree.range(&vec![0.0, 0.0], 1.0).is_empty());
+    }
+
+    #[test]
+    fn many_duplicates() {
+        let objs: Vec<Vec<f64>> = (0..100).map(|_| vec![2.0, 2.0]).collect();
+        let tree = MTree::from_objects(VectorSpace(Euclidean), objs);
+        assert_eq!(tree.validate(), 100);
+        assert_eq!(tree.range(&vec![2.0, 2.0], 0.0).len(), 100);
+    }
+
+    #[test]
+    fn incremental_inserts_stay_valid() {
+        let objs = random_vectors(300, 33);
+        let mut tree = MTree::new(VectorSpace(Euclidean));
+        for (i, o) in objs.iter().enumerate() {
+            tree.insert(o.clone());
+            if i % 50 == 49 {
+                assert_eq!(tree.validate(), i + 1);
+            }
+        }
+        let q = vec![0.0, 0.0];
+        let mut got = tree.range(&q, 25.0);
+        got.sort_unstable();
+        assert_eq!(got, brute_range(&objs, &q, 25.0));
+    }
+}
+
+#[cfg(test)]
+mod knn_tests {
+    use super::*;
+    use dbdc_geom::metric::{EditDistance, VectorSpace};
+    use dbdc_geom::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| vec![rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0)])
+            .collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let objs = random_vectors(400, 51);
+        let tree = MTree::from_objects(VectorSpace(Euclidean), objs.clone());
+        let vs = VectorSpace(Euclidean);
+        for q in objs.iter().step_by(41) {
+            for k in [1usize, 5, 20] {
+                let got = tree.knn(q, k);
+                assert_eq!(got.len(), k);
+                // Sorted ascending.
+                for w in got.windows(2) {
+                    assert!(w[0].1 <= w[1].1 + 1e-12);
+                }
+                // Distances match brute-force k smallest.
+                let mut want: Vec<f64> = objs
+                    .iter()
+                    .map(|o| MetricSpace::<Vec<f64>>::dist(&vs, q, o))
+                    .collect();
+                want.sort_by(f64::total_cmp);
+                for (g, w) in got.iter().zip(want.iter()) {
+                    assert!((g.1 - w).abs() < 1e-9, "knn distance mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_on_strings() {
+        let words = [
+            "cluster",
+            "bluster",
+            "blister",
+            "blaster",
+            "plaster",
+            "xylophone",
+        ];
+        let tree = MTree::from_objects(EditDistance, words.iter().map(|s| s.to_string()));
+        let got = tree.knn(&"cluster".to_string(), 3);
+        assert_eq!(got[0].1, 0.0); // itself
+        assert_eq!(tree.object(got[0].0), "cluster");
+        assert_eq!(got[1].1, 1.0); // bluster
+        assert!(got[2].1 <= 2.0);
+    }
+
+    #[test]
+    fn knn_k_bounds() {
+        let objs = random_vectors(5, 52);
+        let tree = MTree::from_objects(VectorSpace(Euclidean), objs);
+        assert!(tree.knn(&vec![0.0, 0.0], 0).is_empty());
+        assert_eq!(tree.knn(&vec![0.0, 0.0], 50).len(), 5);
+        let empty: MTree<Vec<f64>, _> = MTree::new(VectorSpace(Euclidean));
+        assert!(empty.knn(&vec![0.0, 0.0], 3).is_empty());
+    }
+}

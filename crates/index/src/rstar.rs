@@ -1,0 +1,1160 @@
+//! R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990).
+//!
+//! This is the spatial access method the paper uses for DBSCAN's region
+//! queries (reference \[3\]). The implementation covers the full R*
+//! insertion algorithm — ChooseSubtree with minimum *overlap* enlargement at
+//! the leaf level, the topological split (choose split axis by minimum
+//! margin sum, choose distribution by minimum overlap), and forced
+//! reinsertion on first overflow per level — plus an STR (sort-tile-
+//! recursive) bulk loader used when the whole dataset is known up front,
+//! which is the common case in this workspace.
+//!
+//! Leaf entries are point indices into the borrowed [`Dataset`]; inner
+//! entries own their child's bounding rectangle, so queries never touch
+//! coordinates except to verify leaf candidates.
+
+use crate::linear::ordered::F64;
+use crate::{dist_to_box, NeighborIndex};
+use dbdc_geom::{Dataset, Metric, Rect};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Maximum entries per node.
+const MAX_ENTRIES: usize = 32;
+/// Minimum entries per node (40% of MAX, the R* recommendation).
+const MIN_ENTRIES: usize = 13;
+/// Number of entries evicted by forced reinsertion (30% of MAX).
+const REINSERT_COUNT: usize = 9;
+/// STR bulk-load fill factor.
+const STR_FILL: usize = 24;
+
+#[derive(Debug)]
+enum Node {
+    Leaf { points: Vec<u32> },
+    Inner { children: Vec<(Rect, Box<Node>)> },
+}
+
+impl Node {
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf { points } => points.len(),
+            Node::Inner { children } => children.len(),
+        }
+    }
+}
+
+/// An R*-tree over a borrowed dataset.
+#[derive(Debug)]
+pub struct RStarTree<'a, M> {
+    data: &'a Dataset,
+    metric: M,
+    root: Option<Box<Node>>,
+    /// Height of the tree: 1 = root is a leaf.
+    height: usize,
+    n: usize,
+}
+
+impl<'a, M: Metric> RStarTree<'a, M> {
+    /// Creates an empty tree over `data`'s coordinate space; points must
+    /// then be added with [`RStarTree::insert`]. Useful for testing the
+    /// dynamic insertion path; most callers want [`RStarTree::bulk_load`].
+    pub fn new(data: &'a Dataset, metric: M) -> Self {
+        Self {
+            data,
+            metric,
+            root: None,
+            height: 0,
+            n: 0,
+        }
+    }
+
+    /// Bulk-loads all points of `data` with the STR algorithm.
+    pub fn bulk_load(data: &'a Dataset, metric: M) -> Self {
+        let mut tree = Self::new(data, metric);
+        if data.is_empty() {
+            return tree;
+        }
+        let mut ids: Vec<u32> = (0..data.len() as u32).collect();
+        // Pack points into leaves.
+        let mut leaves: Vec<(Rect, Box<Node>)> = Vec::new();
+        str_tile(data, &mut ids, 0, &mut |chunk| {
+            let rect =
+                Rect::bounding(chunk.iter().map(|&i| data.point(i))).expect("chunk is non-empty");
+            leaves.push((
+                rect,
+                Box::new(Node::Leaf {
+                    points: chunk.to_vec(),
+                }),
+            ));
+        });
+        tree.height = 1;
+        // Pack levels upward until a single root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut rects: Vec<(Rect, Box<Node>)> = Vec::new();
+            std::mem::swap(&mut level, &mut rects);
+            let mut order: Vec<u32> = (0..rects.len() as u32).collect();
+            // Tile inner nodes by child-rect centers.
+            let centers: Vec<Vec<f64>> = rects.iter().map(|(r, _)| r.center()).collect();
+            let center_data = {
+                let dim = data.dim();
+                let mut flat = Vec::with_capacity(centers.len() * dim);
+                for c in &centers {
+                    flat.extend_from_slice(c);
+                }
+                Dataset::from_flat(dim, flat)
+            };
+            let mut groups: Vec<Vec<u32>> = Vec::new();
+            str_tile(&center_data, &mut order, 0, &mut |chunk| {
+                groups.push(chunk.to_vec());
+            });
+            // Move children into their groups (descending index extraction
+            // would invalidate positions, so mark with Option).
+            let mut slots: Vec<Option<(Rect, Box<Node>)>> = rects.into_iter().map(Some).collect();
+            for g in groups {
+                let children: Vec<(Rect, Box<Node>)> = g
+                    .iter()
+                    .map(|&i| slots[i as usize].take().expect("group ids unique"))
+                    .collect();
+                let rect = children
+                    .iter()
+                    .map(|(r, _)| r)
+                    .fold(None::<Rect>, |acc, r| {
+                        Some(acc.map_or_else(|| r.clone(), |a| a.union(r)))
+                    })
+                    .expect("group is non-empty");
+                level.push((rect, Box::new(Node::Inner { children })));
+            }
+            tree.height += 1;
+        }
+        let (_, root) = level.pop().expect("at least one node");
+        tree.root = Some(root);
+        tree.n = data.len();
+        tree
+    }
+
+    /// Inserts point `id` (an index into the dataset) using the full R*
+    /// insertion algorithm with forced reinsertion.
+    pub fn insert(&mut self, id: u32) {
+        assert!((id as usize) < self.data.len(), "point id out of bounds");
+        self.n += 1;
+        match self.root {
+            None => {
+                self.root = Some(Box::new(Node::Leaf { points: vec![id] }));
+                self.height = 1;
+            }
+            Some(_) => {
+                // `reinserted[l]` = forced reinsertion already used at level
+                // l during this top-level insertion (levels counted from the
+                // leaves, 0 = leaf). Evicted entries are queued in `pending`
+                // and reinserted once the tree is consistent again.
+                let mut reinserted = vec![false; self.height];
+                let mut pending: Vec<(InsertItem, usize)> = Vec::new();
+                self.insert_at_level(InsertItem::Point(id), 0, &mut reinserted, &mut pending);
+                while let Some((item, level)) = pending.pop() {
+                    self.insert_at_level(item, level, &mut reinserted, &mut pending);
+                }
+            }
+        }
+    }
+
+    /// Removes point `id` from the tree (the classic R-tree delete with
+    /// CondenseTree: underfull nodes along the path are dissolved and their
+    /// entries reinserted at their original level). Returns whether the
+    /// point was found.
+    pub fn delete(&mut self, id: u32) -> bool {
+        let Some(root) = self.root.take() else {
+            return false;
+        };
+        let root_level = self.height - 1;
+        let target = self.point_rect(id);
+        let mut orphans: Vec<(InsertItem, usize)> = Vec::new();
+        let (root, found) = self.delete_rec(root, root_level, id, &target, &mut orphans);
+        let mut root = match root {
+            Some(r) => r,
+            None => {
+                // The tree emptied out (possibly with orphans pending).
+                self.height = 0;
+                self.root = None;
+                if orphans.is_empty() {
+                    if found {
+                        self.n -= 1;
+                    }
+                    return found;
+                }
+                // Rebuild from the orphans: seed with any single point.
+                Box::new(Node::Leaf { points: vec![] })
+            }
+        };
+        // Shrink the root while it is a chain of single-child inner nodes.
+        loop {
+            let shrink = match &*root {
+                Node::Inner { children } if children.len() == 1 => true,
+                Node::Leaf { .. } | Node::Inner { .. } => false,
+            };
+            if !shrink {
+                break;
+            }
+            let Node::Inner { mut children } = *root else {
+                unreachable!()
+            };
+            let (_, child) = children.pop().expect("one child");
+            root = child;
+            self.height -= 1;
+        }
+        // Handle the rebuilt-empty-root case.
+        if root.len() == 0 {
+            self.root = None;
+            self.height = 0;
+        } else {
+            self.root = Some(root);
+        }
+        // Reinsert orphaned entries. Subtrees whose level no longer exists
+        // (tree shrank) are decomposed into their children recursively.
+        let mut reinserted = vec![true; self.height.max(1)];
+        let mut pending = orphans;
+        while let Some((item, level)) = pending.pop() {
+            match item {
+                InsertItem::Point(p) => {
+                    if self.root.is_none() {
+                        self.root = Some(Box::new(Node::Leaf { points: vec![p] }));
+                        self.height = 1;
+                        reinserted = vec![true];
+                    } else {
+                        while reinserted.len() < self.height {
+                            reinserted.push(true);
+                        }
+                        self.insert_at_level(
+                            InsertItem::Point(p),
+                            0,
+                            &mut reinserted,
+                            &mut pending,
+                        );
+                    }
+                }
+                InsertItem::Subtree { rect, node } => {
+                    if level + 1 >= self.height || self.root.is_none() {
+                        // Cannot hang this subtree at its level; decompose.
+                        match *node {
+                            Node::Leaf { points } => {
+                                for p in points {
+                                    pending.push((InsertItem::Point(p), 0));
+                                }
+                            }
+                            Node::Inner { children } => {
+                                for (r, c) in children {
+                                    pending.push((
+                                        InsertItem::Subtree { rect: r, node: c },
+                                        level - 1,
+                                    ));
+                                }
+                            }
+                        }
+                        let _ = rect;
+                    } else {
+                        while reinserted.len() < self.height {
+                            reinserted.push(true);
+                        }
+                        self.insert_at_level(
+                            InsertItem::Subtree { rect, node },
+                            level,
+                            &mut reinserted,
+                            &mut pending,
+                        );
+                    }
+                }
+            }
+        }
+        if found {
+            self.n -= 1;
+        }
+        found
+    }
+
+    /// Recursive delete. Returns the (possibly dissolved) node and whether
+    /// the point was removed in this subtree.
+    fn delete_rec(
+        &self,
+        mut node: Box<Node>,
+        level: usize,
+        id: u32,
+        target: &Rect,
+        orphans: &mut Vec<(InsertItem, usize)>,
+    ) -> (Option<Box<Node>>, bool) {
+        match &mut *node {
+            Node::Leaf { points } => {
+                let before = points.len();
+                points.retain(|&p| p != id);
+                let found = points.len() < before;
+                if points.is_empty() {
+                    (None, found)
+                } else {
+                    (Some(node), found)
+                }
+            }
+            Node::Inner { children } => {
+                let mut found = false;
+                let mut slots: Vec<Option<(Rect, Box<Node>)>> =
+                    children.drain(..).map(Some).collect();
+                for slot in slots.iter_mut() {
+                    if found {
+                        break;
+                    }
+                    let covers = slot
+                        .as_ref()
+                        .map(|(r, _)| r.contains_rect(target))
+                        .unwrap_or(false);
+                    if !covers {
+                        continue;
+                    }
+                    let (_, child) = slot.take().expect("slot filled");
+                    let (child, f) = self.delete_rec(child, level - 1, id, target, orphans);
+                    found = f;
+                    if let Some(c) = child {
+                        // R-tree CondenseTree uses the insertion minimum;
+                        // here a small floor (2) keeps the tree valid while
+                        // avoiding cascading dissolution storms.
+                        let min_fill = 2;
+                        if f && c.len() < min_fill {
+                            // Underfull: dissolve into orphans.
+                            match *c {
+                                Node::Leaf { points } => {
+                                    for p in points {
+                                        orphans.push((InsertItem::Point(p), 0));
+                                    }
+                                }
+                                Node::Inner { children } => {
+                                    // The dissolved child sat at level-1, so
+                                    // its entries (subtrees rooted at
+                                    // level-2) re-hang at level-1.
+                                    for (r, n) in children {
+                                        orphans.push((
+                                            InsertItem::Subtree { rect: r, node: n },
+                                            level - 1,
+                                        ));
+                                    }
+                                }
+                            }
+                        } else {
+                            *slot = Some((self.node_rect(&c), c));
+                        }
+                    }
+                }
+                children.extend(slots.into_iter().flatten());
+                if children.is_empty() {
+                    (None, found)
+                } else {
+                    (Some(node), found)
+                }
+            }
+        }
+    }
+
+    fn point_rect(&self, id: u32) -> Rect {
+        Rect::point(self.data.point(id))
+    }
+
+    fn item_rect(&self, item: &InsertItem) -> Rect {
+        match item {
+            InsertItem::Point(id) => self.point_rect(*id),
+            InsertItem::Subtree { rect, .. } => rect.clone(),
+        }
+    }
+
+    fn insert_at_level(
+        &mut self,
+        item: InsertItem,
+        level: usize,
+        reinserted: &mut Vec<bool>,
+        pending: &mut Vec<(InsertItem, usize)>,
+    ) {
+        let rect = self.item_rect(&item);
+        let root = self.root.take().expect("insert_at_level requires a root");
+        let root_level = self.height - 1;
+        let (root, split) =
+            self.insert_rec(root, root_level, item, &rect, level, reinserted, pending);
+        if let Some((r1, n1, r2, n2)) = split {
+            // Root split: grow the tree.
+            let _ = root; // consumed by the split
+            self.root = Some(Box::new(Node::Inner {
+                children: vec![(r1, n1), (r2, n2)],
+            }));
+            self.height += 1;
+            reinserted.push(true); // new root level cannot reinsert
+        } else {
+            self.root = Some(root);
+        }
+    }
+
+    /// Recursive insertion. Returns the (possibly modified) node and, if the
+    /// node was split, the two replacement halves (in which case the
+    /// returned node must be discarded by the caller).
+    #[allow(clippy::type_complexity)]
+    #[allow(clippy::too_many_arguments)]
+    fn insert_rec(
+        &mut self,
+        mut node: Box<Node>,
+        node_level: usize,
+        item: InsertItem,
+        rect: &Rect,
+        target_level: usize,
+        reinserted: &mut [bool],
+        pending: &mut Vec<(InsertItem, usize)>,
+    ) -> (Box<Node>, Option<(Rect, Box<Node>, Rect, Box<Node>)>) {
+        if node_level == target_level {
+            match (&mut *node, item) {
+                (Node::Leaf { points }, InsertItem::Point(id)) => points.push(id),
+                (Node::Inner { children }, InsertItem::Subtree { rect, node }) => {
+                    children.push((rect, node))
+                }
+                _ => unreachable!("item kind matches node kind at its level"),
+            }
+        } else {
+            let Node::Inner { children } = &mut *node else {
+                unreachable!("non-target levels are inner nodes")
+            };
+            let child_idx = choose_subtree(self.data, children, rect, node_level == 1);
+            let (child_rect, child_node) = children.swap_remove(child_idx);
+            let _ = child_rect;
+            let (child_node, split) = self.insert_rec(
+                child_node,
+                node_level - 1,
+                item,
+                rect,
+                target_level,
+                reinserted,
+                pending,
+            );
+            match split {
+                None => {
+                    let new_rect = self.node_rect(&child_node);
+                    children.push((new_rect, child_node));
+                }
+                Some((r1, n1, r2, n2)) => {
+                    drop(child_node);
+                    children.push((r1, n1));
+                    children.push((r2, n2));
+                }
+            }
+        }
+
+        if node.len() > MAX_ENTRIES {
+            self.overflow(node, node_level, reinserted, pending)
+        } else {
+            (node, None)
+        }
+    }
+
+    /// R* OverflowTreatment: forced reinsert on the first overflow at a
+    /// non-root level, split otherwise.
+    #[allow(clippy::type_complexity)]
+    fn overflow(
+        &mut self,
+        node: Box<Node>,
+        level: usize,
+        reinserted: &mut [bool],
+        pending: &mut Vec<(InsertItem, usize)>,
+    ) -> (Box<Node>, Option<(Rect, Box<Node>, Rect, Box<Node>)>) {
+        let is_root_level = level == self.height - 1;
+        if !is_root_level && !reinserted[level] {
+            reinserted[level] = true;
+            let node = self.forced_reinsert(node, level, pending);
+            (node, None)
+        } else {
+            let (r1, n1, r2, n2) = self.split_node(*node);
+            // Callers replace the node with the two halves; hand back a
+            // dummy leaf that is immediately discarded.
+            (
+                Box::new(Node::Leaf { points: vec![] }),
+                Some((r1, n1, r2, n2)),
+            )
+        }
+    }
+
+    /// Removes the `REINSERT_COUNT` entries whose centers are farthest from
+    /// the node's bbox center and queues them for reinsertion ("close
+    /// reinsert": the queue is drained nearest-first), possibly landing them
+    /// in different nodes.
+    fn forced_reinsert(
+        &mut self,
+        mut node: Box<Node>,
+        level: usize,
+        pending: &mut Vec<(InsertItem, usize)>,
+    ) -> Box<Node> {
+        let center = self.node_rect(&node).center();
+        let evicted: Vec<InsertItem> = match &mut *node {
+            Node::Leaf { points } => {
+                let mut by_dist: Vec<(F64, usize)> = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &id)| (F64(self.metric.dist(&center, self.data.point(id))), i))
+                    .collect();
+                by_dist.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+                let mut evict_pos: Vec<usize> = by_dist
+                    .iter()
+                    .take(REINSERT_COUNT)
+                    .map(|&(_, i)| i)
+                    .collect();
+                evict_pos.sort_unstable_by(|a, b| b.cmp(a));
+                evict_pos
+                    .into_iter()
+                    .map(|i| InsertItem::Point(points.swap_remove(i)))
+                    .collect()
+            }
+            Node::Inner { children } => {
+                let mut by_dist: Vec<(F64, usize)> = children
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (r, _))| (F64(self.metric.dist(&center, &r.center())), i))
+                    .collect();
+                by_dist.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+                let mut evict_pos: Vec<usize> = by_dist
+                    .iter()
+                    .take(REINSERT_COUNT)
+                    .map(|&(_, i)| i)
+                    .collect();
+                evict_pos.sort_unstable_by(|a, b| b.cmp(a));
+                evict_pos
+                    .into_iter()
+                    .map(|i| {
+                        let (rect, child) = children.swap_remove(i);
+                        InsertItem::Subtree { rect, node: child }
+                    })
+                    .collect()
+            }
+        };
+        // Close reinsert: the pending queue is drained with pop() (LIFO), so
+        // sorting farthest-first makes the nearest entry re-enter first.
+        let mut evicted: Vec<(F64, InsertItem)> = evicted
+            .into_iter()
+            .map(|it| {
+                let c = self.item_rect(&it).center();
+                (F64(self.metric.dist(&center, &c)), it)
+            })
+            .collect();
+        evicted.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+        // Reinsertion must not run while this node is detached from the tree
+        // (the caller's stack still owns it), so the evicted entries are
+        // queued and re-inserted by the top-level `insert` once the descent
+        // has unwound and the tree is consistent.
+        pending.extend(evicted.into_iter().map(|(d, it)| {
+            let _ = d;
+            (it, level)
+        }));
+        node
+    }
+
+    fn node_rect(&self, node: &Node) -> Rect {
+        match node {
+            Node::Leaf { points } => Rect::bounding(points.iter().map(|&i| self.data.point(i)))
+                .expect("nodes are non-empty"),
+            Node::Inner { children } => children
+                .iter()
+                .map(|(r, _)| r)
+                .fold(None::<Rect>, |acc, r| {
+                    Some(acc.map_or_else(|| r.clone(), |a| a.union(r)))
+                })
+                .expect("nodes are non-empty"),
+        }
+    }
+
+    /// R* topological split. Consumes the overflowing node and returns the
+    /// two halves with their rectangles.
+    fn split_node(&self, node: Node) -> (Rect, Box<Node>, Rect, Box<Node>) {
+        match node {
+            Node::Leaf { points } => {
+                let rects: Vec<Rect> = points.iter().map(|&i| self.point_rect(i)).collect();
+                let (first, second) = split_entries(&rects);
+                let a: Vec<u32> = first.iter().map(|&i| points[i]).collect();
+                let b: Vec<u32> = second.iter().map(|&i| points[i]).collect();
+                let ra = Rect::bounding(a.iter().map(|&i| self.data.point(i))).unwrap();
+                let rb = Rect::bounding(b.iter().map(|&i| self.data.point(i))).unwrap();
+                (
+                    ra,
+                    Box::new(Node::Leaf { points: a }),
+                    rb,
+                    Box::new(Node::Leaf { points: b }),
+                )
+            }
+            Node::Inner { children } => {
+                let rects: Vec<Rect> = children.iter().map(|(r, _)| r.clone()).collect();
+                let (first, second) = split_entries(&rects);
+                let mut slots: Vec<Option<(Rect, Box<Node>)>> =
+                    children.into_iter().map(Some).collect();
+                let take = |idxs: &[usize], slots: &mut Vec<Option<(Rect, Box<Node>)>>| {
+                    idxs.iter()
+                        .map(|&i| slots[i].take().expect("split indices unique"))
+                        .collect::<Vec<_>>()
+                };
+                let a = take(&first, &mut slots);
+                let b = take(&second, &mut slots);
+                let rect_of = |v: &[(Rect, Box<Node>)]| {
+                    v.iter()
+                        .map(|(r, _)| r)
+                        .fold(None::<Rect>, |acc, r| {
+                            Some(acc.map_or_else(|| r.clone(), |x| x.union(r)))
+                        })
+                        .unwrap()
+                };
+                let (ra, rb) = (rect_of(&a), rect_of(&b));
+                (
+                    ra,
+                    Box::new(Node::Inner { children: a }),
+                    rb,
+                    Box::new(Node::Inner { children: b }),
+                )
+            }
+        }
+    }
+
+    /// Validates tree invariants (entry counts, bbox containment, height);
+    /// test/diagnostic helper. Returns the number of points found.
+    pub fn validate(&self) -> usize {
+        fn walk<M: Metric>(
+            tree: &RStarTree<'_, M>,
+            node: &Node,
+            rect: Option<&Rect>,
+            level: usize,
+            is_root: bool,
+        ) -> usize {
+            if !is_root {
+                assert!(
+                    node.len() >= MIN_ENTRIES.min(2) || node.len() >= 1,
+                    "underfull node"
+                );
+            }
+            assert!(node.len() <= MAX_ENTRIES, "overfull node: {}", node.len());
+            match node {
+                Node::Leaf { points } => {
+                    assert_eq!(level, 0, "leaves must be at level 0");
+                    if let Some(r) = rect {
+                        for &p in points {
+                            assert!(
+                                r.contains_point(tree.data.point(p)),
+                                "leaf bbox does not contain point {p}"
+                            );
+                        }
+                    }
+                    points.len()
+                }
+                Node::Inner { children } => {
+                    let mut total = 0;
+                    for (r, child) in children {
+                        if let Some(parent) = rect {
+                            assert!(parent.contains_rect(r), "child rect escapes parent rect");
+                        }
+                        let recomputed = tree.node_rect(child);
+                        assert!(
+                            r.contains_rect(&recomputed) && recomputed.contains_rect(r),
+                            "stored child rect differs from recomputed"
+                        );
+                        total += walk(tree, child, Some(r), level - 1, false);
+                    }
+                    total
+                }
+            }
+        }
+        match &self.root {
+            None => 0,
+            Some(root) => walk(self, root, None, self.height - 1, true),
+        }
+    }
+
+    /// Tree height (1 = root is a leaf, 0 = empty); diagnostic.
+    pub fn tree_height(&self) -> usize {
+        self.height
+    }
+}
+
+/// Items that can be (re)inserted: raw points or whole orphaned subtrees.
+#[derive(Debug)]
+enum InsertItem {
+    Point(u32),
+    Subtree { rect: Rect, node: Box<Node> },
+}
+
+/// R* ChooseSubtree: at the level above the leaves pick minimum overlap
+/// enlargement; above that, minimum area enlargement. Ties fall through to
+/// area enlargement then area.
+fn choose_subtree(
+    _data: &Dataset,
+    children: &[(Rect, Box<Node>)],
+    rect: &Rect,
+    children_are_leaves: bool,
+) -> usize {
+    debug_assert!(!children.is_empty());
+    if children_are_leaves {
+        let mut best = 0;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, (r, _)) in children.iter().enumerate() {
+            let grown = r.union(rect);
+            let mut overlap_delta = 0.0;
+            for (j, (other, _)) in children.iter().enumerate() {
+                if i != j {
+                    overlap_delta += grown.overlap(other) - r.overlap(other);
+                }
+            }
+            let key = (overlap_delta, r.enlargement(rect), r.area());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    } else {
+        let mut best = 0;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for (i, (r, _)) in children.iter().enumerate() {
+            let key = (r.enlargement(rect), r.area());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// R* topological split of a set of entry rectangles. Returns the entry
+/// indices of the two groups.
+fn split_entries(rects: &[Rect]) -> (Vec<usize>, Vec<usize>) {
+    let dim = rects[0].dim();
+    let total = rects.len();
+    debug_assert!(total > MAX_ENTRIES);
+    let k_range = MIN_ENTRIES..=(total - MIN_ENTRIES);
+
+    // ChooseSplitAxis: minimize the sum of margins over all distributions,
+    // considering entries sorted by lower then by upper bound per axis.
+    let mut best_axis = 0;
+    let mut best_axis_margin = f64::INFINITY;
+    let mut best_axis_orders: Option<[Vec<usize>; 2]> = None;
+    for axis in 0..dim {
+        let mut by_lo: Vec<usize> = (0..total).collect();
+        by_lo.sort_by(|&a, &b| {
+            rects[a].lo()[axis]
+                .total_cmp(&rects[b].lo()[axis])
+                .then(rects[a].hi()[axis].total_cmp(&rects[b].hi()[axis]))
+        });
+        let mut by_hi: Vec<usize> = (0..total).collect();
+        by_hi.sort_by(|&a, &b| {
+            rects[a].hi()[axis]
+                .total_cmp(&rects[b].hi()[axis])
+                .then(rects[a].lo()[axis].total_cmp(&rects[b].lo()[axis]))
+        });
+        let mut margin_sum = 0.0;
+        for order in [&by_lo, &by_hi] {
+            for k in k_range.clone() {
+                let r1 = bound_of(rects, &order[..k]);
+                let r2 = bound_of(rects, &order[k..]);
+                margin_sum += r1.margin() + r2.margin();
+            }
+        }
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            best_axis = axis;
+            best_axis_orders = Some([by_lo, by_hi]);
+        }
+    }
+    let _ = best_axis;
+    let orders = best_axis_orders.expect("at least one axis");
+
+    // ChooseSplitIndex: minimize overlap, ties by combined area.
+    let mut best: Option<(f64, f64, Vec<usize>, Vec<usize>)> = None;
+    for order in &orders {
+        for k in k_range.clone() {
+            let g1: Vec<usize> = order[..k].to_vec();
+            let g2: Vec<usize> = order[k..].to_vec();
+            let r1 = bound_of(rects, &g1);
+            let r2 = bound_of(rects, &g2);
+            let overlap = r1.overlap(&r2);
+            let area = r1.area() + r2.area();
+            let better = match &best {
+                None => true,
+                Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
+            };
+            if better {
+                best = Some((overlap, area, g1, g2));
+            }
+        }
+    }
+    let (_, _, g1, g2) = best.expect("at least one distribution");
+    (g1, g2)
+}
+
+fn bound_of(rects: &[Rect], idxs: &[usize]) -> Rect {
+    let mut it = idxs.iter();
+    let first = *it.next().expect("group is non-empty");
+    let mut acc = rects[first].clone();
+    for &i in it {
+        acc.expand_to_rect(&rects[i]);
+    }
+    acc
+}
+
+/// Recursive STR tiling: partitions `ids` (point indices into `data`) into
+/// chunks of at most [`STR_FILL`] and calls `emit` for each.
+fn str_tile(data: &Dataset, ids: &mut [u32], axis: usize, emit: &mut impl FnMut(&[u32])) {
+    if ids.len() <= STR_FILL {
+        if !ids.is_empty() {
+            emit(ids);
+        }
+        return;
+    }
+    let dim = data.dim();
+    if axis + 1 == dim {
+        // Last axis: sort and cut into runs.
+        ids.sort_by(|&a, &b| data.point(a)[axis].total_cmp(&data.point(b)[axis]));
+        for chunk in ids.chunks(STR_FILL) {
+            emit(chunk);
+        }
+        return;
+    }
+    // Number of slabs along this axis: ceil((n / fill)^(1/remaining_axes)).
+    let n_nodes = ids.len().div_ceil(STR_FILL);
+    let remaining = (dim - axis) as f64;
+    let slabs = (n_nodes as f64).powf(1.0 / remaining).ceil() as usize;
+    let slabs = slabs.max(1);
+    let per_slab = ids.len().div_ceil(slabs);
+    ids.sort_by(|&a, &b| data.point(a)[axis].total_cmp(&data.point(b)[axis]));
+    let mut rest = ids;
+    while !rest.is_empty() {
+        let take = per_slab.min(rest.len());
+        let (slab, tail) = rest.split_at_mut(take);
+        str_tile(data, slab, axis + 1, emit);
+        rest = tail;
+    }
+}
+
+impl<M: Metric> RStarTree<'_, M> {
+    fn range_rec(&self, node: &Node, q: &[f64], eps: f64, out: &mut Vec<u32>) {
+        match node {
+            Node::Leaf { points } => {
+                let bound = self.metric.to_surrogate(eps);
+                for &i in points {
+                    if self.metric.surrogate(q, self.data.point(i)) <= bound {
+                        out.push(i);
+                    }
+                }
+            }
+            Node::Inner { children } => {
+                for (rect, child) in children {
+                    if dist_to_box(&self.metric, q, rect.lo(), rect.hi()) <= eps {
+                        self.range_rec(child, q, eps, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<M: Metric> NeighborIndex for RStarTree<'_, M> {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if let Some(root) = &self.root {
+            self.range_rec(root, q, eps, out);
+        }
+    }
+
+    fn knn(&self, q: &[f64], k: usize) -> Vec<(u32, f64)> {
+        if k == 0 || self.root.is_none() {
+            return Vec::new();
+        }
+        // Best-first search over nodes and points.
+        enum Item<'n> {
+            Node(&'n Node),
+            Point(u32),
+        }
+        struct HeapEntry<'n> {
+            key: Reverse<(F64, usize)>,
+            item: Item<'n>,
+        }
+        impl PartialEq for HeapEntry<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.key == other.key
+            }
+        }
+        impl Eq for HeapEntry<'_> {}
+        impl PartialOrd for HeapEntry<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for HeapEntry<'_> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.key.cmp(&other.key)
+            }
+        }
+        let mut frontier: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        let mut tiebreak = 0usize;
+        frontier.push(HeapEntry {
+            key: Reverse((F64(0.0), tiebreak)),
+            item: Item::Node(self.root.as_ref().unwrap()),
+        });
+        let mut out: Vec<(u32, f64)> = Vec::with_capacity(k);
+        while let Some(HeapEntry {
+            key: Reverse((F64(d), _)),
+            item,
+        }) = frontier.pop()
+        {
+            if out.len() == k {
+                break;
+            }
+            match item {
+                Item::Point(i) => out.push((i, d)),
+                Item::Node(Node::Leaf { points }) => {
+                    for &i in points {
+                        tiebreak += 1;
+                        let pd = self.metric.dist(q, self.data.point(i));
+                        frontier.push(HeapEntry {
+                            key: Reverse((F64(pd), tiebreak)),
+                            item: Item::Point(i),
+                        });
+                    }
+                }
+                Item::Node(Node::Inner { children }) => {
+                    for (rect, child) in children {
+                        tiebreak += 1;
+                        let nd = dist_to_box(&self.metric, q, rect.lo(), rect.hi());
+                        frontier.push(HeapEntry {
+                            key: Reverse((F64(nd), tiebreak)),
+                            item: Item::Node(child),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use dbdc_geom::{Euclidean, Manhattan};
+
+    #[test]
+    fn bulk_load_matches_linear() {
+        let d = testutil::random_dataset(800, 21);
+        let idx = RStarTree::bulk_load(&d, Euclidean);
+        assert_eq!(idx.validate(), 800);
+        testutil::check_against_linear(&idx, &d, Euclidean);
+    }
+
+    #[test]
+    fn bulk_load_manhattan() {
+        let d = testutil::random_dataset(300, 22);
+        let idx = RStarTree::bulk_load(&d, Manhattan);
+        testutil::check_against_linear(&idx, &d, Manhattan);
+    }
+
+    #[test]
+    fn dynamic_insert_matches_linear() {
+        let d = testutil::random_dataset(600, 23);
+        let mut idx = RStarTree::new(&d, Euclidean);
+        for i in 0..d.len() as u32 {
+            idx.insert(i);
+        }
+        assert_eq!(idx.validate(), 600);
+        testutil::check_against_linear(&idx, &d, Euclidean);
+    }
+
+    #[test]
+    fn dynamic_insert_clustered_data() {
+        // Tight clusters stress ChooseSubtree's overlap criterion and
+        // forced reinsertion.
+        let mut flat = Vec::new();
+        for c in 0..6 {
+            let (cx, cy) = (c as f64 * 10.0, (c % 3) as f64 * 10.0);
+            for i in 0..60 {
+                let t = i as f64 * 0.1;
+                flat.extend_from_slice(&[cx + t.sin() * 0.8, cy + t.cos() * 0.8]);
+            }
+        }
+        let d = Dataset::from_flat(2, flat);
+        let mut idx = RStarTree::new(&d, Euclidean);
+        for i in 0..d.len() as u32 {
+            idx.insert(i);
+        }
+        assert_eq!(idx.validate(), 360);
+        testutil::check_against_linear(&idx, &d, Euclidean);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let d = testutil::random_dataset(2000, 24);
+        let idx = RStarTree::bulk_load(&d, Euclidean);
+        assert!(idx.tree_height() <= 4, "height {}", idx.tree_height());
+        let mut dynamic = RStarTree::new(&d, Euclidean);
+        for i in 0..d.len() as u32 {
+            dynamic.insert(i);
+        }
+        assert!(
+            dynamic.tree_height() <= 6,
+            "height {}",
+            dynamic.tree_height()
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let empty = Dataset::new(2);
+        let idx = RStarTree::bulk_load(&empty, Euclidean);
+        assert!(idx.is_empty());
+        assert!(idx.range_vec(&[0.0, 0.0], 10.0).is_empty());
+        assert!(idx.knn(&[0.0, 0.0], 2).is_empty());
+
+        let d = Dataset::from_flat(2, vec![1.0, 1.0, 2.0, 2.0]);
+        let idx = RStarTree::bulk_load(&d, Euclidean);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.validate(), 2);
+        let nn = idx.knn(&[0.0, 0.0], 1);
+        assert_eq!(nn[0].0, 0);
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let mut flat = Vec::new();
+        for _ in 0..200 {
+            flat.extend_from_slice(&[5.0, 5.0]);
+        }
+        let d = Dataset::from_flat(2, flat);
+        let idx = RStarTree::bulk_load(&d, Euclidean);
+        assert_eq!(idx.validate(), 200);
+        assert_eq!(idx.range_vec(&[5.0, 5.0], 0.0).len(), 200);
+        let mut dynamic = RStarTree::new(&d, Euclidean);
+        for i in 0..200 {
+            dynamic.insert(i);
+        }
+        assert_eq!(dynamic.validate(), 200);
+        assert_eq!(dynamic.range_vec(&[5.0, 5.0], 0.0).len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_rejects_bad_id() {
+        let d = Dataset::from_flat(2, vec![0.0, 0.0]);
+        let mut idx = RStarTree::new(&d, Euclidean);
+        idx.insert(5);
+    }
+}
+
+#[cfg(test)]
+mod delete_tests {
+    use super::*;
+    use crate::testutil;
+    use dbdc_geom::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn delete_then_query_matches_linear() {
+        let d = testutil::random_dataset(500, 41);
+        let mut idx = RStarTree::bulk_load(&d, Euclidean);
+        // Delete every third point.
+        let mut live: Vec<u32> = Vec::new();
+        for i in 0..d.len() as u32 {
+            if i % 3 == 0 {
+                assert!(idx.delete(i), "point {i} must be found");
+            } else {
+                live.push(i);
+            }
+        }
+        assert_eq!(idx.len(), live.len());
+        assert_eq!(idx.validate(), live.len());
+        // Queries return exactly the live points a scan would.
+        let mut out = Vec::new();
+        for &q in live.iter().step_by(17) {
+            idx.range(d.point(q), 8.0, &mut out);
+            out.sort_unstable();
+            let mut want: Vec<u32> = live
+                .iter()
+                .copied()
+                .filter(|&p| Euclidean.dist(d.point(p), d.point(q)) <= 8.0)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn delete_everything_empties_tree() {
+        let d = testutil::random_dataset(200, 42);
+        let mut idx = RStarTree::bulk_load(&d, Euclidean);
+        for i in 0..200u32 {
+            assert!(idx.delete(i));
+        }
+        assert!(idx.is_empty());
+        assert_eq!(idx.tree_height(), 0);
+        assert!(idx.range_vec(&[0.0, 0.0], 1e9).is_empty());
+        // And the tree is usable again afterwards.
+        idx.insert(5);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.range_vec(d.point(5), 0.1), vec![5]);
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let mut flat = vec![0.0, 0.0, 1.0, 1.0, 50.0, 50.0];
+        flat.extend_from_slice(&[2.0, 2.0]);
+        let d = Dataset::from_flat(2, flat);
+        let mut idx = RStarTree::bulk_load(&d, Euclidean);
+        assert!(idx.delete(1));
+        assert!(!idx.delete(1), "second delete of same id fails");
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn randomized_insert_delete_cycles() {
+        let d = testutil::random_dataset(400, 43);
+        let mut idx = RStarTree::new(&d, Euclidean);
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut live: Vec<u32> = Vec::new();
+        let mut next = 0u32;
+        for step in 0..800 {
+            if next < 400 && (live.is_empty() || rng.random_range(0..100) < 60) {
+                idx.insert(next);
+                live.push(next);
+                next += 1;
+            } else {
+                let victim = rng.random_range(0..live.len());
+                let id = live.swap_remove(victim);
+                assert!(idx.delete(id), "step {step}: delete {id}");
+            }
+            if step % 100 == 99 {
+                assert_eq!(idx.validate(), live.len(), "step {step}");
+            }
+        }
+        assert_eq!(idx.validate(), live.len());
+        // Final cross-check against brute force.
+        let mut out = Vec::new();
+        idx.range(&[0.0, 0.0], 30.0, &mut out);
+        out.sort_unstable();
+        let mut want: Vec<u32> = live
+            .iter()
+            .copied()
+            .filter(|&p| Euclidean.dist(d.point(p), &[0.0, 0.0]) <= 30.0)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn duplicate_coordinates_delete_one_at_a_time() {
+        let mut flat = Vec::new();
+        for _ in 0..50 {
+            flat.extend_from_slice(&[3.0, 3.0]);
+        }
+        let d = Dataset::from_flat(2, flat);
+        let mut idx = RStarTree::bulk_load(&d, Euclidean);
+        for i in 0..50u32 {
+            assert!(idx.delete(i), "delete {i}");
+            assert_eq!(idx.len(), (49 - i) as usize);
+        }
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Vantage-point tree — a second metric-space access method.
+//!
+//! Where the M-tree is dynamic (the paper's choice, because sites ingest
+//! data over time), the VP-tree is a static structure built by recursive
+//! median partitioning of distances to a vantage point. It answers the same
+//! ε-range and kNN queries over arbitrary metric objects and serves as an
+//! independent cross-check for the M-tree in tests, and as the faster
+//! backend when the object set is known up front.
+
+use crate::linear::ordered::F64;
+use dbdc_geom::metric::MetricSpace;
+use std::collections::BinaryHeap;
+
+const LEAF_SIZE: usize = 12;
+
+enum VNode {
+    Leaf {
+        /// Object ids.
+        ids: Vec<u32>,
+    },
+    Inner {
+        /// The vantage object's id.
+        vantage: u32,
+        /// Median distance: the inside subtree holds objects with
+        /// `d(vantage, o) <= mu`, the outside subtree the rest.
+        mu: f64,
+        inside: Box<VNode>,
+        outside: Box<VNode>,
+    },
+}
+
+/// A static vantage-point tree over owned objects.
+pub struct VpTree<T, S> {
+    space: S,
+    objects: Vec<T>,
+    root: Option<VNode>,
+}
+
+impl<T, S: MetricSpace<T>> VpTree<T, S> {
+    /// Builds the tree over the given objects (ids are input positions).
+    pub fn build(space: S, objects: Vec<T>) -> Self {
+        let mut ids: Vec<u32> = (0..objects.len() as u32).collect();
+        let root = if ids.is_empty() {
+            None
+        } else {
+            Some(Self::build_rec(&space, &objects, &mut ids))
+        };
+        Self {
+            space,
+            objects,
+            root,
+        }
+    }
+
+    fn build_rec(space: &S, objects: &[T], ids: &mut [u32]) -> VNode {
+        if ids.len() <= LEAF_SIZE {
+            return VNode::Leaf { ids: ids.to_vec() };
+        }
+        // Vantage point: first id (any choice is correct; a random one
+        // would balance adversarial inputs, but the datasets here are
+        // pre-shuffled).
+        let vantage = ids[0];
+        let rest = &mut ids[1..];
+        let mid = rest.len() / 2;
+        rest.select_nth_unstable_by(mid, |&a, &b| {
+            let da = space.dist(&objects[vantage as usize], &objects[a as usize]);
+            let db = space.dist(&objects[vantage as usize], &objects[b as usize]);
+            da.total_cmp(&db)
+        });
+        let mu = space.dist(&objects[vantage as usize], &objects[rest[mid] as usize]);
+        let (inside_ids, outside_ids) = rest.split_at_mut(mid + 1);
+        let inside = Box::new(Self::build_rec(space, objects, inside_ids));
+        let outside = if outside_ids.is_empty() {
+            Box::new(VNode::Leaf { ids: vec![] })
+        } else {
+            Box::new(Self::build_rec(space, objects, outside_ids))
+        };
+        VNode::Inner {
+            vantage,
+            mu,
+            inside,
+            outside,
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The object with id `id`.
+    pub fn object(&self, id: u32) -> &T {
+        &self.objects[id as usize]
+    }
+
+    /// All ids within distance `eps` (inclusive) of `query`.
+    pub fn range(&self, query: &T, eps: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            self.range_rec(root, query, eps, &mut out);
+        }
+        out
+    }
+
+    fn range_rec(&self, node: &VNode, query: &T, eps: f64, out: &mut Vec<u32>) {
+        match node {
+            VNode::Leaf { ids } => {
+                for &i in ids {
+                    if self.space.dist(query, &self.objects[i as usize]) <= eps {
+                        out.push(i);
+                    }
+                }
+            }
+            VNode::Inner {
+                vantage,
+                mu,
+                inside,
+                outside,
+            } => {
+                let d = self.space.dist(query, &self.objects[*vantage as usize]);
+                if d <= eps {
+                    out.push(*vantage);
+                }
+                // Triangle inequality pruning on both halves. The outside
+                // half holds objects with d(vantage, o) >= mu (ties straddle
+                // the median), so its test must be closed.
+                if d - eps <= *mu {
+                    self.range_rec(inside, query, eps, out);
+                }
+                if d + eps >= *mu {
+                    self.range_rec(outside, query, eps, out);
+                }
+            }
+        }
+    }
+
+    /// The `k` nearest objects to `query`, ascending by distance.
+    pub fn knn(&self, query: &T, k: usize) -> Vec<(u32, f64)> {
+        if k == 0 || self.root.is_none() {
+            return Vec::new();
+        }
+        // Max-heap of the best k (distance, id).
+        let mut best: BinaryHeap<(F64, u32)> = BinaryHeap::with_capacity(k + 1);
+        self.knn_rec(self.root.as_ref().expect("checked"), query, k, &mut best);
+        let mut out: Vec<(u32, f64)> = best.into_iter().map(|(d, i)| (i, d.0)).collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn knn_rec(&self, node: &VNode, query: &T, k: usize, best: &mut BinaryHeap<(F64, u32)>) {
+        let offer = |d: f64, i: u32, best: &mut BinaryHeap<(F64, u32)>| {
+            if best.len() < k {
+                best.push((F64(d), i));
+            } else if let Some(&(w, _)) = best.peek() {
+                if d < w.0 {
+                    best.pop();
+                    best.push((F64(d), i));
+                }
+            }
+        };
+        match node {
+            VNode::Leaf { ids } => {
+                for &i in ids {
+                    let d = self.space.dist(query, &self.objects[i as usize]);
+                    offer(d, i, best);
+                }
+            }
+            VNode::Inner {
+                vantage,
+                mu,
+                inside,
+                outside,
+            } => {
+                let d = self.space.dist(query, &self.objects[*vantage as usize]);
+                offer(d, *vantage, best);
+                let tau = |best: &BinaryHeap<(F64, u32)>| {
+                    if best.len() == k {
+                        best.peek().map(|&(w, _)| w.0).unwrap_or(f64::INFINITY)
+                    } else {
+                        f64::INFINITY
+                    }
+                };
+                // Search the owning half first, then the other half only if
+                // the (tightened) search radius still reaches across mu.
+                let (first, second) = if d <= *mu {
+                    (inside, outside)
+                } else {
+                    (outside, inside)
+                };
+                self.knn_rec(first, query, k, best);
+                let need_second = if d <= *mu {
+                    d + tau(best) >= *mu
+                } else {
+                    d - tau(best) <= *mu
+                };
+                if need_second {
+                    self.knn_rec(second, query, k, best);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbdc_geom::metric::{EditDistance, VectorSpace};
+    use dbdc_geom::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vectors(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| vec![rng.random_range(-50.0..50.0), rng.random_range(-50.0..50.0)])
+            .collect()
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let objs = random_vectors(600, 71);
+        let tree = VpTree::build(VectorSpace(Euclidean), objs.clone());
+        assert_eq!(tree.len(), 600);
+        let vs = VectorSpace(Euclidean);
+        for q in objs.iter().step_by(53) {
+            for eps in [0.5, 4.0, 15.0, 60.0] {
+                let mut got = tree.range(q, eps);
+                got.sort_unstable();
+                let want: Vec<u32> = objs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| MetricSpace::<Vec<f64>>::dist(&vs, q, o) <= eps)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                assert_eq!(got, want, "eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let objs = random_vectors(400, 72);
+        let tree = VpTree::build(VectorSpace(Euclidean), objs.clone());
+        let vs = VectorSpace(Euclidean);
+        for q in objs.iter().step_by(37) {
+            for k in [1usize, 4, 17] {
+                let got = tree.knn(q, k);
+                assert_eq!(got.len(), k);
+                let mut want: Vec<f64> = objs
+                    .iter()
+                    .map(|o| MetricSpace::<Vec<f64>>::dist(&vs, q, o))
+                    .collect();
+                want.sort_by(f64::total_cmp);
+                for (g, w) in got.iter().zip(want.iter()) {
+                    assert!((g.1 - w).abs() < 1e-9, "k {k}: {} vs {w}", g.1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_mtree() {
+        let objs = random_vectors(300, 73);
+        let vp = VpTree::build(VectorSpace(Euclidean), objs.clone());
+        let mt = crate::MTree::from_objects(VectorSpace(Euclidean), objs.clone());
+        for q in objs.iter().step_by(29) {
+            let mut a = vp.range(q, 10.0);
+            let mut b = mt.range(q, 10.0);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let words: Vec<String> = ["grape", "graph", "grasp", "gripe", "tape", "xylem"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let tree = VpTree::build(EditDistance, words);
+        let hits = tree.range(&"grape".to_string(), 1.0);
+        let found: Vec<&str> = hits.iter().map(|&i| tree.object(i).as_str()).collect();
+        assert!(found.contains(&"grape"));
+        assert!(found.contains(&"graph") || found.contains(&"gripe"));
+        assert!(!found.contains(&"xylem"));
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let tree: VpTree<Vec<f64>, _> = VpTree::build(VectorSpace(Euclidean), vec![]);
+        assert!(tree.is_empty());
+        assert!(tree.range(&vec![0.0, 0.0], 5.0).is_empty());
+        assert!(tree.knn(&vec![0.0, 0.0], 2).is_empty());
+
+        let tree = VpTree::build(VectorSpace(Euclidean), vec![vec![1.0, 1.0]]);
+        assert_eq!(tree.range(&vec![0.0, 0.0], 2.0), vec![0]);
+        assert_eq!(tree.knn(&vec![0.0, 0.0], 3).len(), 1);
+    }
+
+    #[test]
+    fn duplicates() {
+        let objs: Vec<Vec<f64>> = (0..100).map(|_| vec![7.0, 7.0]).collect();
+        let tree = VpTree::build(VectorSpace(Euclidean), objs);
+        assert_eq!(tree.range(&vec![7.0, 7.0], 0.0).len(), 100);
+    }
+}

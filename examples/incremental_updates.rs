@@ -1,0 +1,84 @@
+//! Incremental local clustering — the paper's Section 4 argues for DBSCAN
+//! partly because its incremental version lets a client site keep its
+//! clustering fresh as data streams in, re-transmitting a local model
+//! "only if the local clustering changes considerably".
+//!
+//! This example simulates one client site receiving a stream of points:
+//! the site maintains its clustering incrementally, tracks how much the
+//! cluster structure has drifted since the last transmitted model, and
+//! re-sends a model only past a drift threshold — counting how much
+//! transmission that saves compared to sending after every batch.
+//!
+//! ```sh
+//! cargo run --release --example incremental_updates
+//! ```
+
+use dbdc_cluster::{DbscanParams, IncrementalDbscan};
+use dbdc_geom::{adjusted_rand_index, Clustering};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let params = DbscanParams::new(1.2, 5);
+    let mut site = IncrementalDbscan::new(2, params);
+    let mut rng = StdRng::seed_from_u64(2004);
+
+    // The site's world: three slowly filling clusters plus drifting noise.
+    let centers = [(10.0, 10.0), (30.0, 12.0), (20.0, 30.0)];
+    let batches = 40;
+    let batch_size = 50;
+
+    let mut last_sent: Option<Clustering> = None;
+    let mut transmissions = 0usize;
+    let drift_threshold = 0.15; // re-send when ARI vs last model drops 15%
+
+    println!(
+        "{:>5} {:>7} {:>9} {:>7} {:>11}",
+        "batch", "points", "clusters", "drift", "transmitted"
+    );
+    for batch in 0..batches {
+        for _ in 0..batch_size {
+            let p = if rng.random_range(0..100) < 85 {
+                let (cx, cy) = centers[rng.random_range(0..centers.len())];
+                [
+                    cx + rng.random_range(-3.0..3.0),
+                    cy + rng.random_range(-3.0..3.0),
+                ]
+            } else {
+                [rng.random_range(0.0..40.0), rng.random_range(0.0..40.0)]
+            };
+            site.insert(&p);
+        }
+        let current = site.clustering();
+        let drift = match &last_sent {
+            None => 1.0,
+            Some(prev) => {
+                // Compare on the common prefix of points.
+                let k = prev.len();
+                let prefix = Clustering::from_labels(current.labels()[..k].to_vec());
+                1.0 - adjusted_rand_index(prev, &prefix).max(0.0)
+            }
+        };
+        let send = drift > drift_threshold;
+        if send {
+            transmissions += 1;
+            last_sent = Some(current.clone());
+        }
+        if batch % 5 == 4 || send {
+            println!(
+                "{:>5} {:>7} {:>9} {:>7.3} {:>11}",
+                batch + 1,
+                site.len(),
+                current.n_clusters(),
+                drift,
+                if send { "yes" } else { "" }
+            );
+        }
+    }
+    println!(
+        "\n{} model transmissions instead of {} (one per batch): {:.0}% saved",
+        transmissions,
+        batches,
+        100.0 * (1.0 - transmissions as f64 / batches as f64)
+    );
+}

@@ -1,0 +1,77 @@
+//! DBSCAN beyond vector spaces — one of the paper's stated reasons for
+//! choosing DBSCAN is that it "can be used for all kinds of metric data
+//! spaces and is not confined to vector spaces".
+//!
+//! This example clusters *strings* under Levenshtein edit distance, with
+//! the ε-range queries served by the M-tree (the metric access method the
+//! paper cites), and shows the same data in an M-tree similarity lookup.
+//!
+//! ```sh
+//! cargo run --release --example metric_space
+//! ```
+
+use dbdc_cluster::{metric_dbscan, DbscanParams};
+use dbdc_geom::metric::EditDistance;
+use dbdc_index::MTree;
+
+fn main() {
+    // Misspelled product names harvested from, say, scanned receipts.
+    let words: Vec<String> = [
+        // "espresso" family
+        "espresso",
+        "expresso",
+        "espressso",
+        "esspresso",
+        "espreso",
+        // "yoghurt" family
+        "yoghurt",
+        "yogurt",
+        "yoghourt",
+        "yogurt ",
+        "joghurt",
+        // "detergent" family
+        "detergent",
+        "detergant",
+        "deterjent",
+        "detergents",
+        // lone entries
+        "pineapple",
+        "umbrella",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    // Cluster with DBSCAN at edit-distance 2, min 3 similar spellings.
+    let result = metric_dbscan(&words, EditDistance, &DbscanParams::new(2.0, 3));
+    println!(
+        "{} spelling clusters, {} unmatched entries\n",
+        result.clustering.n_clusters(),
+        result.clustering.n_noise()
+    );
+    for c in 0..result.clustering.n_clusters() {
+        let members: Vec<&str> = result
+            .clustering
+            .members(c)
+            .iter()
+            .map(|&i| words[i as usize].as_str())
+            .collect();
+        println!("cluster {c}: {members:?}");
+    }
+    let noise: Vec<&str> = words
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| result.clustering.label(*i as u32).is_noise())
+        .map(|(_, w)| w.as_str())
+        .collect();
+    println!("noise: {noise:?}");
+
+    // The underlying M-tree doubles as a similarity index.
+    let tree = MTree::from_objects(EditDistance, words.iter().cloned());
+    let query = "expresso".to_string();
+    let hits = tree.range(&query, 2.0);
+    println!("\nM-tree range query {query:?} (edit distance <= 2):");
+    for id in hits {
+        println!("  {}", tree.object(id));
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: cluster a distributed dataset with DBDC and compare against
+//! a central DBSCAN run.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dbdc::{
+    central_dbscan, q_dbdc, run_dbdc, DbdcParams, EpsGlobal, LocalModelKind, ObjectQuality,
+    Partitioner,
+};
+
+fn main() {
+    // 1. A dataset: the paper's test set C (1 021 points, 3 clusters).
+    let generated = dbdc_datagen::dataset_c(42);
+    println!(
+        "data set C: {} points, {} true clusters",
+        generated.data.len(),
+        generated.truth.n_clusters()
+    );
+
+    // 2. Parameters: local DBSCAN settings plus the paper's recommended
+    //    Eps_global = 2 * Eps_local.
+    let params = DbdcParams::new(generated.suggested_eps, generated.suggested_min_pts)
+        .with_eps_global(EpsGlobal::MultipleOfLocal(2.0))
+        .with_model(LocalModelKind::Scor);
+
+    // 3. Run DBDC over 4 simulated client sites.
+    let sites = 4;
+    let outcome = run_dbdc(
+        &generated.data,
+        &params,
+        Partitioner::RandomEqual { seed: 7 },
+        sites,
+    );
+    println!(
+        "DBDC over {sites} sites: {} global clusters, {} noise points",
+        outcome.assignment.n_clusters(),
+        outcome.assignment.n_noise()
+    );
+    println!(
+        "transmitted: {} representatives ({:.1}% of the data), {} bytes up, {} bytes down",
+        outcome.n_representatives,
+        100.0 * outcome.representative_fraction(),
+        outcome.bytes_up,
+        outcome.bytes_down
+    );
+    println!(
+        "simulated overall runtime (paper cost model): {:.2} ms",
+        outcome.timings.dbdc_total().as_secs_f64() * 1e3
+    );
+
+    // 4. The central reference clustering.
+    let (central, central_time) = central_dbscan(&generated.data, &params);
+    println!(
+        "central DBSCAN: {} clusters, {} noise, {:.2} ms",
+        central.clustering.n_clusters(),
+        central.clustering.n_noise(),
+        central_time.as_secs_f64() * 1e3
+    );
+
+    // 5. Quality per the paper's two measures.
+    let p1 = q_dbdc(
+        &outcome.assignment,
+        &central.clustering,
+        ObjectQuality::PI {
+            qp: params.min_pts_local,
+        },
+    );
+    let p2 = q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII);
+    println!(
+        "quality vs central: P^I = {:.1}%, P^II = {:.1}%",
+        100.0 * p1.q,
+        100.0 * p2.q
+    );
+}

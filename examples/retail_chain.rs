@@ -1,0 +1,97 @@
+//! The paper's retail scenario: a supermarket chain where check-out
+//! scanners at different stores gather data unremittingly. Headquarters
+//! wants customer segments over (basket value, visit recency) without
+//! pulling every transaction to the center.
+//!
+//! The twist explored here: transactions are not randomly spread over
+//! stores — each store sees its own local population, i.e. the partitioning
+//! is spatially skewed. The example compares DBDC quality under the paper's
+//! random split and under store-skewed (spatial-stripe) splits, for both
+//! local models.
+//!
+//! ```sh
+//! cargo run --release --example retail_chain
+//! ```
+
+use dbdc::{
+    central_dbscan, q_dbdc, run_dbdc, DbdcParams, EpsGlobal, LocalModelKind, ObjectQuality,
+    Partitioner,
+};
+use dbdc_datagen::{ClusterSpec, MixtureSpec, Profile};
+
+fn main() {
+    // Customer segments in (basket value €, days since last visit) space.
+    let spec = MixtureSpec {
+        clusters: vec![
+            // Weekly big-basket families.
+            ClusterSpec {
+                center: [85.0, 7.0],
+                radii: [18.0, 2.5],
+                angle: 0.0,
+                n: 3_000,
+                profile: Profile::Uniform,
+            },
+            // Daily top-up shoppers.
+            ClusterSpec {
+                center: [14.0, 1.5],
+                radii: [6.0, 1.0],
+                angle: 0.0,
+                n: 4_000,
+                profile: Profile::Uniform,
+            },
+            // Monthly bulk buyers.
+            ClusterSpec {
+                center: [160.0, 30.0],
+                radii: [25.0, 4.0],
+                angle: 0.2,
+                n: 1_500,
+                profile: Profile::Uniform,
+            },
+        ],
+        noise: 500,
+        bounds: [[0.0, 220.0], [0.0, 45.0]],
+    };
+    let generated = spec.generate(7);
+    let stores = 10;
+    println!(
+        "{} transactions, {} segments + noise, {stores} stores",
+        generated.data.len(),
+        generated.truth.n_clusters()
+    );
+
+    let params = DbdcParams::new(2.2, 6).with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+    let (central, _) = central_dbscan(&generated.data, &params);
+    println!(
+        "central reference: {} segments, {} unsegmented customers\n",
+        central.clustering.n_clusters(),
+        central.clustering.n_noise()
+    );
+
+    println!(
+        "{:<18} {:<12} {:>9} {:>9} {:>7}",
+        "partitioning", "local model", "P^II [%]", "repr [%]", "bytes"
+    );
+    for part in [
+        Partitioner::RandomEqual { seed: 7 },
+        Partitioner::SpatialStripes { axis: 0 },
+    ] {
+        for model in [LocalModelKind::Scor, LocalModelKind::KMeans] {
+            let outcome = run_dbdc(&generated.data, &params.with_model(model), part, stores);
+            let q = q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII);
+            println!(
+                "{:<18} {:<12} {:>9.1} {:>9.1} {:>7}",
+                part.name(),
+                model.name(),
+                100.0 * q.q,
+                100.0 * outcome.representative_fraction(),
+                outcome.bytes_up
+            );
+        }
+    }
+    println!(
+        "\nStore-skewed data keeps whole segments on single stores, so the\n\
+         local models describe them fully; the random split fragments every\n\
+         segment across stores and leans on the global merge instead. DBDC\n\
+         handles both, which is the point of the representative scheme."
+    );
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the DBDC reproduction workspace.
+//!
+//! Re-exports the public API of all member crates so the examples and
+//! integration tests can use one coherent namespace. Downstream users should
+//! depend on the individual crates (`dbdc`, `dbdc-cluster`, ...) directly.
+
+pub use dbdc;
+pub use dbdc_cluster as cluster;
+pub use dbdc_datagen as datagen;
+pub use dbdc_geom as geom;
+pub use dbdc_index as index;

@@ -1,0 +1,159 @@
+//! The paper's qualitative claims, encoded as tests. Each test names the
+//! section or figure it checks.
+
+use dbdc::{
+    central_dbscan, q_dbdc, run_dbdc, DbdcParams, EpsGlobal, LocalModelKind, ObjectQuality,
+    Partitioner,
+};
+use dbdc_cluster::{dbscan_with_scp, DbscanParams};
+use dbdc_datagen::{dataset_a, scaled_a};
+use dbdc_geom::Euclidean;
+use dbdc_index::build_index;
+
+/// Section 5 / Figure 10: the transmitted representatives are a small
+/// fraction of the data ("the number of transmitted representatives is much
+/// smaller than the cardinality of the complete data set"; the paper's
+/// table reports 16-17%).
+#[test]
+fn representatives_are_a_small_fraction() {
+    let g = dataset_a(21);
+    let params = DbdcParams::new(g.suggested_eps, g.suggested_min_pts);
+    let outcome = run_dbdc(&g.data, &params, Partitioner::RandomEqual { seed: 2 }, 4);
+    let frac = outcome.representative_fraction();
+    assert!(
+        (0.01..0.30).contains(&frac),
+        "representative fraction {frac:.3} outside the plausible band"
+    );
+}
+
+/// Section 9.2 / Figure 9: Eps_global = 2·Eps_local is a sweet spot — it
+/// must not be worse than both a too-small and a too-large setting.
+#[test]
+fn two_times_eps_local_is_a_sweet_spot() {
+    let g = scaled_a(4_000, 23);
+    let base = DbdcParams::new(g.suggested_eps, g.suggested_min_pts);
+    let (central, _) = central_dbscan(&g.data, &base);
+    let q_at = |mult: f64| {
+        let params = base.with_eps_global(EpsGlobal::MultipleOfLocal(mult));
+        let outcome = run_dbdc(&g.data, &params, Partitioner::RandomEqual { seed: 23 }, 4);
+        q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII).q
+    };
+    let tiny = q_at(0.5);
+    let two = q_at(2.0);
+    let huge = q_at(12.0);
+    assert!(
+        two + 1e-9 >= tiny.max(huge),
+        "q(2x)={two:.3} vs q(0.5x)={tiny:.3}, q(12x)={huge:.3}"
+    );
+}
+
+/// Section 9.2: "the quality according to P^I ... does not change if we
+/// vary the Eps_global parameter" while P^II does discriminate — P^I's
+/// spread across multipliers must be (much) smaller than P^II's.
+#[test]
+fn p1_is_flatter_than_p2_across_eps_global() {
+    let g = scaled_a(3_000, 29);
+    let base = DbdcParams::new(g.suggested_eps, g.suggested_min_pts);
+    let (central, _) = central_dbscan(&g.data, &base);
+    let mut p1s = Vec::new();
+    let mut p2s = Vec::new();
+    for mult in [1.0, 2.0, 6.0, 12.0] {
+        let params = base.with_eps_global(EpsGlobal::MultipleOfLocal(mult));
+        let outcome = run_dbdc(&g.data, &params, Partitioner::RandomEqual { seed: 29 }, 4);
+        p1s.push(
+            q_dbdc(
+                &outcome.assignment,
+                &central.clustering,
+                ObjectQuality::PI {
+                    qp: g.suggested_min_pts,
+                },
+            )
+            .q,
+        );
+        p2s.push(q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII).q);
+    }
+    let spread = |v: &[f64]| {
+        v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
+    };
+    assert!(
+        spread(&p1s) <= spread(&p2s) + 1e-9,
+        "P^I spread {:.4} vs P^II spread {:.4} (P^I: {p1s:?}, P^II: {p2s:?})",
+        spread(&p1s),
+        spread(&p2s)
+    );
+}
+
+/// Section 9.1 / Figure 7a: for large data sets DBDC beats central
+/// clustering; the advantage grows with cardinality.
+#[test]
+fn dbdc_outruns_central_on_large_data() {
+    let g = scaled_a(30_000, 31);
+    let params = DbdcParams::new(g.suggested_eps, g.suggested_min_pts);
+    let (_, central_time) = central_dbscan(&g.data, &params);
+    let outcome = run_dbdc(&g.data, &params, Partitioner::RandomEqual { seed: 31 }, 8);
+    let dbdc_time = outcome.timings.dbdc_total();
+    assert!(
+        dbdc_time < central_time,
+        "DBDC {dbdc_time:?} not faster than central {central_time:?} at 30k points"
+    );
+}
+
+/// Definition 6/7 and Section 7: every locally clustered object lies within
+/// the specific ε-range of a representative of its own cluster — the
+/// coverage guarantee the relabeling step builds on. Exercised at pipeline
+/// scale (the unit tests cover it on small data).
+#[test]
+fn scor_coverage_guarantee_at_scale() {
+    use dbdc_geom::Metric;
+    let g = scaled_a(5_000, 37);
+    let params = DbscanParams::new(g.suggested_eps, g.suggested_min_pts);
+    let idx = build_index(dbdc_index::IndexKind::RStar, &g.data, Euclidean, params.eps);
+    let scp = dbscan_with_scp(&g.data, idx.as_ref(), &params);
+    for i in 0..g.data.len() as u32 {
+        if let Some(c) = scp.dbscan.clustering.label(i).cluster() {
+            let covered = scp.scp[c as usize].iter().any(|s| {
+                Euclidean.dist(g.data.point(s.point), g.data.point(i)) <= s.eps_range + 1e-9
+            });
+            assert!(covered, "object {i} escapes its cluster's ε-ranges");
+        }
+    }
+}
+
+/// Section 5.2: REP_kMeans produces exactly as many representatives per
+/// cluster as REP_Scor.
+#[test]
+fn kmeans_and_scor_representative_counts_match() {
+    let g = scaled_a(3_000, 41);
+    let base = DbdcParams::new(g.suggested_eps, g.suggested_min_pts);
+    let scor = run_dbdc(
+        &g.data,
+        &base.with_model(LocalModelKind::Scor),
+        Partitioner::RandomEqual { seed: 41 },
+        4,
+    );
+    let kmeans = run_dbdc(
+        &g.data,
+        &base.with_model(LocalModelKind::KMeans),
+        Partitioner::RandomEqual { seed: 41 },
+        4,
+    );
+    assert_eq!(scor.n_representatives, kmeans.n_representatives);
+}
+
+/// Abstract: "we do not have to sacrifice clustering quality in order to
+/// gain an efficiency advantage" — at moderate scale, both must hold at
+/// once against the same central reference.
+#[test]
+fn efficiency_without_quality_sacrifice() {
+    let g = scaled_a(20_000, 43);
+    let params = DbdcParams::new(g.suggested_eps, g.suggested_min_pts)
+        .with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+    let (central, central_time) = central_dbscan(&g.data, &params);
+    let outcome = run_dbdc(&g.data, &params, Partitioner::RandomEqual { seed: 43 }, 8);
+    let q = q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII);
+    assert!(q.q > 0.9, "quality {:.3}", q.q);
+    assert!(
+        outcome.timings.dbdc_total() < central_time,
+        "no efficiency advantage at 20k points"
+    );
+}

@@ -1,0 +1,97 @@
+//! Property-based integration tests over the whole pipeline: random mixture
+//! specifications, site counts and seeds; invariants that must hold for
+//! every configuration.
+
+use dbdc::{q_dbdc, run_dbdc, wire, DbdcParams, EpsGlobal, ObjectQuality, Partitioner};
+use dbdc_datagen::{ClusterSpec, MixtureSpec, Profile};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = MixtureSpec> {
+    let cluster = (
+        (5.0..95.0f64, 5.0..95.0f64),
+        (1.5..5.0f64, 1.5..5.0f64),
+        0.0..std::f64::consts::PI,
+        50..300usize,
+        prop::bool::ANY,
+    )
+        .prop_map(|(center, radii, angle, n, gaussian)| ClusterSpec {
+            center: [center.0, center.1],
+            radii: [radii.0, radii.1],
+            angle,
+            n,
+            profile: if gaussian {
+                Profile::Gaussian
+            } else {
+                Profile::Uniform
+            },
+        });
+    (prop::collection::vec(cluster, 1..5), 0..120usize).prop_map(|(clusters, noise)| MixtureSpec {
+        clusters,
+        noise,
+        bounds: [[0.0, 100.0], [0.0, 100.0]],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distributed assignment always covers every point, the byte
+    /// accounting is consistent, and the quality measures stay in range.
+    #[test]
+    fn pipeline_invariants(spec in arb_spec(), sites in 1usize..9, seed in 0u64..1000) {
+        let g = spec.generate(seed);
+        let params = DbdcParams::new(1.2, 5)
+            .with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+        let outcome = run_dbdc(&g.data, &params, Partitioner::RandomEqual { seed }, sites);
+
+        // Assignment covers all points.
+        prop_assert_eq!(outcome.assignment.len(), g.data.len());
+        prop_assert_eq!(outcome.site_sizes.iter().sum::<usize>(), g.data.len());
+
+        // Byte accounting: up = sum of encoded local models > 0 when reps
+        // exist; down = per-site broadcast of the same global model.
+        if outcome.n_representatives > 0 {
+            prop_assert!(outcome.bytes_up > 0);
+        }
+        prop_assert_eq!(outcome.bytes_down % sites.max(1), 0);
+
+        // Wire round trip of the produced global model.
+        let encoded = wire::encode_global_model(&outcome.global);
+        let decoded = wire::decode_global_model(&encoded).unwrap();
+        prop_assert_eq!(&decoded, &outcome.global);
+
+        // Quality against an arbitrary reference stays in [0, 1].
+        let q = q_dbdc(&outcome.assignment, &g.truth, ObjectQuality::PII);
+        prop_assert!((0.0..=1.0).contains(&q.q));
+
+        // Global cluster count consistency: assignment ids are dense and at
+        // most the number of global clusters.
+        prop_assert!(outcome.assignment.n_clusters() <= outcome.global.n_clusters);
+    }
+
+    /// Partitioners must preserve every point exactly once, whatever the
+    /// data.
+    #[test]
+    fn partitioners_are_total(spec in arb_spec(), sites in 1usize..12, seed in 0u64..100) {
+        let g = spec.generate(seed);
+        for part in [
+            Partitioner::RandomEqual { seed },
+            Partitioner::RoundRobin,
+            Partitioner::SpatialStripes { axis: (seed % 2) as usize },
+        ] {
+            let assignment = part.assign(&g.data, sites);
+            prop_assert_eq!(assignment.len(), g.data.len());
+            prop_assert!(assignment.iter().all(|&s| s < sites));
+        }
+    }
+
+    /// Quality of the distributed clustering against itself is always 1.
+    #[test]
+    fn self_quality_is_perfect(spec in arb_spec(), seed in 0u64..100) {
+        let g = spec.generate(seed);
+        let params = DbdcParams::new(1.2, 5);
+        let outcome = run_dbdc(&g.data, &params, Partitioner::RandomEqual { seed }, 3);
+        let q = q_dbdc(&outcome.assignment, &outcome.assignment, ObjectQuality::PII);
+        prop_assert_eq!(q.q, 1.0);
+    }
+}
