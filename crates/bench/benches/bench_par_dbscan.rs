@@ -1,0 +1,43 @@
+//! Sequential vs. parallel DBSCAN on dataset C: the deterministic parallel
+//! execution layer must produce identical labels while the ε-range query
+//! phase scales with the worker count. Thread counts beyond the machine's
+//! core count only measure scheduling overhead, so the sweep is still run
+//! (the determinism contract must hold everywhere) but speedup claims
+//! should be read against `std::thread::available_parallelism`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbdc_cluster::{dbscan, par_dbscan, DbscanParams};
+use dbdc_datagen::dataset_c;
+use dbdc_geom::Euclidean;
+use dbdc_index::{build_index, IndexKind};
+use std::hint::black_box;
+
+fn bench_seq_vs_parallel(c: &mut Criterion) {
+    let g = dataset_c(42);
+    let params = DbscanParams::new(g.suggested_eps, g.suggested_min_pts);
+    let idx = build_index(IndexKind::RStar, &g.data, Euclidean, params.eps);
+
+    // The parallel path must be a drop-in replacement before it is worth
+    // timing at all.
+    let seq = dbscan(&g.data, idx.as_ref(), &params);
+    for threads in [2usize, 4, 8] {
+        let par = par_dbscan(&g.data, idx.as_ref(), &params, threads);
+        assert_eq!(seq.clustering, par.clustering);
+        assert_eq!(seq.core, par.core);
+    }
+
+    let mut group = c.benchmark_group("par_dbscan_dataset_c");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(dbscan(&g.data, idx.as_ref(), &params)));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| black_box(par_dbscan(&g.data, idx.as_ref(), &params, t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_vs_parallel);
+criterion_main!(benches);

@@ -56,14 +56,15 @@ dbdc-cli — Density Based Distributed Clustering (EDBT 2004)
 commands:
   generate --set a|b|c --seed N [--n N] [--out FILE] [--truth]
       write a synthetic test data set as CSV (x,y; --truth appends labels)
-  central --input FILE --eps E --min-pts M [--index KIND] [--out FILE]
+  central --input FILE --eps E --min-pts M [--index KIND] [--threads T]
+      [--out FILE]
       central DBSCAN over a CSV point file
   run --input FILE --eps E --min-pts M --sites K [--model scor|kmeans]
       [--eps-global MULT|max] [--partitioner random|roundrobin|stripes]
-      [--seed N] [--threaded] [--out FILE]
+      [--seed N] [--threaded] [--threads T] [--out FILE]
       the DBDC protocol over K simulated sites
   compare --input FILE --eps E --min-pts M --sites K [--model scor|kmeans]
-      [--eps-global MULT|max] [--seed N]
+      [--eps-global MULT|max] [--seed N] [--threads T]
       run both and report the paper's quality measures
   plot --input FILE --out FILE.svg [--eps E --min-pts M] [--title T]
       render a CSV point file as an SVG scatter plot, clustered with
@@ -75,7 +76,9 @@ commands:
       replay the file as a stream into incremental client sessions and an
       incremental server; report transmissions saved by drift gating
 
-KIND: linear|grid|kdtree|rstar (default rstar)";
+KIND: linear|grid|kdtree|rstar (default rstar)
+T: DBSCAN worker threads; 1 = sequential (default), 0 = all cores.
+   The clustering is identical for every value.";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -142,10 +145,12 @@ fn build_params(args: &Args) -> Result<DbdcParams, Box<dyn std::error::Error>> {
     let eps: f64 = args.require_as("eps")?;
     let min_pts: usize = args.require_as("min-pts")?;
     let index: dbdc_index::IndexKind = args.get_or("index", dbdc_index::IndexKind::RStar)?;
+    let threads: usize = args.get_or("threads", 1)?;
     Ok(DbdcParams::new(eps, min_pts)
         .with_eps_global(parse_eps_global(args)?)
         .with_model(parse_model(args)?)
-        .with_index(index))
+        .with_index(index)
+        .with_threads(threads))
 }
 
 fn cmd_generate(raw: &[String]) -> CliResult {
@@ -183,11 +188,12 @@ fn cmd_generate(raw: &[String]) -> CliResult {
 }
 
 fn cmd_central(raw: &[String]) -> CliResult {
-    let args = Args::parse(raw, &["input", "eps", "min-pts", "index", "out"])?;
+    let args = Args::parse(raw, &["input", "eps", "min-pts", "index", "threads", "out"])?;
     no_positionals(&args)?;
     let data = read_input(&args)?;
     let params = DbdcParams::new(args.require_as("eps")?, args.require_as("min-pts")?)
-        .with_index(args.get_or("index", dbdc_index::IndexKind::RStar)?);
+        .with_index(args.get_or("index", dbdc_index::IndexKind::RStar)?)
+        .with_threads(args.get_or("threads", 1)?);
     let (result, elapsed) = central_dbscan(&data, &params);
     println!(
         "central DBSCAN: {} points -> {} clusters, {} noise in {:.1} ms",
@@ -212,6 +218,7 @@ fn cmd_run(raw: &[String]) -> CliResult {
             "partitioner",
             "seed",
             "threaded",
+            "threads",
             "index",
             "out",
         ],
@@ -260,6 +267,7 @@ fn cmd_compare(raw: &[String]) -> CliResult {
             "model",
             "eps-global",
             "seed",
+            "threads",
             "index",
         ],
     )?;

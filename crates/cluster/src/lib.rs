@@ -15,6 +15,9 @@
 //!   alternative of Section 4, for comparisons.
 //! * [`mod@metric_dbscan`] — DBSCAN over arbitrary metric spaces via the
 //!   M-tree, demonstrating the "not confined to vector spaces" claim.
+//! * [`mod@par_dbscan`] — deterministic parallel DBSCAN: concurrent
+//!   ε-range queries on a scoped worker pool, core merging through a
+//!   [`union_find::UnionFind`], output bit-identical to [`dbscan::dbscan`].
 
 pub mod dbscan;
 pub mod incremental;
@@ -22,8 +25,10 @@ pub mod kdist;
 pub mod kmeans;
 pub mod metric_dbscan;
 pub mod optics;
+pub mod par_dbscan;
 pub mod scp;
 pub mod singlelink;
+pub mod union_find;
 
 pub use dbscan::{dbscan, dbscan_euclidean, DbscanParams, DbscanResult};
 pub use incremental::IncrementalDbscan;
@@ -31,5 +36,7 @@ pub use kdist::{k_distance, KDistance};
 pub use kmeans::{kmeans_pp, kmeans_seeded, KMeansParams, KMeansResult};
 pub use metric_dbscan::{metric_dbscan, MetricDbscanResult};
 pub use optics::{extract_dbscan, optics, OpticsResult};
+pub use par_dbscan::{effective_threads, par_dbscan, par_dbscan_with_scp, parallel_neighborhoods};
 pub use scp::{dbscan_with_scp, ScpResult, SpecificCorePoint};
 pub use singlelink::{single_link, Dendrogram, Merge};
+pub use union_find::UnionFind;

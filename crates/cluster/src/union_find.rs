@@ -1,0 +1,119 @@
+//! Disjoint-set union (union-find) over dense `u32` ids.
+//!
+//! The parallel DBSCAN merge phase ([`mod@crate::par_dbscan`]) unions every
+//! ε-adjacent pair of core points; each resulting set is exactly one
+//! density-connected cluster (Definitions 4-5 of the paper restricted to
+//! core points). Path-halving `find` plus union-by-rank gives the usual
+//! near-constant amortized cost, and the structure is deliberately tiny:
+//! two flat vectors, no per-element allocation.
+
+/// Disjoint-set forest over the ids `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind is indexed by u32");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements (not sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => (rb, ra),
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Equal => {
+                self.rank[ra as usize] += 1;
+                (ra, rb)
+            }
+        };
+        self.parent[lo as usize] = hi;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.len(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+        }
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 3), "already merged");
+        assert!(uf.same(0, 3));
+        assert!(!uf.same(0, 5));
+    }
+
+    #[test]
+    fn long_chain_collapses() {
+        let mut uf = UnionFind::new(1000);
+        for i in 0..999 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..1000 {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based determinism check for the parallel execution layer:
+//! on arbitrary data and parameters, `par_dbscan` must produce exactly
+//! the sequential `dbscan` output at every thread count, and
+//! `par_dbscan_with_scp` the exact `dbscan_with_scp` output.
+
+use dbdc_cluster::{dbscan, dbscan_with_scp, par_dbscan, par_dbscan_with_scp, DbscanParams};
+use dbdc_geom::Dataset;
+use dbdc_index::{build_index, IndexKind};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    // Same shape as dbscan_properties: clumps plus uniform background.
+    (
+        prop::collection::vec(((0.0..30.0f64, 0.0..30.0f64), 3..25usize), 1..4),
+        prop::collection::vec((0.0..30.0f64, 0.0..30.0f64), 0..15),
+    )
+        .prop_map(|(clumps, background)| {
+            let mut d = Dataset::new(2);
+            for ((cx, cy), n) in clumps {
+                for i in 0..n {
+                    let t = i as f64;
+                    d.push(&[cx + (t * 0.7).sin() * 0.8, cy + (t * 1.1).cos() * 0.8]);
+                }
+            }
+            for (x, y) in background {
+                d.push(&[x, y]);
+            }
+            d
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Labels, core flags, and query counts are identical to the
+    /// sequential algorithm at 1, 2, and 8 threads on every backend.
+    #[test]
+    fn parallel_labels_equal_sequential(
+        data in arb_dataset(),
+        eps in 0.5..3.0f64,
+        min_pts in 2usize..7,
+    ) {
+        let params = DbscanParams::new(eps, min_pts);
+        for kind in IndexKind::ALL {
+            let idx = build_index(kind, &data, dbdc_geom::Euclidean, eps);
+            let seq = dbscan(&data, idx.as_ref(), &params);
+            for threads in [1usize, 2, 8] {
+                let par = par_dbscan(&data, idx.as_ref(), &params, threads);
+                prop_assert_eq!(&seq.clustering, &par.clustering,
+                    "labels differ ({:?}, {} threads)", kind, threads);
+                prop_assert_eq!(&seq.core, &par.core,
+                    "core flags differ ({:?}, {} threads)", kind, threads);
+                prop_assert_eq!(seq.range_queries, par.range_queries,
+                    "query count differs ({:?}, {} threads)", kind, threads);
+            }
+        }
+    }
+
+    /// The scp-extracting variant replays the sequential selection
+    /// exactly: identical specific core points, ε-ranges, and accounting.
+    #[test]
+    fn parallel_scp_equals_sequential(
+        data in arb_dataset(),
+        eps in 0.5..3.0f64,
+        min_pts in 2usize..7,
+    ) {
+        let params = DbscanParams::new(eps, min_pts);
+        let idx = build_index(IndexKind::RStar, &data, dbdc_geom::Euclidean, eps);
+        let seq = dbscan_with_scp(&data, idx.as_ref(), &params);
+        for threads in [1usize, 2, 8] {
+            let par = par_dbscan_with_scp(&data, idx.as_ref(), &params, threads);
+            prop_assert_eq!(&seq.scp, &par.scp, "scp differ at {} threads", threads);
+            prop_assert_eq!(&seq.dbscan.clustering, &par.dbscan.clustering,
+                "labels differ at {} threads", threads);
+            prop_assert_eq!(&seq.dbscan.core, &par.dbscan.core,
+                "core flags differ at {} threads", threads);
+            prop_assert_eq!(seq.dbscan.range_queries, par.dbscan.range_queries,
+                "query count differs at {} threads", threads);
+        }
+    }
+}

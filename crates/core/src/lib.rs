@@ -66,5 +66,7 @@ pub use pdbscan::{run_pdbscan, PdbscanOutcome};
 pub use quality::{cluster_report, q_dbdc, ClusterMatch, ObjectQuality, QualityReport};
 pub use rachet::{run_rachet, ClusterSummary, RachetOutcome};
 pub use relabel::relabel_site;
-pub use runtime::{central_dbscan, run_dbdc, run_dbdc_threaded, DbdcOutcome, Timings};
+pub use runtime::{
+    central_dbscan, run_dbdc, run_dbdc_threaded, DbdcOutcome, PhaseThreads, Timings,
+};
 pub use streaming::{ClientSession, ServerSession};

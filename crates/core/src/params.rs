@@ -55,6 +55,12 @@ pub struct DbdcParams {
     pub model: LocalModelKind,
     /// Spatial index backend for the local DBSCAN runs.
     pub index: IndexKind,
+    /// Worker threads for each DBSCAN run (local phases and the central
+    /// baseline). `1` runs the classic sequential algorithm; any other
+    /// value uses the deterministic parallel execution layer
+    /// ([`mod@dbdc_cluster::par_dbscan`]), with `0` meaning "all available
+    /// cores". The clustering result is identical for every setting.
+    pub threads: usize,
 }
 
 impl DbdcParams {
@@ -77,7 +83,15 @@ impl DbdcParams {
             min_pts_global: 2,
             model: LocalModelKind::default(),
             index: IndexKind::default(),
+            threads: 1,
         }
+    }
+
+    /// Selects the DBSCAN worker-thread count (builder style); see
+    /// [`DbdcParams::threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Selects the local model kind (builder style).
@@ -151,10 +165,17 @@ mod tests {
     fn builder_style() {
         let p = DbdcParams::new(1.0, 3)
             .with_model(LocalModelKind::KMeans)
-            .with_index(dbdc_index::IndexKind::Grid);
+            .with_index(dbdc_index::IndexKind::Grid)
+            .with_threads(4);
         assert_eq!(p.model, LocalModelKind::KMeans);
         assert_eq!(p.index, dbdc_index::IndexKind::Grid);
         assert_eq!(p.model.name(), "REP_kMeans");
+        assert_eq!(p.threads, 4);
+    }
+
+    #[test]
+    fn threads_default_to_sequential() {
+        assert_eq!(DbdcParams::new(1.0, 3).threads, 1);
     }
 
     #[test]

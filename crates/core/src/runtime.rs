@@ -7,7 +7,11 @@
 //! carried out all local clusterings sequentially ... the overall runtime
 //! was formed by adding the time needed for the global clustering to the
 //! maximum time needed for the local clusterings") or with one thread per
-//! site for wall-clock validation.
+//! site for wall-clock validation. Independently of the per-site driver,
+//! [`DbdcParams::threads`] selects how many worker threads each DBSCAN run
+//! uses internally via the deterministic parallel execution layer
+//! ([`mod@dbdc_cluster::par_dbscan`]); every combination produces the same
+//! clustering.
 //!
 //! Local models travel through the wire codec in both modes, so the byte
 //! counts reported in [`DbdcOutcome`] are exact message sizes.
@@ -18,9 +22,25 @@ use crate::params::DbdcParams;
 use crate::partition::Partitioner;
 use crate::relabel::relabel_site;
 use crate::wire;
-use dbdc_cluster::{dbscan, dbscan_with_scp, DbscanParams, DbscanResult, ScpResult};
+use dbdc_cluster::{
+    dbscan, dbscan_with_scp, effective_threads, par_dbscan, par_dbscan_with_scp, DbscanParams,
+    DbscanResult, ScpResult,
+};
 use dbdc_geom::{Clustering, Dataset, Euclidean, Label};
 use std::time::{Duration, Instant};
+
+/// OS threads active in each protocol phase (diagnostic, recorded by the
+/// runtime): the product of concurrently running sites and the worker
+/// threads each site's DBSCAN uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseThreads {
+    /// Local clustering + model extraction.
+    pub local: usize,
+    /// Server-side global clustering.
+    pub global: usize,
+    /// Per-site relabeling.
+    pub relabel: usize,
+}
 
 /// Timings of all protocol phases.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +51,8 @@ pub struct Timings {
     pub global: Duration,
     /// Wall time of each site's relabeling.
     pub relabel: Vec<Duration>,
+    /// Thread counts per phase.
+    pub threads: PhaseThreads,
 }
 
 impl Timings {
@@ -72,6 +94,12 @@ pub struct DbdcOutcome {
     pub bytes_up: usize,
     /// Total server→client bytes (the encoded global model, once per site).
     pub bytes_down: usize,
+    /// Exact encoded size of each site's local model, in site order — the
+    /// actual upload message sizes the network cost model charges.
+    pub per_site_bytes_up: Vec<usize>,
+    /// Exact encoded size of the global model — the broadcast message every
+    /// site downloads.
+    pub global_model_bytes: usize,
     /// Total number of transmitted representatives.
     pub n_representatives: usize,
     /// Per-site point counts.
@@ -91,23 +119,21 @@ impl DbdcOutcome {
     }
 
     /// The paper's cost model extended with simulated network transfers
-    /// over `net`: concurrent model uploads (slowest site dominates), one
-    /// broadcast of the global model per site (also concurrent), plus the
-    /// compute phases.
+    /// over `net`: all sites upload their models concurrently, so the
+    /// **slowest link** — the site with the largest encoded model —
+    /// dominates ([`crate::network::NetworkModel::concurrent_upload`] over
+    /// the actual per-site message sizes, not an average). The global
+    /// model is then broadcast to every site concurrently, costing one
+    /// transfer of its exact encoded size. Compute phases come from
+    /// [`Timings::dbdc_total_with_relabel`].
     pub fn total_with_network(&self, net: &crate::network::NetworkModel) -> Duration {
-        let per_site_up = if self.n_sites == 0 {
-            0
+        let upload = net.concurrent_upload(&self.per_site_bytes_up);
+        let download = if self.n_sites == 0 {
+            Duration::ZERO
         } else {
-            self.bytes_up.div_ceil(self.n_sites)
+            net.transfer_time(self.global_model_bytes)
         };
-        let per_site_down = if self.n_sites == 0 {
-            0
-        } else {
-            self.bytes_down / self.n_sites.max(1)
-        };
-        self.timings.dbdc_total_with_relabel()
-            + net.transfer_time(per_site_up)
-            + net.transfer_time(per_site_down)
+        self.timings.dbdc_total_with_relabel() + upload + download
     }
 }
 
@@ -122,7 +148,11 @@ fn local_phase(
     let t0 = Instant::now();
     let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
     let index = dbdc_index::build_index(params.index, site_data, Euclidean, params.eps_local);
-    let scp = dbscan_with_scp(site_data, index.as_ref(), &dbscan_params);
+    let scp = if params.threads == 1 {
+        dbscan_with_scp(site_data, index.as_ref(), &dbscan_params)
+    } else {
+        par_dbscan_with_scp(site_data, index.as_ref(), &dbscan_params, params.threads)
+    };
     let model: LocalModel = build_local_model(params.model, site_data, &scp, site);
     let encoded = wire::encode_local_model(&model);
     (scp, encoded, t0.elapsed())
@@ -137,16 +167,18 @@ pub fn run_dbdc(
 ) -> DbdcOutcome {
     let assignment = partitioner.assign(data, n_sites);
     let (parts, back) = data.partition(n_sites, &assignment);
-    let mut locals: Vec<(ScpResult, bytes::Bytes, Duration)> = Vec::with_capacity(n_sites);
-    for (site, part) in parts.iter().enumerate() {
-        locals.push(local_phase(site as u32, part, params));
-    }
-    assemble(data, params, parts, back, locals, None)
+    let locals: Vec<(ScpResult, bytes::Bytes, Duration)> = parts
+        .iter()
+        .enumerate()
+        .map(|(site, part)| local_phase(site as u32, part, params))
+        .collect();
+    assemble(data, params, parts, back, locals, false)
 }
 
-/// Runs the full DBDC protocol with one OS thread per site. The timings
-/// still record per-site wall time; the protocol result is identical to the
-/// sequential mode (asserted by tests).
+/// Runs the full DBDC protocol with one OS thread per site, each spawning
+/// [`DbdcParams::threads`] DBSCAN workers. The timings still record
+/// per-site wall time; the protocol result is identical to the sequential
+/// mode (asserted by tests).
 pub fn run_dbdc_threaded(
     data: &Dataset,
     params: &DbdcParams,
@@ -155,23 +187,18 @@ pub fn run_dbdc_threaded(
 ) -> DbdcOutcome {
     let assignment = partitioner.assign(data, n_sites);
     let (parts, back) = data.partition(n_sites, &assignment);
-    let slots: Vec<parking_lot::Mutex<Option<(ScpResult, bytes::Bytes, Duration)>>> = (0..n_sites)
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    crossbeam::thread::scope(|scope| {
-        for (site, part) in parts.iter().enumerate() {
-            let slot = &slots[site];
-            scope.spawn(move |_| {
-                *slot.lock() = Some(local_phase(site as u32, part, params));
-            });
-        }
-    })
-    .expect("site thread panicked");
-    let locals: Vec<(ScpResult, bytes::Bytes, Duration)> = slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("every site completed"))
-        .collect();
-    assemble(data, params, parts, back, locals, Some(()))
+    let locals: Vec<(ScpResult, bytes::Bytes, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(site, part)| scope.spawn(move || local_phase(site as u32, part, params)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("site thread panicked"))
+            .collect()
+    });
+    assemble(data, params, parts, back, locals, true)
 }
 
 /// Server + relabel phases shared by both modes.
@@ -181,11 +208,12 @@ fn assemble(
     parts: Vec<Dataset>,
     back: Vec<Vec<u32>>,
     locals: Vec<(ScpResult, bytes::Bytes, Duration)>,
-    threaded: Option<()>,
+    threaded: bool,
 ) -> DbdcOutcome {
     // --- Server: decode the models, cluster the representatives. ---
     let t_global = Instant::now();
-    let bytes_up: usize = locals.iter().map(|(_, b, _)| b.len()).sum();
+    let per_site_bytes_up: Vec<usize> = locals.iter().map(|(_, b, _)| b.len()).collect();
+    let bytes_up: usize = per_site_bytes_up.iter().sum();
     let models: Vec<LocalModel> = locals
         .iter()
         .map(|(_, b, _)| wire::decode_local_model(b).expect("self-encoded model decodes"))
@@ -194,47 +222,44 @@ fn assemble(
     let global = build_global_model(&models, params);
     let encoded_global = wire::encode_global_model(&global);
     let global_time = t_global.elapsed();
-    let bytes_down = encoded_global.len() * parts.len();
+    let global_model_bytes = encoded_global.len();
+    let bytes_down = global_model_bytes * parts.len();
 
-    // --- Clients: relabel (sequentially or threaded). ---
+    // --- Clients: relabel (sequentially or one thread per site). ---
     let n_sites = parts.len();
-    let mut site_labels: Vec<Clustering> = Vec::with_capacity(n_sites);
-    let mut relabel_times = vec![Duration::ZERO; n_sites];
-    if threaded.is_some() {
-        let slots: Vec<parking_lot::Mutex<Option<(Clustering, Duration)>>> = (0..n_sites)
-            .map(|_| parking_lot::Mutex::new(None))
-            .collect();
-        crossbeam::thread::scope(|scope| {
-            for (site, part) in parts.iter().enumerate() {
-                let slot = &slots[site];
-                let local = &locals[site].0;
-                let global = &global;
-                let encoded_global = &encoded_global;
-                scope.spawn(move |_| {
-                    let t0 = Instant::now();
-                    // Each site decodes the broadcast copy.
-                    let g = wire::decode_global_model(encoded_global)
-                        .expect("self-encoded model decodes");
-                    debug_assert_eq!(g.n_clusters, global.n_clusters);
-                    let labels = relabel_site(part, &local.dbscan.clustering, &g);
-                    *slot.lock() = Some((labels, t0.elapsed()));
-                });
-            }
+    let relabel_one = |site: usize, part: &Dataset| -> (Clustering, Duration) {
+        let t0 = Instant::now();
+        // Each site decodes the broadcast copy.
+        let g = wire::decode_global_model(&encoded_global).expect("self-encoded model decodes");
+        debug_assert_eq!(g.n_clusters, global.n_clusters);
+        let labels = relabel_site(part, &locals[site].0.dbscan.clustering, &g);
+        (labels, t0.elapsed())
+    };
+    let relabeled: Vec<(Clustering, Duration)> = if threaded {
+        std::thread::scope(|scope| {
+            let relabel_one = &relabel_one;
+            let handles: Vec<_> = parts
+                .iter()
+                .enumerate()
+                .map(|(site, part)| scope.spawn(move || relabel_one(site, part)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("relabel thread panicked"))
+                .collect()
         })
-        .expect("relabel thread panicked");
-        for (site, slot) in slots.into_iter().enumerate() {
-            let (labels, t) = slot.into_inner().expect("every site completed");
-            site_labels.push(labels);
-            relabel_times[site] = t;
-        }
     } else {
-        for (site, part) in parts.iter().enumerate() {
-            let t0 = Instant::now();
-            let g = wire::decode_global_model(&encoded_global).expect("self-encoded model decodes");
-            let labels = relabel_site(part, &locals[site].0.dbscan.clustering, &g);
-            site_labels.push(labels);
-            relabel_times[site] = t0.elapsed();
-        }
+        parts
+            .iter()
+            .enumerate()
+            .map(|(site, part)| relabel_one(site, part))
+            .collect()
+    };
+    let mut site_labels: Vec<Clustering> = Vec::with_capacity(n_sites);
+    let mut relabel_times: Vec<Duration> = Vec::with_capacity(n_sites);
+    for (labels, t) in relabeled {
+        site_labels.push(labels);
+        relabel_times.push(t);
     }
 
     // --- Reassemble the full clustering in original order. ---
@@ -246,6 +271,8 @@ fn assemble(
     }
     let assignment = Clustering::from_labels(full);
 
+    let workers = effective_threads(params.threads);
+    let sites_in_flight = if threaded { n_sites.max(1) } else { 1 };
     DbdcOutcome {
         n_sites,
         assignment,
@@ -253,10 +280,17 @@ fn assemble(
             local: locals.iter().map(|(_, _, t)| *t).collect(),
             global: global_time,
             relabel: relabel_times,
+            threads: PhaseThreads {
+                local: sites_in_flight * workers,
+                global: 1,
+                relabel: sites_in_flight,
+            },
         },
         global,
         bytes_up,
         bytes_down,
+        per_site_bytes_up,
+        global_model_bytes,
         n_representatives,
         site_sizes: parts.iter().map(|p| p.len()).collect(),
     }
@@ -264,12 +298,17 @@ fn assemble(
 
 /// The central baseline: one DBSCAN over the complete dataset with the
 /// local parameters, timed. This is the `CL_central` reference of Section 8
-/// and the efficiency baseline of Section 9.
+/// and the efficiency baseline of Section 9. Honors
+/// [`DbdcParams::threads`] like the local phases do.
 pub fn central_dbscan(data: &Dataset, params: &DbdcParams) -> (DbscanResult, Duration) {
     let t0 = Instant::now();
     let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
     let index = dbdc_index::build_index(params.index, data, Euclidean, params.eps_local);
-    let result = dbscan(data, index.as_ref(), &dbscan_params);
+    let result = if params.threads == 1 {
+        dbscan(data, index.as_ref(), &dbscan_params)
+    } else {
+        par_dbscan(data, index.as_ref(), &dbscan_params, params.threads)
+    };
     (result, t0.elapsed())
 }
 
@@ -328,6 +367,45 @@ mod tests {
     }
 
     #[test]
+    fn every_thread_count_gives_the_same_outcome() {
+        // The determinism guarantee end to end: sequential and threaded
+        // drivers, with 1/2/8 intra-site workers, all produce the same
+        // protocol result.
+        let g = dataset_c(12);
+        let base = run_dbdc(&g.data, &params(), Partitioner::RandomEqual { seed: 7 }, 3);
+        for threads in [0, 1, 2, 8] {
+            let p = params().with_threads(threads);
+            for threaded in [false, true] {
+                let out = if threaded {
+                    run_dbdc_threaded(&g.data, &p, Partitioner::RandomEqual { seed: 7 }, 3)
+                } else {
+                    run_dbdc(&g.data, &p, Partitioner::RandomEqual { seed: 7 }, 3)
+                };
+                assert_eq!(
+                    base.assignment, out.assignment,
+                    "threads={threads} threaded={threaded}"
+                );
+                assert_eq!(base.bytes_up, out.bytes_up);
+                assert_eq!(base.per_site_bytes_up, out.per_site_bytes_up);
+                assert_eq!(base.global_model_bytes, out.global_model_bytes);
+                assert_eq!(base.n_representatives, out.n_representatives);
+            }
+        }
+    }
+
+    #[test]
+    fn central_baseline_is_thread_count_invariant() {
+        let g = dataset_c(13);
+        let (seq, _) = central_dbscan(&g.data, &params());
+        for threads in [0, 2, 8] {
+            let (par, _) = central_dbscan(&g.data, &params().with_threads(threads));
+            assert_eq!(seq.clustering, par.clustering, "threads={threads}");
+            assert_eq!(seq.core, par.core);
+            assert_eq!(seq.range_queries, par.range_queries);
+        }
+    }
+
+    #[test]
     fn transmission_is_small() {
         let g = dataset_c(4);
         let p = params();
@@ -367,6 +445,34 @@ mod tests {
     }
 
     #[test]
+    fn phase_thread_counts_are_recorded() {
+        let g = dataset_c(11);
+        let seq = run_dbdc(&g.data, &params(), Partitioner::RoundRobin, 3);
+        assert_eq!(
+            seq.timings.threads,
+            PhaseThreads {
+                local: 1,
+                global: 1,
+                relabel: 1
+            }
+        );
+        let thr = run_dbdc_threaded(
+            &g.data,
+            &params().with_threads(2),
+            Partitioner::RoundRobin,
+            3,
+        );
+        assert_eq!(
+            thr.timings.threads,
+            PhaseThreads {
+                local: 6,
+                global: 1,
+                relabel: 3
+            }
+        );
+    }
+
+    #[test]
     fn empty_dataset_runs() {
         let d = Dataset::new(2);
         let outcome = run_dbdc(&d, &params(), Partitioner::RoundRobin, 2);
@@ -393,5 +499,56 @@ mod tests {
         let with_slow = outcome.total_with_network(&slow);
         assert!(with_lan > base);
         assert!(with_slow > with_lan, "slow uplink must dominate LAN");
+    }
+
+    #[test]
+    fn network_cost_charges_slowest_site_exactly() {
+        // The upload phase is concurrent: the site with the largest encoded
+        // model determines the cost, not the per-site average.
+        let g = dataset_c(9);
+        let outcome = run_dbdc(&g.data, &params(), Partitioner::RandomEqual { seed: 3 }, 4);
+        assert_eq!(outcome.per_site_bytes_up.len(), 4);
+        assert_eq!(
+            outcome.per_site_bytes_up.iter().sum::<usize>(),
+            outcome.bytes_up
+        );
+        assert_eq!(
+            outcome.global_model_bytes * outcome.n_sites,
+            outcome.bytes_down
+        );
+        let net = crate::network::NetworkModel::wan();
+        let slowest = *outcome.per_site_bytes_up.iter().max().unwrap();
+        let expected = outcome.timings.dbdc_total_with_relabel()
+            + net.transfer_time(slowest)
+            + net.transfer_time(outcome.global_model_bytes);
+        assert_eq!(outcome.total_with_network(&net), expected);
+    }
+
+    #[test]
+    fn network_cost_without_sites_is_pure_compute() {
+        // `run_dbdc` insists on at least one site, so build the degenerate
+        // outcome by hand: no uploads, no broadcast, only compute time.
+        let outcome = DbdcOutcome {
+            n_sites: 0,
+            global: GlobalModel {
+                dim: 2,
+                reps: Vec::new(),
+                n_clusters: 0,
+                eps_global: 1.0,
+            },
+            assignment: Clustering::from_labels(Vec::new()),
+            timings: Timings::default(),
+            bytes_up: 0,
+            bytes_down: 0,
+            per_site_bytes_up: Vec::new(),
+            global_model_bytes: 0,
+            n_representatives: 0,
+            site_sizes: Vec::new(),
+        };
+        let net = crate::network::NetworkModel::wan();
+        assert_eq!(
+            outcome.total_with_network(&net),
+            outcome.timings.dbdc_total_with_relabel()
+        );
     }
 }

@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion` (0.7 API subset).
+//!
+//! Each benchmark does one warm-up pass, then repeats the routine until
+//! ~`Criterion::measurement_budget` of wall-clock time has elapsed
+//! (bounded by the configured sample size), and prints the mean
+//! iteration time to stdout. There is no statistical analysis, outlier
+//! detection, or `target/criterion` report output — just honest means,
+//! which is what the workspace's benches log into CHANGES.md.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the stub times setup and routine
+/// separately regardless, so the variants only bound batch size.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled in by `iter`/`iter_batched`: (total routine time, iters).
+    measurement: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let budget = self.config.measurement_budget;
+        let mut elapsed = Duration::ZERO;
+        while iters < self.config.sample_size as u64 && elapsed < budget {
+            black_box(routine());
+            iters += 1;
+            elapsed = start.elapsed();
+        }
+        self.measurement = Some((elapsed, iters.max(1)));
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut iters = 0u64;
+        let mut in_routine = Duration::ZERO;
+        let wall = Instant::now();
+        let budget = self.config.measurement_budget;
+        while iters < self.config.sample_size as u64 && wall.elapsed() < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            in_routine += start.elapsed();
+            iters += 1;
+        }
+        self.measurement = Some((in_routine, iters.max(1)));
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_budget: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 100,
+            measurement_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Top-level benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, None, id.into(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: self.config.clone(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_budget = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, Some(&self.name), id.into(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.config, Some(&self.name), id.into(), |b| {
+            b_call(&mut f, b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn b_call<I: ?Sized, F: FnMut(&mut Bencher, &I)>(f: &mut F, b: &mut Bencher, input: &I) {
+    f(b, input)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &Config,
+    group: Option<&str>,
+    id: BenchmarkId,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        config,
+        measurement: None,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id,
+    };
+    match bencher.measurement {
+        Some((total, iters)) => {
+            let mean = total / u32::try_from(iters).unwrap_or(u32::MAX);
+            println!("{label:<60} mean {mean:>12.3?}   ({iters} iters)");
+        }
+        None => println!("{label:<60} (no measurement recorded)"),
+    }
+}
+
+/// Build a group-runner function from benchmark functions
+/// (`criterion_group!(benches, f1, f2)` — simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Build a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(calls > 1, "warm-up plus at least one measured iter");
+    }
+}

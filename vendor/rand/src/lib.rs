@@ -1,0 +1,222 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! Provides [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64),
+//! [`SeedableRng::seed_from_u64`], and [`Rng::random_range`] over
+//! floating-point and integer ranges — the only surface this workspace
+//! uses. Seeded sequences are deterministic across runs and platforms,
+//! but are not bit-compatible with upstream `rand`.
+
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng {
+    /// xoshiro256++ generator, the same family upstream `StdRng` has
+    /// used historically. Small state, passes BigCrush, and is cheap to
+    /// seed deterministically.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // SplitMix64 expansion, per Vigna's reference seeding.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding trait; only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_u64_seed(seed)
+    }
+}
+
+/// Random value generation; `random_range` mirrors rand 0.9 semantics
+/// (uniform over the given range, panics on an empty range).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn random_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub mod distr {
+    use super::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce a uniform sample of `T`.
+    ///
+    /// Mirroring upstream, there is exactly **one** impl per range shape,
+    /// generic over [`SampleUniform`] — type inference can then flow from
+    /// the use site into untyped integer range literals (e.g.
+    /// `v[rng.random_range(0..3)]` infers `usize`).
+    pub trait SampleRange<T> {
+        fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            T::sample_inclusive(rng, start, end)
+        }
+    }
+
+    /// Types uniformly samplable from a range.
+    pub trait SampleUniform: Sized {
+        fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self;
+        fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self;
+    }
+
+    macro_rules! float_sample_uniform {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                    assert!(start < end, "empty float range");
+                    let v = start + (end - start) * rng.random_f64() as $t;
+                    // Rounding can land exactly on the excluded endpoint.
+                    if v < end {
+                        v
+                    } else {
+                        start
+                    }
+                }
+
+                fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                    assert!(start <= end, "empty float range");
+                    start + (end - start) * rng.random_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    float_sample_uniform!(f32, f64);
+
+    /// Multiply-shift uniform in `[0, span)`. The modulo bias is at most
+    /// `span / 2^64`, far below anything observable in tests.
+    fn below<R: Rng>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! int_sample_uniform {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                    assert!(start < end, "empty integer range");
+                    let span = (end as i128 - start as i128) as u128 as u64;
+                    (start as i128 + below(rng, span) as i128) as $t
+                }
+
+                fn sample_inclusive<R: Rng>(rng: &mut R, start: Self, end: Self) -> Self {
+                    assert!(start <= end, "empty integer range");
+                    let span = (end as i128 - start as i128) as u128 as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (start as i128 + below(rng, span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let f = rng.random_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&f));
+            let u = rng.random_range(3..9usize);
+            assert!((3..9).contains(&u));
+            let i = rng.random_range(-4..=4i32);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

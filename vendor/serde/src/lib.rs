@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only references serde behind optional, default-off
+//! feature gates (`cfg_attr(feature = "serde", derive(...))`). This
+//! crate exists so those optional dependency declarations resolve
+//! without registry access; it intentionally provides no items. If a
+//! downstream crate turns its `serde` feature on, the build fails
+//! loudly here rather than silently skipping serialization.
