@@ -4,13 +4,34 @@
 //! core count only measure scheduling overhead, so the sweep is still run
 //! (the determinism contract must hold everywhere) but speedup claims
 //! should be read against `std::thread::available_parallelism`.
+//!
+//! Besides the criterion timings, the harness writes
+//! `BENCH_par_dbscan.json` at the repository root: a `RunReport` (the
+//! same schema `dbdc-cli --metrics-out` emits) with per-configuration
+//! mean walls as spans and one observed run's work counters per
+//! configuration. The timing loops run *unobserved* — the report's
+//! counters come from separate instrumented runs, so the emitted means
+//! are the no-op-recorder baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dbdc_cluster::{dbscan, par_dbscan, DbscanParams};
+use dbdc_cluster::{dbscan, par_dbscan, par_dbscan_observed, DbscanParams};
 use dbdc_datagen::dataset_c;
 use dbdc_geom::Euclidean;
-use dbdc_index::{build_index, IndexKind};
+use dbdc_index::{build_index, build_index_observed, IndexKind};
+use dbdc_obs::{DatasetInfo, Recorder, RecordingRecorder, RunReport, Span};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const REPORT_ITERS: u32 = 10;
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn mean_wall(mut f: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..REPORT_ITERS {
+        f();
+    }
+    t0.elapsed() / REPORT_ITERS
+}
 
 fn bench_seq_vs_parallel(c: &mut Criterion) {
     let g = dataset_c(42);
@@ -31,12 +52,82 @@ fn bench_seq_vs_parallel(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         b.iter(|| black_box(dbscan(&g.data, idx.as_ref(), &params)));
     });
-    for threads in [1usize, 2, 4, 8] {
+    for threads in THREAD_SWEEP {
         group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
             b.iter(|| black_box(par_dbscan(&g.data, idx.as_ref(), &params, t)));
         });
     }
     group.finish();
+
+    write_run_report(&g, &params);
+}
+
+/// Emits `BENCH_par_dbscan.json`: mean walls per configuration plus the
+/// observed work counters of one instrumented run each.
+fn write_run_report(g: &dbdc_datagen::GeneratedData, params: &DbscanParams) {
+    let idx = build_index(IndexKind::RStar, &g.data, Euclidean, params.eps);
+    let t0 = Instant::now();
+    let mut root = Span::new("bench_par_dbscan", Duration::ZERO);
+    root.push(Span::new(
+        "sequential",
+        mean_wall(|| {
+            black_box(dbscan(&g.data, idx.as_ref(), params));
+        }),
+    ));
+    for threads in THREAD_SWEEP {
+        root.push(
+            Span::new(
+                format!("parallel[{threads}]"),
+                mean_wall(|| {
+                    black_box(par_dbscan(&g.data, idx.as_ref(), params, threads));
+                }),
+            )
+            .with_threads(threads),
+        );
+    }
+    root.wall = t0.elapsed();
+
+    // Work counters: one observed run per configuration, outside the
+    // timing loops.
+    let rec = RecordingRecorder::new();
+    let seq_sheet = rec.sheet("sequential").expect("recording recorder");
+    let seq_idx = build_index_observed(
+        IndexKind::RStar,
+        &g.data,
+        Euclidean,
+        params.eps,
+        Some(&seq_sheet),
+    );
+    dbscan(&g.data, seq_idx.as_ref(), params);
+    let threads = 2usize;
+    let par_sheet = rec
+        .sheet(&format!("parallel[{threads}]"))
+        .expect("recording recorder");
+    let par_idx = build_index_observed(
+        IndexKind::RStar,
+        &g.data,
+        Euclidean,
+        params.eps,
+        Some(&par_sheet),
+    );
+    par_dbscan_observed(&g.data, par_idx.as_ref(), params, threads, Some(&par_sheet));
+
+    let mut report = RunReport::new("bench_par_dbscan")
+        .with_param("dataset", "c")
+        .with_param("eps", params.eps)
+        .with_param("min_pts", params.min_pts)
+        .with_param("index", IndexKind::RStar.name())
+        .with_param("report_iters", REPORT_ITERS);
+    report.dataset = Some(DatasetInfo {
+        points: g.data.len(),
+        dim: g.data.dim(),
+    });
+    report.spans = vec![root];
+    report.scopes = rec.scopes();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par_dbscan.json");
+    std::fs::write(path, report.to_json_string()).expect("write BENCH_par_dbscan.json");
+    println!("wrote {path}");
 }
 
 criterion_group!(benches, bench_seq_vs_parallel);

@@ -12,14 +12,17 @@ mod args;
 mod csv;
 
 use args::Args;
+use dbdc::observe::{cluster_stats, link_preset};
 use dbdc::{
-    central_dbscan, q_dbdc, run_dbdc, run_dbdc_threaded, DbdcParams, EpsGlobal, LocalModelKind,
-    ObjectQuality, Partitioner,
+    central_dbscan_recorded, dbdc_run_report, q_dbdc, run_dbdc_recorded,
+    run_dbdc_threaded_recorded, DbdcParams, EpsGlobal, LocalModelKind, ObjectQuality, Partitioner,
 };
 use dbdc_geom::Dataset;
+use dbdc_obs::{fmt_ms, DatasetInfo, NoopRecorder, Recorder, RecordingRecorder, RunReport, Span};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
         "plot" => cmd_plot(rest),
         "suggest" => cmd_suggest(rest),
         "stream" => cmd_stream(rest),
+        "report" => cmd_report(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -75,12 +79,64 @@ commands:
       [--drift D] [--seed S]
       replay the file as a stream into incremental client sessions and an
       incremental server; report transmissions saved by drift gating
+  report --input FILE [--require NAME,NAME,...]
+      render a --metrics-out JSON report; fail unless every --require'd
+      phase span is present
 
 KIND: linear|grid|kdtree|rstar (default rstar)
 T: DBSCAN worker threads; 1 = sequential (default), 0 = all cores.
-   The clustering is identical for every value.";
+   The clustering is identical for every value.
+
+observability (every command):
+  --trace              print the phase-span tree and counter scopes
+  --metrics-out FILE   write the full RunReport as JSON
+  --link lan|wan|slow_uplink   link preset for the modeled upload/broadcast
+                       spans in run/compare reports (default wan)";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Whether the command should assemble a [`RunReport`] at all.
+fn wants_report(args: &Args) -> bool {
+    args.switch("trace") || args.get("metrics-out").is_some()
+}
+
+/// Emits an assembled report: `--trace` prints the rendered form,
+/// `--metrics-out FILE` writes the JSON.
+fn finish_report(args: &Args, report: &RunReport) -> CliResult {
+    if args.switch("trace") {
+        print!("{}", report.render());
+    }
+    if let Some(path) = args.get("metrics-out") {
+        std::fs::write(path, report.to_json_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// The modeled-transfer link preset for run/compare reports.
+fn parse_link(args: &Args) -> Result<&str, Box<dyn std::error::Error>> {
+    let link = args.get("link").unwrap_or("wan");
+    if link_preset(link).is_none() {
+        return Err(format!("--link expects lan|wan|slow_uplink, got {link:?}").into());
+    }
+    Ok(link)
+}
+
+/// A minimal report for commands without a distributed run: one span,
+/// the input dataset, and whatever scopes the recorder collected.
+fn simple_report(
+    command: &str,
+    dataset: Option<DatasetInfo>,
+    span: Span,
+    rec: &RecordingRecorder,
+) -> RunReport {
+    let mut report = RunReport::new(command);
+    report.dataset = dataset;
+    report.spans = vec![span];
+    report.scopes = rec.scopes();
+    report
+}
 
 /// Rejects stray positional arguments — every subcommand is flag-driven.
 fn no_positionals(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -154,9 +210,13 @@ fn build_params(args: &Args) -> Result<DbdcParams, Box<dyn std::error::Error>> {
 }
 
 fn cmd_generate(raw: &[String]) -> CliResult {
-    let args = Args::parse(raw, &["set", "seed", "n", "out", "truth"])?;
+    let args = Args::parse(
+        raw,
+        &["set", "seed", "n", "out", "truth", "trace", "metrics-out"],
+    )?;
     no_positionals(&args)?;
     let seed: u64 = args.get_or("seed", 42)?;
+    let t0 = Instant::now();
     let g = match args.require("set")? {
         "a" | "A" => match args.get("n") {
             Some(_) => dbdc_datagen::scaled_a(args.require_as("n")?, seed),
@@ -166,6 +226,7 @@ fn cmd_generate(raw: &[String]) -> CliResult {
         "c" | "C" => dbdc_datagen::dataset_c(seed),
         other => return Err(format!("--set expects a|b|c, got {other:?}").into()),
     };
+    let gen_time = t0.elapsed();
     println!(
         "generated {} points, {} true clusters (suggested: --eps {} --min-pts {})",
         g.data.len(),
@@ -184,24 +245,71 @@ fn cmd_generate(raw: &[String]) -> CliResult {
         }
         None => csv::write_dataset(std::io::stdout().lock(), &g.data, truth)?,
     }
+    if wants_report(&args) {
+        let report = simple_report(
+            "generate",
+            Some(DatasetInfo {
+                points: g.data.len(),
+                dim: g.data.dim(),
+            }),
+            Span::new("generate", gen_time),
+            &RecordingRecorder::new(),
+        )
+        .with_param("set", args.require("set")?)
+        .with_param("seed", seed);
+        finish_report(&args, &report)?;
+    }
     Ok(())
 }
 
 fn cmd_central(raw: &[String]) -> CliResult {
-    let args = Args::parse(raw, &["input", "eps", "min-pts", "index", "threads", "out"])?;
+    let args = Args::parse(
+        raw,
+        &[
+            "input",
+            "eps",
+            "min-pts",
+            "index",
+            "threads",
+            "out",
+            "trace",
+            "metrics-out",
+        ],
+    )?;
     no_positionals(&args)?;
     let data = read_input(&args)?;
     let params = DbdcParams::new(args.require_as("eps")?, args.require_as("min-pts")?)
         .with_index(args.get_or("index", dbdc_index::IndexKind::RStar)?)
         .with_threads(args.get_or("threads", 1)?);
-    let (result, elapsed) = central_dbscan(&data, &params);
+    let wants = wants_report(&args);
+    let rec = RecordingRecorder::new();
+    let recorder: &dyn Recorder = if wants { &rec } else { &NoopRecorder };
+    let (result, elapsed) = central_dbscan_recorded(&data, &params, recorder);
     println!(
-        "central DBSCAN: {} points -> {} clusters, {} noise in {:.1} ms",
+        "central DBSCAN: {} points -> {} clusters, {} noise in {}",
         data.len(),
         result.clustering.n_clusters(),
         result.clustering.n_noise(),
-        elapsed.as_secs_f64() * 1e3
+        fmt_ms(elapsed)
     );
+    if wants {
+        let mut report = RunReport::new("central")
+            .with_param("eps_local", params.eps_local)
+            .with_param("min_pts_local", params.min_pts_local)
+            .with_param("index", params.index.name())
+            .with_param("threads", params.threads);
+        report.dataset = Some(DatasetInfo {
+            points: data.len(),
+            dim: data.dim(),
+        });
+        report.spans = rec.spans();
+        report.scopes = rec.scopes();
+        report.clusters = Some(cluster_stats(
+            result.clustering.n_clusters() as usize,
+            result.clustering.labels(),
+        ));
+        finish_report(&args, &report)?;
+    }
     write_output(&args, &data, &result.clustering)
 }
 
@@ -221,6 +329,9 @@ fn cmd_run(raw: &[String]) -> CliResult {
             "threads",
             "index",
             "out",
+            "trace",
+            "metrics-out",
+            "link",
         ],
     )?;
     no_positionals(&args)?;
@@ -229,10 +340,14 @@ fn cmd_run(raw: &[String]) -> CliResult {
     let sites: usize = args.require_as("sites")?;
     let seed: u64 = args.get_or("seed", 42)?;
     let part = parse_partitioner(&args, seed)?;
+    let link = parse_link(&args)?;
+    let wants = wants_report(&args);
+    let rec = RecordingRecorder::new();
+    let recorder: &dyn Recorder = if wants { &rec } else { &NoopRecorder };
     let outcome = if args.switch("threaded") {
-        run_dbdc_threaded(&data, &params, part, sites)
+        run_dbdc_threaded_recorded(&data, &params, part, sites, recorder)
     } else {
-        run_dbdc(&data, &params, part, sites)
+        run_dbdc_recorded(&data, &params, part, sites, recorder)
     };
     println!(
         "DBDC({}) over {sites} sites: {} clusters, {} noise",
@@ -248,11 +363,19 @@ fn cmd_run(raw: &[String]) -> CliResult {
         outcome.bytes_down
     );
     println!(
-        "timings: local max {:.1} ms, global {:.1} ms, total {:.1} ms",
-        outcome.timings.local_max().as_secs_f64() * 1e3,
-        outcome.timings.global.as_secs_f64() * 1e3,
-        outcome.timings.dbdc_total().as_secs_f64() * 1e3
+        "per-site upload bytes: {:?}; global model: {} B per site",
+        outcome.per_site_bytes_up, outcome.global_model_bytes
     );
+    println!(
+        "timings: local max {}, global {}, total {}",
+        fmt_ms(outcome.timings.local_max()),
+        fmt_ms(outcome.timings.global),
+        fmt_ms(outcome.timings.dbdc_total())
+    );
+    if wants {
+        let report = dbdc_run_report("run", data.dim(), &params, &outcome, &rec, Some(link));
+        finish_report(&args, &report)?;
+    }
     write_output(&args, &data, &outcome.assignment)
 }
 
@@ -269,6 +392,9 @@ fn cmd_compare(raw: &[String]) -> CliResult {
             "seed",
             "threads",
             "index",
+            "trace",
+            "metrics-out",
+            "link",
         ],
     )?;
     no_positionals(&args)?;
@@ -276,8 +402,18 @@ fn cmd_compare(raw: &[String]) -> CliResult {
     let params = build_params(&args)?;
     let sites: usize = args.require_as("sites")?;
     let seed: u64 = args.get_or("seed", 42)?;
-    let (central, central_time) = central_dbscan(&data, &params);
-    let outcome = run_dbdc(&data, &params, Partitioner::RandomEqual { seed }, sites);
+    let link = parse_link(&args)?;
+    let wants = wants_report(&args);
+    let rec = RecordingRecorder::new();
+    let recorder: &dyn Recorder = if wants { &rec } else { &NoopRecorder };
+    let (central, central_time) = central_dbscan_recorded(&data, &params, recorder);
+    let outcome = run_dbdc_recorded(
+        &data,
+        &params,
+        Partitioner::RandomEqual { seed },
+        sites,
+        recorder,
+    );
     let p1 = q_dbdc(
         &outcome.assignment,
         &central.clustering,
@@ -287,12 +423,12 @@ fn cmd_compare(raw: &[String]) -> CliResult {
     );
     let p2 = q_dbdc(&outcome.assignment, &central.clustering, ObjectQuality::PII);
     println!(
-        "central: {} clusters in {:.1} ms | DBDC({}): {} clusters in {:.1} ms (speedup {:.2}x)",
+        "central: {} clusters in {} | DBDC({}): {} clusters in {} (speedup {:.2}x)",
         central.clustering.n_clusters(),
-        central_time.as_secs_f64() * 1e3,
+        fmt_ms(central_time),
         params.model.name(),
         outcome.assignment.n_clusters(),
-        outcome.timings.dbdc_total().as_secs_f64() * 1e3,
+        fmt_ms(outcome.timings.dbdc_total()),
         central_time.as_secs_f64() / outcome.timings.dbdc_total().as_secs_f64()
     );
     println!(
@@ -302,21 +438,48 @@ fn cmd_compare(raw: &[String]) -> CliResult {
         100.0 * outcome.representative_fraction(),
         outcome.bytes_up
     );
+    println!(
+        "per-site upload bytes: {:?}; global model: {} B per site",
+        outcome.per_site_bytes_up, outcome.global_model_bytes
+    );
+    if wants {
+        let mut report =
+            dbdc_run_report("compare", data.dim(), &params, &outcome, &rec, Some(link));
+        report.params.push(("p_i".into(), format!("{:.4}", p1.q)));
+        report.params.push(("p_ii".into(), format!("{:.4}", p2.q)));
+        finish_report(&args, &report)?;
+    }
     Ok(())
 }
 
 fn cmd_plot(raw: &[String]) -> CliResult {
-    let args = Args::parse(raw, &["input", "out", "eps", "min-pts", "title", "index"])?;
+    let args = Args::parse(
+        raw,
+        &[
+            "input",
+            "out",
+            "eps",
+            "min-pts",
+            "title",
+            "index",
+            "trace",
+            "metrics-out",
+        ],
+    )?;
     no_positionals(&args)?;
     let data = read_input(&args)?;
     if data.dim() != 2 {
         return Err("plot requires 2-d data".into());
     }
+    let wants = wants_report(&args);
+    let rec = RecordingRecorder::new();
+    let recorder: &dyn Recorder = if wants { &rec } else { &NoopRecorder };
+    let t0 = Instant::now();
     let clustering = match (args.get("eps"), args.get("min-pts")) {
         (Some(_), Some(_)) => {
             let params = DbdcParams::new(args.require_as("eps")?, args.require_as("min-pts")?)
                 .with_index(args.get_or("index", dbdc_index::IndexKind::RStar)?);
-            let (result, _) = central_dbscan(&data, &params);
+            let (result, _) = central_dbscan_recorded(&data, &params, recorder);
             println!(
                 "clustered: {} clusters, {} noise",
                 result.clustering.n_clusters(),
@@ -339,17 +502,40 @@ fn cmd_plot(raw: &[String]) -> CliResult {
     let path = args.require("out")?;
     std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
     println!("wrote {path}");
+    if wants {
+        let mut report = simple_report(
+            "plot",
+            Some(DatasetInfo {
+                points: data.len(),
+                dim: data.dim(),
+            }),
+            Span::new("plot", t0.elapsed()),
+            &rec,
+        );
+        // The central span (if any) arrives from the recorder.
+        report.spans.extend(rec.spans());
+        if let Some(c) = &clustering {
+            report.clusters = Some(cluster_stats(c.n_clusters() as usize, c.labels()));
+        }
+        finish_report(&args, &report)?;
+    }
     Ok(())
 }
 
 fn cmd_suggest(raw: &[String]) -> CliResult {
-    let args = Args::parse(raw, &["input", "k", "index"])?;
+    let args = Args::parse(raw, &["input", "k", "index", "trace", "metrics-out"])?;
     no_positionals(&args)?;
     let data = read_input(&args)?;
     let k: usize = args.get_or("k", 4)?;
     let kind: dbdc_index::IndexKind = args.get_or("index", dbdc_index::IndexKind::RStar)?;
-    let index = dbdc_index::build_index(kind, &data, dbdc_geom::Euclidean, 1.0);
+    let wants = wants_report(&args);
+    let rec = RecordingRecorder::new();
+    let sheet = if wants { rec.sheet("suggest") } else { None };
+    let t0 = Instant::now();
+    let index =
+        dbdc_index::build_index_observed(kind, &data, dbdc_geom::Euclidean, 1.0, sheet.as_ref());
     let kd = dbdc_cluster::k_distance(&data, index.as_ref(), k);
+    let kd_time = t0.elapsed();
     println!("sorted {k}-distance curve: {}", kd.sparkline(60));
     println!(
         "max {:.4}  p10 {:.4}  median {:.4}  p90 {:.4}  min {:.4}",
@@ -364,13 +550,37 @@ fn cmd_suggest(raw: &[String]) -> CliResult {
         kd.knee(),
         k + 1
     );
+    if wants {
+        let report = simple_report(
+            "suggest",
+            Some(DatasetInfo {
+                points: data.len(),
+                dim: data.dim(),
+            }),
+            Span::new("suggest", kd_time),
+            &rec,
+        )
+        .with_param("k", k)
+        .with_param("index", kind.name());
+        finish_report(&args, &report)?;
+    }
     Ok(())
 }
 
 fn cmd_stream(raw: &[String]) -> CliResult {
     let args = Args::parse(
         raw,
-        &["input", "eps", "min-pts", "sites", "batch", "drift", "seed"],
+        &[
+            "input",
+            "eps",
+            "min-pts",
+            "sites",
+            "batch",
+            "drift",
+            "seed",
+            "trace",
+            "metrics-out",
+        ],
     )?;
     no_positionals(&args)?;
     let data = read_input(&args)?;
@@ -382,6 +592,7 @@ fn cmd_stream(raw: &[String]) -> CliResult {
     if sites == 0 {
         return Err("need at least one site".into());
     }
+    let t0 = Instant::now();
     let mut clients: Vec<dbdc::ClientSession> = (0..sites)
         .map(|s| dbdc::ClientSession::new(s as u32, data.dim(), params))
         .collect();
@@ -413,5 +624,45 @@ fn cmd_stream(raw: &[String]) -> CliResult {
         "drift gating sent {transmissions} of {possible} possible models ({:.0}% saved)",
         100.0 * (1.0 - transmissions as f64 / possible.max(1) as f64)
     );
+    if wants_report(&args) {
+        let report = simple_report(
+            "stream",
+            Some(DatasetInfo {
+                points: data.len(),
+                dim: data.dim(),
+            }),
+            Span::new("stream", t0.elapsed()),
+            &RecordingRecorder::new(),
+        )
+        .with_param("sites", sites)
+        .with_param("batch", batch)
+        .with_param("transmissions", transmissions)
+        .with_param("possible_transmissions", possible);
+        finish_report(&args, &report)?;
+    }
+    Ok(())
+}
+
+fn cmd_report(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &["input", "require"])?;
+    no_positionals(&args)?;
+    let path = args.require("input")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report = RunReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(required) = args.get("require") {
+        let missing: Vec<&str> = required
+            .split(',')
+            .map(str::trim)
+            .filter(|name| !name.is_empty() && report.find_span(name).is_none())
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "{path}: report is missing required span(s): {}",
+                missing.join(", ")
+            )
+            .into());
+        }
+    }
+    print!("{}", report.render());
     Ok(())
 }

@@ -144,6 +144,88 @@ fn bad_usage_exits_nonzero_with_message() {
 }
 
 #[test]
+fn metrics_out_report_round_trip() {
+    let csv = tmp("metrics.csv");
+    let json = tmp("metrics.json");
+    assert!(bin()
+        .args(["generate", "--set", "c", "--seed", "6", "--out"])
+        .arg(&csv)
+        .status()
+        .expect("binary runs")
+        .success());
+
+    // A recorded run writes JSON and prints the trace.
+    let out = bin()
+        .args(["run", "--input"])
+        .arg(&csv)
+        .args(["--eps", "1.2", "--min-pts", "5", "--sites", "3", "--trace"])
+        .args(["--metrics-out"])
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "run failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== run report"), "{stdout}");
+    assert!(stdout.contains("per-site upload bytes"), "{stdout}");
+    assert!(stdout.contains("(modeled)"), "{stdout}");
+
+    // The JSON is a valid RunReport carrying all protocol phases.
+    let text = std::fs::read_to_string(&json).expect("json written");
+    assert!(text.starts_with('{'));
+    for key in ["\"schema_version\"", "\"counters\"", "\"local[0]\""] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+
+    // `report` validates the phase set and renders it; a missing span
+    // name fails with a nonzero exit.
+    let out = bin()
+        .args(["report", "--input"])
+        .arg(&json)
+        .args([
+            "--require",
+            "local[0],cluster,extract,encode,upload,global,broadcast,relabel[0]",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "report failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("== run report"));
+
+    let out = bin()
+        .args(["report", "--input"])
+        .arg(&json)
+        .args(["--require", "relabel[99]"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("relabel[99]"));
+
+    let _ = std::fs::remove_file(&csv);
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn central_trace_prints_counters() {
+    let csv = tmp("central_trace.csv");
+    assert!(bin()
+        .args(["generate", "--set", "c", "--seed", "8", "--out"])
+        .arg(&csv)
+        .status()
+        .expect("binary runs")
+        .success());
+    let out = bin()
+        .args(["central", "--input"])
+        .arg(&csv)
+        .args(["--eps", "1.2", "--min-pts", "5", "--trace"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "central failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== central report"), "{stdout}");
+    assert!(stdout.contains("range_queries="), "{stdout}");
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
 fn stream_command_reports_transmissions() {
     let csv = tmp("stream.csv");
     assert!(bin()

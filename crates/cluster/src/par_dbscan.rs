@@ -141,6 +141,25 @@ pub fn par_dbscan(
     params: &DbscanParams,
     threads: usize,
 ) -> DbscanResult {
+    par_dbscan_observed(data, index, params, threads, None)
+}
+
+/// [`par_dbscan`] with an optional [`dbdc_obs::CounterSheet`] recording
+/// the DSU work of the merge and canonicalization phases (the index's
+/// own query counters attach to the index, not here). With
+/// `sheet: None` this is exactly [`par_dbscan`]; the tally lives in
+/// plain fields of the [`UnionFind`] either way and is flushed once at
+/// the end, so the hot loops see no atomics.
+///
+/// # Panics
+/// Panics if the index does not cover `data` (`index.len() != data.len()`).
+pub fn par_dbscan_observed(
+    data: &Dataset,
+    index: &dyn NeighborIndex,
+    params: &DbscanParams,
+    threads: usize,
+    sheet: Option<&dbdc_obs::CounterSheet>,
+) -> DbscanResult {
     assert_eq!(
         index.len(),
         data.len(),
@@ -198,6 +217,11 @@ pub fn par_dbscan(
             }
         }
         raw[i] = best;
+    }
+
+    if let Some(s) = sheet {
+        let (unions, finds) = components.ops();
+        s.add_dsu(unions, finds);
     }
 
     let labels = raw
@@ -448,6 +472,41 @@ mod tests {
     fn effective_threads_resolves_zero_to_cores() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn dsu_counters_match_ground_truth() {
+        let d = spiral_with_noise();
+        let idx = LinearScan::new(&d, Euclidean);
+        let params = DbscanParams::new(0.4, 3);
+        let sheet = dbdc_obs::CounterSheet::new();
+        let r = par_dbscan_observed(&d, &idx, &params, 2, Some(&sheet));
+        let c = sheet.snapshot();
+
+        // Recompute the merge phase's shape from the neighborhoods.
+        let nb = parallel_neighborhoods(&d, &idx, params.eps, 1);
+        let core: Vec<bool> = nb.iter().map(|ns| ns.len() >= params.min_pts).collect();
+        let core_count = core.iter().filter(|&&c| c).count() as u64;
+        let union_calls: u64 = (0..d.len())
+            .filter(|&i| core[i])
+            .map(|i| nb[i].iter().filter(|&&q| core[q as usize]).count() as u64)
+            .sum();
+        let n_clusters = r.clustering.n_clusters() as u64;
+
+        // Merging every core-core edge succeeds exactly (cores - components)
+        // times; every cluster contains at least one core, so the component
+        // count is the cluster count.
+        assert_eq!(c.dsu_unions, core_count - n_clusters);
+        // Each union call performs two finds; canonicalization adds one
+        // find per core point.
+        assert_eq!(c.dsu_finds, 2 * union_calls + core_count);
+        // The sheet only records DSU work here; query counters belong to
+        // the index.
+        assert_eq!(c.range_queries, 0);
+
+        // Observed and plain runs agree.
+        let plain = par_dbscan(&d, &idx, &params, 2);
+        assert_eq!(plain.clustering, r.clustering);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 pub struct UnionFind {
     parent: Vec<u32>,
     rank: Vec<u8>,
+    unions: u64,
+    finds: u64,
 }
 
 impl UnionFind {
@@ -21,7 +23,16 @@ impl UnionFind {
         UnionFind {
             parent: (0..n as u32).collect(),
             rank: vec![0; n],
+            unions: 0,
+            finds: 0,
         }
+    }
+
+    /// Operation tally since construction: `(successful unions, find
+    /// calls)`. `find` counts every invocation, including the two inside
+    /// each [`UnionFind::union`].
+    pub fn ops(&self) -> (u64, u64) {
+        (self.unions, self.finds)
     }
 
     /// Number of elements (not sets).
@@ -36,6 +47,7 @@ impl UnionFind {
 
     /// Representative of `x`'s set, with path halving.
     pub fn find(&mut self, x: u32) -> u32 {
+        self.finds += 1;
         let mut x = x;
         loop {
             let p = self.parent[x as usize];
@@ -64,6 +76,7 @@ impl UnionFind {
             }
         };
         self.parent[lo as usize] = hi;
+        self.unions += 1;
         true
     }
 
@@ -115,5 +128,16 @@ mod tests {
     fn empty_is_fine() {
         let uf = UnionFind::new(0);
         assert!(uf.is_empty());
+        assert_eq!(uf.ops(), (0, 0));
+    }
+
+    #[test]
+    fn ops_tally_unions_and_finds() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1); // 2 finds, 1 union
+        uf.union(0, 1); // 2 finds, no union (already merged)
+        uf.union(2, 3); // 2 finds, 1 union
+        uf.find(0); // 1 find
+        assert_eq!(uf.ops(), (2, 7));
     }
 }

@@ -66,6 +66,19 @@ impl GlobalModel {
 /// # Panics
 /// Panics if the models disagree on dimensionality.
 pub fn build_global_model(models: &[LocalModel], params: &DbdcParams) -> GlobalModel {
+    build_global_model_observed(models, params, None)
+}
+
+/// [`build_global_model`] with an optional [`dbdc_obs::CounterSheet`]
+/// recording the server's range queries and distance evaluations.
+///
+/// # Panics
+/// Panics if the models disagree on dimensionality.
+pub fn build_global_model_observed(
+    models: &[LocalModel],
+    params: &DbdcParams,
+    sheet: Option<&std::sync::Arc<dbdc_obs::CounterSheet>>,
+) -> GlobalModel {
     let dim = models
         .iter()
         .find(|m| !m.is_empty())
@@ -94,7 +107,10 @@ pub fn build_global_model(models: &[LocalModel], params: &DbdcParams) -> GlobalM
     } else {
         // The representative set is small (a fraction of the data), so the
         // linear-scan backend is the right tool here.
-        let idx = LinearScan::new(&points, dbdc_geom::Euclidean);
+        let mut idx = LinearScan::new(&points, dbdc_geom::Euclidean);
+        if let Some(s) = sheet {
+            idx = idx.observed(s.clone());
+        }
         let result = dbscan(
             &points,
             &idx,

@@ -46,6 +46,7 @@ pub mod catalog;
 pub mod global_model;
 pub mod local_model;
 pub mod network;
+pub mod observe;
 pub mod params;
 pub mod partition;
 pub mod pdbscan;
@@ -57,16 +58,18 @@ pub mod streaming;
 pub mod wire;
 
 pub use catalog::{Federation, SiteCatalog};
-pub use global_model::{build_global_model, GlobalModel, GlobalRep};
+pub use global_model::{build_global_model, build_global_model_observed, GlobalModel, GlobalRep};
 pub use local_model::{build_local_model, LocalModel, Representative};
 pub use network::NetworkModel;
+pub use observe::dbdc_run_report;
 pub use params::{DbdcParams, EpsGlobal, LocalModelKind};
 pub use partition::Partitioner;
 pub use pdbscan::{run_pdbscan, PdbscanOutcome};
 pub use quality::{cluster_report, q_dbdc, ClusterMatch, ObjectQuality, QualityReport};
 pub use rachet::{run_rachet, ClusterSummary, RachetOutcome};
-pub use relabel::relabel_site;
+pub use relabel::{relabel_site, relabel_site_observed};
 pub use runtime::{
-    central_dbscan, run_dbdc, run_dbdc_threaded, DbdcOutcome, PhaseThreads, Timings,
+    central_dbscan, central_dbscan_recorded, run_dbdc, run_dbdc_recorded, run_dbdc_threaded,
+    run_dbdc_threaded_recorded, DbdcOutcome, PhaseThreads, Timings,
 };
 pub use streaming::{ClientSession, ServerSession};

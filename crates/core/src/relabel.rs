@@ -28,6 +28,18 @@ use dbdc_index::{GridIndex, NeighborIndex};
 /// for noise identification); the result assigns each of the site's points
 /// a **global** cluster id or noise.
 pub fn relabel_site(site_data: &Dataset, local: &Clustering, global: &GlobalModel) -> Clustering {
+    relabel_site_observed(site_data, local, global, None)
+}
+
+/// [`relabel_site`] with an optional [`dbdc_obs::CounterSheet`] recording
+/// the range queries and distance evaluations against the representative
+/// index.
+pub fn relabel_site_observed(
+    site_data: &Dataset,
+    local: &Clustering,
+    global: &GlobalModel,
+    sheet: Option<&std::sync::Arc<dbdc_obs::CounterSheet>>,
+) -> Clustering {
     assert_eq!(
         site_data.len(),
         local.len(),
@@ -48,7 +60,10 @@ pub fn relabel_site(site_data: &Dataset, local: &Clustering, global: &GlobalMode
         .iter()
         .map(|r| r.eps_range)
         .fold(0.0f64, f64::max);
-    let grid = GridIndex::new(&rep_points, Euclidean, max_range.max(f64::MIN_POSITIVE));
+    let mut grid = GridIndex::new(&rep_points, Euclidean, max_range.max(f64::MIN_POSITIVE));
+    if let Some(s) = sheet {
+        grid = grid.observed(s.clone());
+    }
 
     let mut labels = Vec::with_capacity(site_data.len());
     let mut candidates = Vec::new();

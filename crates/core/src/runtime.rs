@@ -16,17 +16,18 @@
 //! Local models travel through the wire codec in both modes, so the byte
 //! counts reported in [`DbdcOutcome`] are exact message sizes.
 
-use crate::global_model::{build_global_model, GlobalModel};
+use crate::global_model::{build_global_model_observed, GlobalModel};
 use crate::local_model::{build_local_model, LocalModel};
 use crate::params::DbdcParams;
 use crate::partition::Partitioner;
-use crate::relabel::relabel_site;
+use crate::relabel::relabel_site_observed;
 use crate::wire;
 use dbdc_cluster::{
-    dbscan, dbscan_with_scp, effective_threads, par_dbscan, par_dbscan_with_scp, DbscanParams,
-    DbscanResult, ScpResult,
+    dbscan, dbscan_with_scp, effective_threads, par_dbscan_observed, par_dbscan_with_scp,
+    DbscanParams, DbscanResult, ScpResult,
 };
 use dbdc_geom::{Clustering, Dataset, Euclidean, Label};
+use dbdc_obs::{NoopRecorder, Recorder, Span};
 use std::time::{Duration, Instant};
 
 /// OS threads active in each protocol phase (diagnostic, recorded by the
@@ -53,6 +54,13 @@ pub struct Timings {
     pub relabel: Vec<Duration>,
     /// Thread counts per phase.
     pub threads: PhaseThreads,
+    /// Per-site clustering sub-phase (index build + DBSCAN), a breakdown
+    /// of [`Timings::local`].
+    pub cluster: Vec<Duration>,
+    /// Per-site model-extraction sub-phase.
+    pub extract: Vec<Duration>,
+    /// Per-site wire-encoding sub-phase.
+    pub encode: Vec<Duration>,
 }
 
 impl Timings {
@@ -75,6 +83,34 @@ impl Timings {
     /// The cost model extended with the (concurrent) relabel phase.
     pub fn dbdc_total_with_relabel(&self) -> Duration {
         self.dbdc_total() + self.relabel_max()
+    }
+
+    /// The timings as a [`Span`] tree: a `dbdc` root (walled at
+    /// [`Timings::dbdc_total_with_relabel`]) with one `local[i]` child
+    /// per site — each broken into `cluster`/`extract`/`encode` when the
+    /// sub-phase vectors are populated — then `global` and one
+    /// `relabel[i]` per site.
+    pub fn to_span(&self) -> Span {
+        let mut root = Span::new("dbdc", self.dbdc_total_with_relabel());
+        for (i, &t) in self.local.iter().enumerate() {
+            let mut local =
+                Span::new(format!("local[{i}]"), t).with_threads(self.threads.local.max(1));
+            if let (Some(&c), Some(&x), Some(&e)) =
+                (self.cluster.get(i), self.extract.get(i), self.encode.get(i))
+            {
+                local.push(Span::new("cluster", c));
+                local.push(Span::new("extract", x));
+                local.push(Span::new("encode", e));
+            }
+            root.push(local);
+        }
+        root.push(Span::new("global", self.global).with_threads(self.threads.global.max(1)));
+        for (i, &t) in self.relabel.iter().enumerate() {
+            root.push(
+                Span::new(format!("relabel[{i}]"), t).with_threads(self.threads.relabel.max(1)),
+            );
+        }
+        root
     }
 }
 
@@ -137,25 +173,56 @@ impl DbdcOutcome {
     }
 }
 
+/// Wall times of one site's local phase, total and by sub-phase.
+#[derive(Debug, Clone, Copy)]
+struct LocalTimes {
+    total: Duration,
+    cluster: Duration,
+    extract: Duration,
+    encode: Duration,
+}
+
 /// One site's local phase: cluster, extract the model, encode it.
 /// Returns the encoded model bytes together with the site's clustering
-/// (which stays on the site for the relabel phase).
+/// (which stays on the site for the relabel phase). Work counters land
+/// in the recorder's `local[site]` scope.
 fn local_phase(
     site: u32,
     site_data: &Dataset,
     params: &DbdcParams,
-) -> (ScpResult, bytes::Bytes, Duration) {
+    rec: &dyn Recorder,
+) -> (ScpResult, bytes::Bytes, LocalTimes) {
+    let sheet = rec.sheet(&format!("local[{site}]"));
     let t0 = Instant::now();
     let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
-    let index = dbdc_index::build_index(params.index, site_data, Euclidean, params.eps_local);
+    let index = dbdc_index::build_index_observed(
+        params.index,
+        site_data,
+        Euclidean,
+        params.eps_local,
+        sheet.as_ref(),
+    );
     let scp = if params.threads == 1 {
         dbscan_with_scp(site_data, index.as_ref(), &dbscan_params)
     } else {
         par_dbscan_with_scp(site_data, index.as_ref(), &dbscan_params, params.threads)
     };
+    let t_cluster = t0.elapsed();
     let model: LocalModel = build_local_model(params.model, site_data, &scp, site);
+    let t_extract = t0.elapsed();
     let encoded = wire::encode_local_model(&model);
-    (scp, encoded, t0.elapsed())
+    let t_encode = t0.elapsed();
+    if let Some(s) = &sheet {
+        s.add_representatives(model.len() as u64);
+        s.add_bytes_sent(encoded.len() as u64);
+    }
+    let times = LocalTimes {
+        total: t_encode,
+        cluster: t_cluster,
+        extract: t_extract - t_cluster,
+        encode: t_encode - t_extract,
+    };
+    (scp, encoded, times)
 }
 
 /// Runs the full DBDC protocol sequentially (the paper's measurement mode).
@@ -165,14 +232,27 @@ pub fn run_dbdc(
     partitioner: Partitioner,
     n_sites: usize,
 ) -> DbdcOutcome {
+    run_dbdc_recorded(data, params, partitioner, n_sites, &NoopRecorder)
+}
+
+/// [`run_dbdc`] reporting into `rec`: per-site counter scopes
+/// (`local[i]`, `global`, `relabel[i]`) and the protocol phase-span
+/// tree. With a [`NoopRecorder`] this is exactly [`run_dbdc`].
+pub fn run_dbdc_recorded(
+    data: &Dataset,
+    params: &DbdcParams,
+    partitioner: Partitioner,
+    n_sites: usize,
+    rec: &dyn Recorder,
+) -> DbdcOutcome {
     let assignment = partitioner.assign(data, n_sites);
     let (parts, back) = data.partition(n_sites, &assignment);
-    let locals: Vec<(ScpResult, bytes::Bytes, Duration)> = parts
+    let locals: Vec<(ScpResult, bytes::Bytes, LocalTimes)> = parts
         .iter()
         .enumerate()
-        .map(|(site, part)| local_phase(site as u32, part, params))
+        .map(|(site, part)| local_phase(site as u32, part, params, rec))
         .collect();
-    assemble(data, params, parts, back, locals, false)
+    assemble(data, params, parts, back, locals, false, rec)
 }
 
 /// Runs the full DBDC protocol with one OS thread per site, each spawning
@@ -185,20 +265,33 @@ pub fn run_dbdc_threaded(
     partitioner: Partitioner,
     n_sites: usize,
 ) -> DbdcOutcome {
+    run_dbdc_threaded_recorded(data, params, partitioner, n_sites, &NoopRecorder)
+}
+
+/// [`run_dbdc_threaded`] reporting into `rec`, like
+/// [`run_dbdc_recorded`]. Counter sheets are lock-free, so concurrent
+/// sites record without serializing on the recorder.
+pub fn run_dbdc_threaded_recorded(
+    data: &Dataset,
+    params: &DbdcParams,
+    partitioner: Partitioner,
+    n_sites: usize,
+    rec: &dyn Recorder,
+) -> DbdcOutcome {
     let assignment = partitioner.assign(data, n_sites);
     let (parts, back) = data.partition(n_sites, &assignment);
-    let locals: Vec<(ScpResult, bytes::Bytes, Duration)> = std::thread::scope(|scope| {
+    let locals: Vec<(ScpResult, bytes::Bytes, LocalTimes)> = std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .iter()
             .enumerate()
-            .map(|(site, part)| scope.spawn(move || local_phase(site as u32, part, params)))
+            .map(|(site, part)| scope.spawn(move || local_phase(site as u32, part, params, rec)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("site thread panicked"))
             .collect()
     });
-    assemble(data, params, parts, back, locals, true)
+    assemble(data, params, parts, back, locals, true, rec)
 }
 
 /// Server + relabel phases shared by both modes.
@@ -207,10 +300,12 @@ fn assemble(
     params: &DbdcParams,
     parts: Vec<Dataset>,
     back: Vec<Vec<u32>>,
-    locals: Vec<(ScpResult, bytes::Bytes, Duration)>,
+    locals: Vec<(ScpResult, bytes::Bytes, LocalTimes)>,
     threaded: bool,
+    rec: &dyn Recorder,
 ) -> DbdcOutcome {
     // --- Server: decode the models, cluster the representatives. ---
+    let global_sheet = rec.sheet("global");
     let t_global = Instant::now();
     let per_site_bytes_up: Vec<usize> = locals.iter().map(|(_, b, _)| b.len()).collect();
     let bytes_up: usize = per_site_bytes_up.iter().sum();
@@ -219,20 +314,30 @@ fn assemble(
         .map(|(_, b, _)| wire::decode_local_model(b).expect("self-encoded model decodes"))
         .collect();
     let n_representatives: usize = models.iter().map(|m| m.len()).sum();
-    let global = build_global_model(&models, params);
+    let global = build_global_model_observed(&models, params, global_sheet.as_ref());
     let encoded_global = wire::encode_global_model(&global);
     let global_time = t_global.elapsed();
     let global_model_bytes = encoded_global.len();
     let bytes_down = global_model_bytes * parts.len();
+    if let Some(s) = &global_sheet {
+        s.add_bytes_received(bytes_up as u64);
+        s.add_bytes_sent(bytes_down as u64);
+        s.add_representatives(n_representatives as u64);
+    }
 
     // --- Clients: relabel (sequentially or one thread per site). ---
     let n_sites = parts.len();
     let relabel_one = |site: usize, part: &Dataset| -> (Clustering, Duration) {
+        let sheet = rec.sheet(&format!("relabel[{site}]"));
         let t0 = Instant::now();
         // Each site decodes the broadcast copy.
         let g = wire::decode_global_model(&encoded_global).expect("self-encoded model decodes");
         debug_assert_eq!(g.n_clusters, global.n_clusters);
-        let labels = relabel_site(part, &locals[site].0.dbscan.clustering, &g);
+        if let Some(s) = &sheet {
+            s.add_bytes_received(global_model_bytes as u64);
+        }
+        let labels =
+            relabel_site_observed(part, &locals[site].0.dbscan.clustering, &g, sheet.as_ref());
         (labels, t0.elapsed())
     };
     let relabeled: Vec<(Clustering, Duration)> = if threaded {
@@ -273,19 +378,26 @@ fn assemble(
 
     let workers = effective_threads(params.threads);
     let sites_in_flight = if threaded { n_sites.max(1) } else { 1 };
+    let timings = Timings {
+        local: locals.iter().map(|(_, _, t)| t.total).collect(),
+        global: global_time,
+        relabel: relabel_times,
+        threads: PhaseThreads {
+            local: sites_in_flight * workers,
+            global: 1,
+            relabel: sites_in_flight,
+        },
+        cluster: locals.iter().map(|(_, _, t)| t.cluster).collect(),
+        extract: locals.iter().map(|(_, _, t)| t.extract).collect(),
+        encode: locals.iter().map(|(_, _, t)| t.encode).collect(),
+    };
+    if rec.is_enabled() {
+        rec.record_span(timings.to_span());
+    }
     DbdcOutcome {
         n_sites,
         assignment,
-        timings: Timings {
-            local: locals.iter().map(|(_, _, t)| *t).collect(),
-            global: global_time,
-            relabel: relabel_times,
-            threads: PhaseThreads {
-                local: sites_in_flight * workers,
-                global: 1,
-                relabel: sites_in_flight,
-            },
-        },
+        timings,
         global,
         bytes_up,
         bytes_down,
@@ -301,15 +413,44 @@ fn assemble(
 /// and the efficiency baseline of Section 9. Honors
 /// [`DbdcParams::threads`] like the local phases do.
 pub fn central_dbscan(data: &Dataset, params: &DbdcParams) -> (DbscanResult, Duration) {
+    central_dbscan_recorded(data, params, &NoopRecorder)
+}
+
+/// [`central_dbscan`] reporting into `rec` under the `central` counter
+/// scope, with a single `central` span.
+pub fn central_dbscan_recorded(
+    data: &Dataset,
+    params: &DbdcParams,
+    rec: &dyn Recorder,
+) -> (DbscanResult, Duration) {
+    let sheet = rec.sheet("central");
     let t0 = Instant::now();
     let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
-    let index = dbdc_index::build_index(params.index, data, Euclidean, params.eps_local);
+    let index = dbdc_index::build_index_observed(
+        params.index,
+        data,
+        Euclidean,
+        params.eps_local,
+        sheet.as_ref(),
+    );
     let result = if params.threads == 1 {
         dbscan(data, index.as_ref(), &dbscan_params)
     } else {
-        par_dbscan(data, index.as_ref(), &dbscan_params, params.threads)
+        par_dbscan_observed(
+            data,
+            index.as_ref(),
+            &dbscan_params,
+            params.threads,
+            sheet.as_deref(),
+        )
     };
-    (result, t0.elapsed())
+    let elapsed = t0.elapsed();
+    if rec.is_enabled() {
+        rec.record_span(
+            Span::new("central", elapsed).with_threads(effective_threads(params.threads)),
+        );
+    }
+    (result, elapsed)
 }
 
 #[cfg(test)]

@@ -1,0 +1,133 @@
+//! Counter ground truth: a recorded DBDC run over the linear-scan
+//! backend must report exactly the work the protocol's algorithms are
+//! known to do — one distance evaluation per point per range query, one
+//! range query per point plus the SCP finalization queries, and wire
+//! byte counts equal to the real encoded message sizes.
+
+use dbdc::{
+    run_dbdc, run_dbdc_recorded, run_dbdc_threaded_recorded, DbdcParams, EpsGlobal, Partitioner,
+};
+use dbdc_cluster::{dbscan_with_scp, DbscanParams};
+use dbdc_geom::{Dataset, Euclidean};
+use dbdc_index::{IndexKind, LinearScan};
+use dbdc_obs::{NoopRecorder, RecordingRecorder};
+
+const N_SITES: usize = 3;
+
+fn params() -> DbdcParams {
+    DbdcParams::new(1.6, 5)
+        .with_eps_global(EpsGlobal::MultipleOfLocal(2.0))
+        .with_index(IndexKind::Linear)
+}
+
+fn partitioned(data: &Dataset) -> Vec<Dataset> {
+    let p = Partitioner::RandomEqual { seed: 11 };
+    let assignment = p.assign(data, N_SITES);
+    data.partition(N_SITES, &assignment).0
+}
+
+#[test]
+fn sequential_counters_match_linear_scan_ground_truth() {
+    let g = dbdc_datagen::dataset_c(31);
+    let p = params();
+    let rec = RecordingRecorder::new();
+    let outcome = run_dbdc_recorded(
+        &g.data,
+        &p,
+        Partitioner::RandomEqual { seed: 11 },
+        N_SITES,
+        &rec,
+    );
+
+    // --- Per-site local scopes vs an independent reference run. ---
+    let parts = partitioned(&g.data);
+    for (site, part) in parts.iter().enumerate() {
+        let c = rec.counters(&format!("local[{site}]"));
+        let reference = dbscan_with_scp(
+            part,
+            &LinearScan::new(part, Euclidean),
+            &DbscanParams::new(p.eps_local, p.min_pts_local),
+        );
+        assert_eq!(
+            c.range_queries, reference.dbscan.range_queries as u64,
+            "site {site}: every physical ε-range query must be counted"
+        );
+        // A linear scan evaluates the distance to every point, per query.
+        assert_eq!(c.distance_evals, c.range_queries * part.len() as u64);
+        assert_eq!(c.node_visits, 0, "linear scan has no index nodes");
+        assert_eq!(c.knn_queries, 0);
+        assert_eq!(c.bytes_sent, outcome.per_site_bytes_up[site] as u64);
+        assert_eq!(c.bytes_received, 0, "uploads only in the local phase");
+    }
+
+    // --- Server scope: one query per representative, real byte totals. ---
+    let global = rec.counters("global");
+    let n_reps = outcome.n_representatives as u64;
+    assert_eq!(global.range_queries, n_reps);
+    assert_eq!(global.distance_evals, n_reps * n_reps);
+    assert_eq!(global.representatives, n_reps);
+    assert_eq!(global.bytes_received, outcome.bytes_up as u64);
+    assert_eq!(global.bytes_sent, outcome.bytes_down as u64);
+
+    // --- Relabel scopes: every site downloads one global model copy. ---
+    for (site, part) in parts.iter().enumerate() {
+        let c = rec.counters(&format!("relabel[{site}]"));
+        assert_eq!(c.bytes_received, outcome.global_model_bytes as u64);
+        assert_eq!(c.bytes_sent, 0);
+        assert_eq!(
+            c.range_queries,
+            part.len() as u64,
+            "relabel issues one range query per local object"
+        );
+    }
+}
+
+#[test]
+fn threaded_replay_counters_count_physical_queries_once() {
+    // With worker threads, the deterministic execution layer materializes
+    // every neighborhood once up front and replays from the cache: the
+    // *physical* query count per site is exactly n, not n plus the
+    // expansion and SCP re-queries of the sequential path.
+    let g = dbdc_datagen::dataset_c(32);
+    let p = params().with_threads(2);
+    let rec = RecordingRecorder::new();
+    let outcome = run_dbdc_threaded_recorded(
+        &g.data,
+        &p,
+        Partitioner::RandomEqual { seed: 11 },
+        N_SITES,
+        &rec,
+    );
+    let parts = partitioned(&g.data);
+    for (site, part) in parts.iter().enumerate() {
+        let c = rec.counters(&format!("local[{site}]"));
+        let n = part.len() as u64;
+        assert_eq!(c.range_queries, n, "site {site}");
+        assert_eq!(c.distance_evals, n * n, "site {site}");
+    }
+    // The recorded run is still the plain protocol result.
+    let plain = run_dbdc(&g.data, &p, Partitioner::RandomEqual { seed: 11 }, N_SITES);
+    assert_eq!(outcome.assignment, plain.assignment);
+}
+
+#[test]
+fn recording_does_not_change_the_outcome() {
+    let g = dbdc_datagen::dataset_c(33);
+    let p = params();
+    let rec = RecordingRecorder::new();
+    let seed = Partitioner::RandomEqual { seed: 5 };
+    let recorded = run_dbdc_recorded(&g.data, &p, seed, N_SITES, &rec);
+    let noop = run_dbdc_recorded(&g.data, &p, seed, N_SITES, &NoopRecorder);
+    let plain = run_dbdc(&g.data, &p, seed, N_SITES);
+    for other in [&noop, &plain] {
+        assert_eq!(recorded.assignment, other.assignment);
+        assert_eq!(recorded.per_site_bytes_up, other.per_site_bytes_up);
+        assert_eq!(recorded.global_model_bytes, other.global_model_bytes);
+        assert_eq!(recorded.n_representatives, other.n_representatives);
+    }
+    // Nothing was captured through the no-op recorder, everything through
+    // the recording one.
+    assert!(!rec.scopes().is_empty());
+    assert_eq!(rec.spans().len(), 1);
+    assert_eq!(rec.spans()[0].name, "dbdc");
+}

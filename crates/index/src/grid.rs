@@ -14,7 +14,9 @@
 use crate::linear::ordered::F64;
 use crate::NeighborIndex;
 use dbdc_geom::{Dataset, Metric};
+use dbdc_obs::CounterSheet;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// A uniform grid over a dataset.
 #[derive(Debug, Clone)]
@@ -26,6 +28,7 @@ pub struct GridIndex<'a, M> {
     /// to the number of *occupied* cells, so sparse/clustered data does not
     /// explode the grid.
     cells: HashMap<Box<[i64]>, Vec<u32>>,
+    sheet: Option<Arc<CounterSheet>>,
 }
 
 impl<'a, M: Metric> GridIndex<'a, M> {
@@ -50,7 +53,14 @@ impl<'a, M: Metric> GridIndex<'a, M> {
             metric,
             cell,
             cells,
+            sheet: None,
         }
+    }
+
+    /// Attaches a counter sheet recording per-query work.
+    pub fn observed(mut self, sheet: Arc<CounterSheet>) -> Self {
+        self.sheet = Some(sheet);
+        self
     }
 
     fn cell_of(p: &[f64], cell: f64) -> Box<[i64]> {
@@ -68,8 +78,9 @@ impl<'a, M: Metric> GridIndex<'a, M> {
     }
 
     /// Visits every point in cells intersecting the L∞ box of radius `r`
-    /// around `q`.
-    fn for_candidates(&self, q: &[f64], r: f64, mut f: impl FnMut(u32)) {
+    /// around `q`. Returns the number of *occupied* cells probed (the
+    /// node-visit count for this index).
+    fn for_candidates(&self, q: &[f64], r: f64, mut f: impl FnMut(u32)) -> u64 {
         let dim = self.data.dim();
         let lo: Vec<i64> = (0..dim)
             .map(|i| ((q[i] - r) / self.cell).floor() as i64)
@@ -80,8 +91,10 @@ impl<'a, M: Metric> GridIndex<'a, M> {
         // Iterate the (hi-lo+1)^dim cell lattice with an odometer; dim is
         // small (2-3) in this workspace so this stays cheap.
         let mut cur = lo.clone();
+        let mut visited = 0u64;
         'outer: loop {
             if let Some(points) = self.cells.get(cur.as_slice()) {
+                visited += 1;
                 for &i in points {
                     f(i);
                 }
@@ -95,6 +108,7 @@ impl<'a, M: Metric> GridIndex<'a, M> {
             }
             break;
         }
+        visited
     }
 }
 
@@ -106,11 +120,16 @@ impl<M: Metric> NeighborIndex for GridIndex<'_, M> {
     fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
         out.clear();
         let bound = self.metric.to_surrogate(eps);
-        self.for_candidates(q, eps, |i| {
+        let mut evals = 0u64;
+        let visits = self.for_candidates(q, eps, |i| {
+            evals += 1;
             if self.metric.surrogate(q, self.data.point(i)) <= bound {
                 out.push(i);
             }
         });
+        if let Some(s) = &self.sheet {
+            s.record_range(evals, visits);
+        }
     }
 
     fn knn(&self, q: &[f64], k: usize) -> Vec<(u32, f64)> {
@@ -121,9 +140,12 @@ impl<M: Metric> NeighborIndex for GridIndex<'_, M> {
         // the scanned radius; each pass rescans from scratch, which is fine
         // because knn is not on DBSCAN's hot path.
         let mut r = self.cell;
+        let mut evals = 0u64;
+        let mut visits = 0u64;
         loop {
             let mut heap: BinaryHeap<(F64, u32)> = BinaryHeap::with_capacity(k + 1);
-            self.for_candidates(q, r, |i| {
+            visits += self.for_candidates(q, r, |i| {
+                evals += 1;
                 let d = self.metric.dist(q, self.data.point(i));
                 if heap.len() < k {
                     heap.push((F64(d), i));
@@ -143,6 +165,9 @@ impl<M: Metric> NeighborIndex for GridIndex<'_, M> {
             if full && worst <= r {
                 let mut out: Vec<(u32, f64)> = heap.into_iter().map(|(d, i)| (i, d.0)).collect();
                 out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                if let Some(s) = &self.sheet {
+                    s.record_knn(evals, visits);
+                }
                 return out;
             }
             if full {

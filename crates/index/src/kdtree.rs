@@ -9,7 +9,9 @@
 use crate::linear::ordered::F64;
 use crate::{dist_to_box, NeighborIndex};
 use dbdc_geom::{Dataset, Metric, Rect};
+use dbdc_obs::CounterSheet;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 const LEAF_SIZE: usize = 16;
 
@@ -34,6 +36,7 @@ pub struct KdTree<'a, M> {
     metric: M,
     root: Option<Node>,
     bbox: Option<Rect>,
+    sheet: Option<Arc<CounterSheet>>,
 }
 
 impl<'a, M: Metric> KdTree<'a, M> {
@@ -50,7 +53,14 @@ impl<'a, M: Metric> KdTree<'a, M> {
             metric,
             root,
             bbox,
+            sheet: None,
         }
+    }
+
+    /// Attaches a counter sheet recording per-query work.
+    pub fn observed(mut self, sheet: Arc<CounterSheet>) -> Self {
+        self.sheet = Some(sheet);
+        self
     }
 
     fn build(data: &Dataset, ids: &mut [u32], bbox: Rect) -> Node {
@@ -84,13 +94,24 @@ impl<'a, M: Metric> KdTree<'a, M> {
         }
     }
 
-    fn range_rec(&self, node: &Node, bbox: &Rect, q: &[f64], eps: f64, out: &mut Vec<u32>) {
+    fn range_rec(
+        &self,
+        node: &Node,
+        bbox: &Rect,
+        q: &[f64],
+        eps: f64,
+        out: &mut Vec<u32>,
+        work: &mut Work,
+    ) {
+        // Every invocation tests one node's bounding box.
+        work.visits += 1;
         if dist_to_box(&self.metric, q, bbox.lo(), bbox.hi()) > eps {
             return;
         }
         match node {
             Node::Leaf { points } => {
                 let bound = self.metric.to_surrogate(eps);
+                work.evals += points.len() as u64;
                 for &i in points {
                     if self.metric.surrogate(q, self.data.point(i)) <= bound {
                         out.push(i);
@@ -104,8 +125,8 @@ impl<'a, M: Metric> KdTree<'a, M> {
                 right,
                 ..
             } => {
-                self.range_rec(left, bbox_left, q, eps, out);
-                self.range_rec(right, bbox_right, q, eps, out);
+                self.range_rec(left, bbox_left, q, eps, out, work);
+                self.range_rec(right, bbox_right, q, eps, out, work);
             }
         }
     }
@@ -117,7 +138,9 @@ impl<'a, M: Metric> KdTree<'a, M> {
         q: &[f64],
         k: usize,
         heap: &mut BinaryHeap<(F64, u32)>,
+        work: &mut Work,
     ) {
+        work.visits += 1;
         let worst = if heap.len() == k {
             heap.peek().map(|&(d, _)| d.0).unwrap_or(f64::INFINITY)
         } else {
@@ -128,6 +151,7 @@ impl<'a, M: Metric> KdTree<'a, M> {
         }
         match node {
             Node::Leaf { points } => {
+                work.evals += points.len() as u64;
                 for &i in points {
                     let d = self.metric.dist(q, self.data.point(i));
                     if heap.len() < k {
@@ -151,11 +175,11 @@ impl<'a, M: Metric> KdTree<'a, M> {
                 let dl = dist_to_box(&self.metric, q, bbox_left.lo(), bbox_left.hi());
                 let dr = dist_to_box(&self.metric, q, bbox_right.lo(), bbox_right.hi());
                 if dl <= dr {
-                    self.knn_rec(left, bbox_left, q, k, heap);
-                    self.knn_rec(right, bbox_right, q, k, heap);
+                    self.knn_rec(left, bbox_left, q, k, heap, work);
+                    self.knn_rec(right, bbox_right, q, k, heap, work);
                 } else {
-                    self.knn_rec(right, bbox_right, q, k, heap);
-                    self.knn_rec(left, bbox_left, q, k, heap);
+                    self.knn_rec(right, bbox_right, q, k, heap, work);
+                    self.knn_rec(left, bbox_left, q, k, heap, work);
                 }
             }
         }
@@ -180,8 +204,12 @@ impl<M: Metric> NeighborIndex for KdTree<'_, M> {
 
     fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
         out.clear();
+        let mut work = Work::default();
         if let (Some(root), Some(bbox)) = (&self.root, &self.bbox) {
-            self.range_rec(root, bbox, q, eps, out);
+            self.range_rec(root, bbox, q, eps, out, &mut work);
+        }
+        if let Some(s) = &self.sheet {
+            s.record_range(work.evals, work.visits);
         }
     }
 
@@ -190,13 +218,25 @@ impl<M: Metric> NeighborIndex for KdTree<'_, M> {
             return Vec::new();
         }
         let mut heap = BinaryHeap::with_capacity(k + 1);
+        let mut work = Work::default();
         if let (Some(root), Some(bbox)) = (&self.root, &self.bbox) {
-            self.knn_rec(root, bbox, q, k, &mut heap);
+            self.knn_rec(root, bbox, q, k, &mut heap, &mut work);
         }
         let mut out: Vec<(u32, f64)> = heap.into_iter().map(|(d, i)| (i, d.0)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        if let Some(s) = &self.sheet {
+            s.record_knn(work.evals, work.visits);
+        }
         out
     }
+}
+
+/// Per-query work tally, accumulated in plain registers and flushed to
+/// the sheet once per query.
+#[derive(Debug, Default)]
+struct Work {
+    evals: u64,
+    visits: u64,
 }
 
 #[cfg(test)]

@@ -143,6 +143,29 @@ pub fn build_index<'a, M: Metric + Clone + 'a>(
     }
 }
 
+/// Like [`build_index`], but optionally attaches a
+/// [`dbdc_obs::CounterSheet`] so every query records its ε-range /
+/// knn count, distance evaluations, and index-node visits. With
+/// `sheet: None` this is exactly [`build_index`] — the uninstrumented
+/// hot path performs no atomic operations.
+pub fn build_index_observed<'a, M: Metric + Clone + 'a>(
+    kind: IndexKind,
+    data: &'a Dataset,
+    m: M,
+    eps_hint: f64,
+    sheet: Option<&std::sync::Arc<dbdc_obs::CounterSheet>>,
+) -> Box<dyn NeighborIndex + 'a> {
+    let Some(sheet) = sheet else {
+        return build_index(kind, data, m, eps_hint);
+    };
+    match kind {
+        IndexKind::Linear => Box::new(LinearScan::new(data, m).observed(sheet.clone())),
+        IndexKind::Grid => Box::new(GridIndex::new(data, m, eps_hint).observed(sheet.clone())),
+        IndexKind::KdTree => Box::new(KdTree::new(data, m).observed(sheet.clone())),
+        IndexKind::RStar => Box::new(RStarTree::bulk_load(data, m).observed(sheet.clone())),
+    }
+}
+
 /// Lower bound on the distance from `q` to any point inside the axis-aligned
 /// box `[lo, hi]`, under metric `m`.
 ///
@@ -163,6 +186,58 @@ pub fn dist_to_box<M: Metric>(m: &M, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
         };
     }
     m.dist(&gaps, &zeros)
+}
+
+#[cfg(test)]
+mod observed_tests {
+    use super::*;
+    use dbdc_geom::Euclidean;
+    use dbdc_obs::CounterSheet;
+    use std::sync::Arc;
+
+    #[test]
+    fn every_backend_counts_queries_and_work() {
+        let data = testutil::random_dataset(200, 99);
+        for kind in IndexKind::ALL {
+            let sheet = Arc::new(CounterSheet::new());
+            let idx = build_index_observed(kind, &data, Euclidean, 5.0, Some(&sheet));
+            let mut out = Vec::new();
+            for i in (0..data.len()).step_by(10) {
+                idx.range(data.point(i as u32), 5.0, &mut out);
+            }
+            idx.knn(&[0.0, 0.0], 3);
+            let c = sheet.snapshot();
+            assert_eq!(c.range_queries, 20, "{kind:?}");
+            assert_eq!(c.knn_queries, 1, "{kind:?}");
+            assert!(c.distance_evals > 0, "{kind:?}");
+            match kind {
+                // A linear scan touches no index nodes but evaluates
+                // every point on every query.
+                IndexKind::Linear => {
+                    assert_eq!(c.node_visits, 0);
+                    assert_eq!(c.distance_evals, 21 * data.len() as u64);
+                }
+                _ => assert!(c.node_visits > 0, "{kind:?} should visit nodes"),
+            }
+        }
+    }
+
+    #[test]
+    fn unobserved_build_records_nothing_and_answers_identically() {
+        let data = testutil::random_dataset(150, 7);
+        for kind in IndexKind::ALL {
+            let plain = build_index_observed(kind, &data, Euclidean, 3.0, None);
+            let sheet = Arc::new(CounterSheet::new());
+            let observed = build_index_observed(kind, &data, Euclidean, 3.0, Some(&sheet));
+            let q = data.point(3);
+            let mut a = plain.range_vec(q, 3.0);
+            let mut b = observed.range_vec(q, 3.0);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{kind:?}");
+            assert_eq!(sheet.snapshot().range_queries, 1);
+        }
+    }
 }
 
 #[cfg(test)]

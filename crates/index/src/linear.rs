@@ -7,18 +7,31 @@
 
 use crate::NeighborIndex;
 use dbdc_geom::{Dataset, Metric};
+use dbdc_obs::CounterSheet;
+use std::sync::Arc;
 
 /// A linear-scan "index" over a dataset.
 #[derive(Debug, Clone)]
 pub struct LinearScan<'a, M> {
     data: &'a Dataset,
     metric: M,
+    sheet: Option<Arc<CounterSheet>>,
 }
 
 impl<'a, M: Metric> LinearScan<'a, M> {
     /// Wraps `data` for linear-scan queries under metric `m`.
     pub fn new(data: &'a Dataset, metric: M) -> Self {
-        Self { data, metric }
+        Self {
+            data,
+            metric,
+            sheet: None,
+        }
+    }
+
+    /// Attaches a counter sheet recording per-query work.
+    pub fn observed(mut self, sheet: Arc<CounterSheet>) -> Self {
+        self.sheet = Some(sheet);
+        self
     }
 }
 
@@ -36,6 +49,10 @@ impl<M: Metric> NeighborIndex for LinearScan<'_, M> {
             if self.metric.surrogate(q, p) <= bound {
                 out.push(i as u32);
             }
+        }
+        if let Some(s) = &self.sheet {
+            // One surrogate evaluation per point, no index nodes.
+            s.record_range(self.data.len() as u64, 0);
         }
     }
 
@@ -62,6 +79,9 @@ impl<M: Metric> NeighborIndex for LinearScan<'_, M> {
             .map(|(_, i)| (i, self.metric.dist(q, self.data.point(i))))
             .collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        if let Some(s) = &self.sheet {
+            s.record_knn(self.data.len() as u64, 0);
+        }
         out
     }
 }

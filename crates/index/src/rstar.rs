@@ -16,8 +16,10 @@
 use crate::linear::ordered::F64;
 use crate::{dist_to_box, NeighborIndex};
 use dbdc_geom::{Dataset, Metric, Rect};
+use dbdc_obs::CounterSheet;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Maximum entries per node.
 const MAX_ENTRIES: usize = 32;
@@ -52,6 +54,7 @@ pub struct RStarTree<'a, M> {
     /// Height of the tree: 1 = root is a leaf.
     height: usize,
     n: usize,
+    sheet: Option<Arc<CounterSheet>>,
 }
 
 impl<'a, M: Metric> RStarTree<'a, M> {
@@ -65,7 +68,14 @@ impl<'a, M: Metric> RStarTree<'a, M> {
             root: None,
             height: 0,
             n: 0,
+            sheet: None,
         }
+    }
+
+    /// Attaches a counter sheet recording per-query work.
+    pub fn observed(mut self, sheet: Arc<CounterSheet>) -> Self {
+        self.sheet = Some(sheet);
+        self
     }
 
     /// Bulk-loads all points of `data` with the STR algorithm.
@@ -826,7 +836,9 @@ fn str_tile(data: &Dataset, ids: &mut [u32], axis: usize, emit: &mut impl FnMut(
 }
 
 impl<M: Metric> RStarTree<'_, M> {
-    fn range_rec(&self, node: &Node, q: &[f64], eps: f64, out: &mut Vec<u32>) {
+    /// Returns `(distance_evals, nodes_visited)` for this subtree; a
+    /// node counts as visited when the search descends into it.
+    fn range_rec(&self, node: &Node, q: &[f64], eps: f64, out: &mut Vec<u32>) -> (u64, u64) {
         match node {
             Node::Leaf { points } => {
                 let bound = self.metric.to_surrogate(eps);
@@ -835,13 +847,19 @@ impl<M: Metric> RStarTree<'_, M> {
                         out.push(i);
                     }
                 }
+                (points.len() as u64, 1)
             }
             Node::Inner { children } => {
+                let mut evals = 0u64;
+                let mut visits = 1u64;
                 for (rect, child) in children {
                     if dist_to_box(&self.metric, q, rect.lo(), rect.hi()) <= eps {
-                        self.range_rec(child, q, eps, out);
+                        let (e, v) = self.range_rec(child, q, eps, out);
+                        evals += e;
+                        visits += v;
                     }
                 }
+                (evals, visits)
             }
         }
     }
@@ -854,8 +872,12 @@ impl<M: Metric> NeighborIndex for RStarTree<'_, M> {
 
     fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
         out.clear();
+        let mut work = (0u64, 0u64);
         if let Some(root) = &self.root {
-            self.range_rec(root, q, eps, out);
+            work = self.range_rec(root, q, eps, out);
+        }
+        if let Some(s) = &self.sheet {
+            s.record_range(work.0, work.1);
         }
     }
 
@@ -895,6 +917,8 @@ impl<M: Metric> NeighborIndex for RStarTree<'_, M> {
             item: Item::Node(self.root.as_ref().unwrap()),
         });
         let mut out: Vec<(u32, f64)> = Vec::with_capacity(k);
+        let mut evals = 0u64;
+        let mut visits = 0u64;
         while let Some(HeapEntry {
             key: Reverse((F64(d), _)),
             item,
@@ -906,6 +930,8 @@ impl<M: Metric> NeighborIndex for RStarTree<'_, M> {
             match item {
                 Item::Point(i) => out.push((i, d)),
                 Item::Node(Node::Leaf { points }) => {
+                    visits += 1;
+                    evals += points.len() as u64;
                     for &i in points {
                         tiebreak += 1;
                         let pd = self.metric.dist(q, self.data.point(i));
@@ -916,6 +942,7 @@ impl<M: Metric> NeighborIndex for RStarTree<'_, M> {
                     }
                 }
                 Item::Node(Node::Inner { children }) => {
+                    visits += 1;
                     for (rect, child) in children {
                         tiebreak += 1;
                         let nd = dist_to_box(&self.metric, q, rect.lo(), rect.hi());
@@ -926,6 +953,9 @@ impl<M: Metric> NeighborIndex for RStarTree<'_, M> {
                     }
                 }
             }
+        }
+        if let Some(s) = &self.sheet {
+            s.record_knn(evals, visits);
         }
         out
     }

@@ -1,0 +1,294 @@
+//! Work counters for the DBDC hot paths.
+//!
+//! Two forms of the same nine numbers:
+//!
+//! * [`Counters`] — a plain value: copyable, addable, serializable.
+//!   This is what reports store and tests assert against.
+//! * [`CounterSheet`] — the shared, lock-free accumulator handed to
+//!   instrumented code. Index backends, the DSU merge phase, and the
+//!   wire layer add into it from any thread; a snapshot turns it back
+//!   into a [`Counters`].
+//!
+//! Producers are expected to count into plain `u64` locals inside their
+//! hot loops and flush **once per operation** (one `range()` call, one
+//! merge phase, one encoded message), so the per-element cost of
+//! instrumentation is a register increment whether or not a sheet is
+//! attached. All atomics use relaxed ordering: the counters carry no
+//! synchronization duty — readers snapshot after the producing phase
+//! has been joined.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of protocol work, in occurrence counts and bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// ε-range queries answered by an index.
+    pub range_queries: u64,
+    /// k-nearest-neighbour queries answered by an index.
+    pub knn_queries: u64,
+    /// Point-to-point distance evaluations (surrogate or exact) spent
+    /// verifying candidates inside index queries.
+    pub distance_evals: u64,
+    /// Index nodes inspected: tree nodes whose bounding box was tested
+    /// (kd-tree), nodes descended into (R*-tree), or occupied grid
+    /// cells probed (grid). Zero for the linear scan.
+    pub node_visits: u64,
+    /// Successful DSU merges in the parallel DBSCAN merge phase.
+    pub dsu_unions: u64,
+    /// DSU `find` invocations (including the two inside each `union`).
+    pub dsu_finds: u64,
+    /// Representatives emitted into a local model.
+    pub representatives: u64,
+    /// Wire bytes sent by the observed party.
+    pub bytes_sent: u64,
+    /// Wire bytes received by the observed party.
+    pub bytes_received: u64,
+}
+
+impl Counters {
+    /// Stable field names, in serialization order.
+    pub const FIELDS: [&'static str; 9] = [
+        "range_queries",
+        "knn_queries",
+        "distance_evals",
+        "node_visits",
+        "dsu_unions",
+        "dsu_finds",
+        "representatives",
+        "bytes_sent",
+        "bytes_received",
+    ];
+
+    /// Field values in [`Counters::FIELDS`] order.
+    pub fn values(&self) -> [u64; 9] {
+        [
+            self.range_queries,
+            self.knn_queries,
+            self.distance_evals,
+            self.node_visits,
+            self.dsu_unions,
+            self.dsu_finds,
+            self.representatives,
+            self.bytes_sent,
+            self.bytes_received,
+        ]
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.values().iter().all(|&v| v == 0)
+    }
+
+    /// Adds `other` into `self`, field by field.
+    pub fn add(&mut self, other: &Counters) {
+        self.range_queries += other.range_queries;
+        self.knn_queries += other.knn_queries;
+        self.distance_evals += other.distance_evals;
+        self.node_visits += other.node_visits;
+        self.dsu_unions += other.dsu_unions;
+        self.dsu_finds += other.dsu_finds;
+        self.representatives += other.representatives;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+
+    /// Field-wise sum of many snapshots.
+    pub fn sum<'a>(iter: impl IntoIterator<Item = &'a Counters>) -> Counters {
+        let mut acc = Counters::default();
+        for c in iter {
+            acc.add(c);
+        }
+        acc
+    }
+}
+
+/// A shared, lock-free accumulator for [`Counters`].
+///
+/// Cheap to share (`Arc<CounterSheet>`), safe to add into from many
+/// threads, snapshot once the producing phase is done.
+#[derive(Debug, Default)]
+pub struct CounterSheet {
+    range_queries: AtomicU64,
+    knn_queries: AtomicU64,
+    distance_evals: AtomicU64,
+    node_visits: AtomicU64,
+    dsu_unions: AtomicU64,
+    dsu_finds: AtomicU64,
+    representatives: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl CounterSheet {
+    /// A fresh all-zero sheet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed ε-range query with its per-query work.
+    pub fn record_range(&self, distance_evals: u64, node_visits: u64) {
+        self.range_queries.fetch_add(1, Ordering::Relaxed);
+        self.distance_evals
+            .fetch_add(distance_evals, Ordering::Relaxed);
+        self.node_visits.fetch_add(node_visits, Ordering::Relaxed);
+    }
+
+    /// Records one completed knn query with its per-query work.
+    pub fn record_knn(&self, distance_evals: u64, node_visits: u64) {
+        self.knn_queries.fetch_add(1, Ordering::Relaxed);
+        self.distance_evals
+            .fetch_add(distance_evals, Ordering::Relaxed);
+        self.node_visits.fetch_add(node_visits, Ordering::Relaxed);
+    }
+
+    /// Records a finished DSU phase.
+    pub fn add_dsu(&self, unions: u64, finds: u64) {
+        self.dsu_unions.fetch_add(unions, Ordering::Relaxed);
+        self.dsu_finds.fetch_add(finds, Ordering::Relaxed);
+    }
+
+    /// Records representatives emitted into a local model.
+    pub fn add_representatives(&self, n: u64) {
+        self.representatives.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one sent message of `bytes`.
+    pub fn add_bytes_sent(&self, bytes: u64) {
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one received message of `bytes`.
+    pub fn add_bytes_received(&self, bytes: u64) {
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds a whole snapshot at once.
+    pub fn add(&self, c: &Counters) {
+        self.range_queries
+            .fetch_add(c.range_queries, Ordering::Relaxed);
+        self.knn_queries.fetch_add(c.knn_queries, Ordering::Relaxed);
+        self.distance_evals
+            .fetch_add(c.distance_evals, Ordering::Relaxed);
+        self.node_visits.fetch_add(c.node_visits, Ordering::Relaxed);
+        self.dsu_unions.fetch_add(c.dsu_unions, Ordering::Relaxed);
+        self.dsu_finds.fetch_add(c.dsu_finds, Ordering::Relaxed);
+        self.representatives
+            .fetch_add(c.representatives, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(c.bytes_sent, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(c.bytes_received, Ordering::Relaxed);
+    }
+
+    /// The current totals as a plain value.
+    pub fn snapshot(&self) -> Counters {
+        Counters {
+            range_queries: self.range_queries.load(Ordering::Relaxed),
+            knn_queries: self.knn_queries.load(Ordering::Relaxed),
+            distance_evals: self.distance_evals.load(Ordering::Relaxed),
+            node_visits: self.node_visits.load(Ordering::Relaxed),
+            dsu_unions: self.dsu_unions.load(Ordering::Relaxed),
+            dsu_finds: self.dsu_finds.load(Ordering::Relaxed),
+            representatives: self.representatives.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reflects_recorded_work() {
+        let s = CounterSheet::new();
+        s.record_range(100, 7);
+        s.record_range(50, 3);
+        s.record_knn(10, 2);
+        s.add_dsu(4, 11);
+        s.add_representatives(6);
+        s.add_bytes_sent(300);
+        s.add_bytes_received(40);
+        let c = s.snapshot();
+        assert_eq!(c.range_queries, 2);
+        assert_eq!(c.knn_queries, 1);
+        assert_eq!(c.distance_evals, 160);
+        assert_eq!(c.node_visits, 12);
+        assert_eq!(c.dsu_unions, 4);
+        assert_eq!(c.dsu_finds, 11);
+        assert_eq!(c.representatives, 6);
+        assert_eq!(c.bytes_sent, 300);
+        assert_eq!(c.bytes_received, 40);
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let s = Arc::new(CounterSheet::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_range(3, 1);
+                    }
+                });
+            }
+        });
+        let c = s.snapshot();
+        assert_eq!(c.range_queries, 4000);
+        assert_eq!(c.distance_evals, 12000);
+        assert_eq!(c.node_visits, 4000);
+    }
+
+    #[test]
+    fn counters_add_and_sum() {
+        let mut a = Counters {
+            range_queries: 1,
+            bytes_sent: 10,
+            ..Counters::default()
+        };
+        let b = Counters {
+            range_queries: 2,
+            distance_evals: 5,
+            ..Counters::default()
+        };
+        a.add(&b);
+        assert_eq!(a.range_queries, 3);
+        assert_eq!(a.distance_evals, 5);
+        assert_eq!(a.bytes_sent, 10);
+        let total = Counters::sum([&a, &b]);
+        assert_eq!(total.range_queries, 5);
+        assert_eq!(total.distance_evals, 10);
+    }
+
+    #[test]
+    fn fields_and_values_stay_aligned() {
+        let c = Counters {
+            range_queries: 1,
+            bytes_received: 9,
+            ..Default::default()
+        };
+        let values = c.values();
+        assert_eq!(Counters::FIELDS.len(), values.len());
+        assert_eq!(values[0], 1);
+        assert_eq!(values[8], 9);
+        assert!(Counters::default().is_zero());
+    }
+
+    #[test]
+    fn whole_snapshot_add() {
+        let s = CounterSheet::new();
+        let c = Counters {
+            range_queries: 2,
+            dsu_finds: 3,
+            ..Counters::default()
+        };
+        s.add(&c);
+        s.add(&c);
+        let got = s.snapshot();
+        assert_eq!(got.range_queries, 4);
+        assert_eq!(got.dsu_finds, 6);
+    }
+}

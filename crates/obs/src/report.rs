@@ -1,0 +1,670 @@
+//! The stable `RunReport` schema and its emitters.
+//!
+//! A [`RunReport`] is the single artifact a DBDC run leaves behind: the
+//! phase-span tree, every counter scope, per-site statistics, transfer
+//! sizes, modeled network cost, and clustering outcome. The CLI writes
+//! it via `--metrics-out`, prints [`RunReport::render`] via `--trace`,
+//! the bench harness writes `BENCH_*.json` in the same format, and CI
+//! validates it with `dbdc-cli report`.
+//!
+//! Schema stability rules: key order is fixed (objects serialize in
+//! declaration order), every duration is integer microseconds
+//! (`*_us`), absent optional sections serialize as `null`, and any
+//! shape change must bump [`SCHEMA_VERSION`]. [`RunReport::from_json`]
+//! refuses reports from other schema versions.
+
+use std::time::Duration;
+
+use crate::counters::Counters;
+use crate::fmt_ms;
+use crate::json::Json;
+use crate::span::Span;
+
+/// Version of the JSON shape. Bump on any schema change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Size and dimensionality of the input dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Number of points.
+    pub points: usize,
+    /// Dimensionality.
+    pub dim: usize,
+}
+
+/// Per-site outcome: sizes, phase walls, and that site's counters
+/// (local clustering plus relabeling, merged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Site index.
+    pub site: usize,
+    /// Points held by this site.
+    pub points: usize,
+    /// Representatives in the site's local model.
+    pub representatives: usize,
+    /// Encoded local-model bytes uploaded by this site.
+    pub bytes_up: usize,
+    /// Wall time of the local phase (cluster + extract + encode).
+    pub local: Duration,
+    /// Wall time of the relabel phase.
+    pub relabel: Duration,
+    /// Work counters across both phases.
+    pub counters: Counters,
+}
+
+/// Protocol transfer sizes (real encoded bytes, not modeled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Total upload bytes across sites.
+    pub bytes_up: usize,
+    /// Total broadcast bytes across sites.
+    pub bytes_down: usize,
+    /// Upload bytes per site.
+    pub per_site_bytes_up: Vec<usize>,
+    /// Encoded global model size (one copy).
+    pub global_model_bytes: usize,
+    /// Representatives in the global model.
+    pub representatives: usize,
+}
+
+/// Modeled cost of the transfers on one link preset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkCost {
+    /// Link preset name (`lan`, `wan`, `slow_uplink`).
+    pub link: String,
+    /// Modeled concurrent-upload time (slowest site).
+    pub upload: Duration,
+    /// Modeled broadcast time of the global model.
+    pub broadcast: Duration,
+    /// End-to-end run time including compute and both transfers.
+    pub total: Duration,
+}
+
+/// Clustering outcome summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Number of clusters found.
+    pub clusters: usize,
+    /// Number of noise points.
+    pub noise: usize,
+}
+
+/// Everything one run reports. See the module docs for the schema
+/// rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Schema version ([`SCHEMA_VERSION`] when produced by this build).
+    pub schema_version: u32,
+    /// CLI subcommand or harness name that produced the report.
+    pub command: String,
+    /// Echoed parameters, in display order.
+    pub params: Vec<(String, String)>,
+    /// Input dataset, when there is one.
+    pub dataset: Option<DatasetInfo>,
+    /// Recorded span trees, in arrival order (usually one root).
+    pub spans: Vec<Span>,
+    /// Counter scopes, in first-request order.
+    pub scopes: Vec<(String, Counters)>,
+    /// Per-site statistics (empty for non-distributed commands).
+    pub sites: Vec<SiteStats>,
+    /// Transfer sizes, for distributed runs.
+    pub transfer: Option<TransferStats>,
+    /// Modeled network cost per link preset.
+    pub network: Vec<NetworkCost>,
+    /// Clustering outcome, when the command clusters.
+    pub clusters: Option<ClusterStats>,
+}
+
+impl RunReport {
+    /// An empty report for `command` at the current schema version.
+    pub fn new(command: impl Into<String>) -> RunReport {
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            command: command.into(),
+            params: Vec::new(),
+            dataset: None,
+            spans: Vec::new(),
+            scopes: Vec::new(),
+            sites: Vec::new(),
+            transfer: None,
+            network: Vec::new(),
+            clusters: None,
+        }
+    }
+
+    /// Adds an echoed parameter, builder-style.
+    pub fn with_param(mut self, key: impl Into<String>, value: impl ToString) -> RunReport {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// The report as a JSON tree.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::num_u64(self.schema_version as u64)),
+            ("command", Json::str(&self.command)),
+            (
+                "params",
+                Json::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "dataset",
+                match &self.dataset {
+                    Some(d) => Json::obj([
+                        ("points", Json::num_u64(d.points as u64)),
+                        ("dim", Json::num_u64(d.dim as u64)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(Span::to_json).collect()),
+            ),
+            (
+                "counters",
+                Json::Obj(
+                    self.scopes
+                        .iter()
+                        .map(|(name, c)| (name.clone(), counters_to_json(c)))
+                        .collect(),
+                ),
+            ),
+            (
+                "sites",
+                Json::Arr(
+                    self.sites
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("site", Json::num_u64(s.site as u64)),
+                                ("points", Json::num_u64(s.points as u64)),
+                                ("representatives", Json::num_u64(s.representatives as u64)),
+                                ("bytes_up", Json::num_u64(s.bytes_up as u64)),
+                                ("local_us", Json::num_u64(s.local.as_micros() as u64)),
+                                ("relabel_us", Json::num_u64(s.relabel.as_micros() as u64)),
+                                ("counters", counters_to_json(&s.counters)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "transfer",
+                match &self.transfer {
+                    Some(t) => Json::obj([
+                        ("bytes_up", Json::num_u64(t.bytes_up as u64)),
+                        ("bytes_down", Json::num_u64(t.bytes_down as u64)),
+                        (
+                            "per_site_bytes_up",
+                            Json::Arr(
+                                t.per_site_bytes_up
+                                    .iter()
+                                    .map(|&b| Json::num_u64(b as u64))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "global_model_bytes",
+                            Json::num_u64(t.global_model_bytes as u64),
+                        ),
+                        ("representatives", Json::num_u64(t.representatives as u64)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "network",
+                Json::Arr(
+                    self.network
+                        .iter()
+                        .map(|n| {
+                            Json::obj([
+                                ("link", Json::str(&n.link)),
+                                ("upload_us", Json::num_u64(n.upload.as_micros() as u64)),
+                                (
+                                    "broadcast_us",
+                                    Json::num_u64(n.broadcast.as_micros() as u64),
+                                ),
+                                ("total_us", Json::num_u64(n.total.as_micros() as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "clusters",
+                match &self.clusters {
+                    Some(c) => Json::obj([
+                        ("clusters", Json::num_u64(c.clusters as u64)),
+                        ("noise", Json::num_u64(c.noise as u64)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// The report as the exact bytes `--metrics-out` writes.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Rebuilds and validates a report from parsed JSON. Rejects
+    /// unknown schema versions and malformed sections with a message
+    /// naming the offending field.
+    pub fn from_json(v: &Json) -> Result<RunReport, String> {
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("report missing \"schema_version\"")? as u32;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let command = v
+            .get("command")
+            .and_then(Json::as_str)
+            .ok_or("report missing \"command\"")?
+            .to_string();
+        let params = match v.get("params") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, val)| {
+                    val.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("param {k:?} is not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("report missing \"params\" object".into()),
+        };
+        let dataset = match v.get("dataset") {
+            Some(Json::Null) | None => None,
+            Some(d) => Some(DatasetInfo {
+                points: req_usize(d, "points", "dataset")?,
+                dim: req_usize(d, "dim", "dataset")?,
+            }),
+        };
+        let spans = v
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or("report missing \"spans\" array")?
+            .iter()
+            .map(Span::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let scopes = match v.get("counters") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(name, c)| counters_from_json(c).map(|c| (name.clone(), c)))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("report missing \"counters\" object".into()),
+        };
+        let sites = v
+            .get("sites")
+            .and_then(Json::as_arr)
+            .ok_or("report missing \"sites\" array")?
+            .iter()
+            .map(|s| {
+                Ok(SiteStats {
+                    site: req_usize(s, "site", "site entry")?,
+                    points: req_usize(s, "points", "site entry")?,
+                    representatives: req_usize(s, "representatives", "site entry")?,
+                    bytes_up: req_usize(s, "bytes_up", "site entry")?,
+                    local: req_duration(s, "local_us", "site entry")?,
+                    relabel: req_duration(s, "relabel_us", "site entry")?,
+                    counters: counters_from_json(
+                        s.get("counters").ok_or("site entry missing \"counters\"")?,
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let transfer = match v.get("transfer") {
+            Some(Json::Null) | None => None,
+            Some(t) => Some(TransferStats {
+                bytes_up: req_usize(t, "bytes_up", "transfer")?,
+                bytes_down: req_usize(t, "bytes_down", "transfer")?,
+                per_site_bytes_up: t
+                    .get("per_site_bytes_up")
+                    .and_then(Json::as_arr)
+                    .ok_or("transfer missing \"per_site_bytes_up\"")?
+                    .iter()
+                    .map(|b| {
+                        b.as_u64()
+                            .map(|b| b as usize)
+                            .ok_or_else(|| "per_site_bytes_up entry not an integer".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                global_model_bytes: req_usize(t, "global_model_bytes", "transfer")?,
+                representatives: req_usize(t, "representatives", "transfer")?,
+            }),
+        };
+        let network = v
+            .get("network")
+            .and_then(Json::as_arr)
+            .ok_or("report missing \"network\" array")?
+            .iter()
+            .map(|n| {
+                Ok(NetworkCost {
+                    link: n
+                        .get("link")
+                        .and_then(Json::as_str)
+                        .ok_or("network entry missing \"link\"")?
+                        .to_string(),
+                    upload: req_duration(n, "upload_us", "network entry")?,
+                    broadcast: req_duration(n, "broadcast_us", "network entry")?,
+                    total: req_duration(n, "total_us", "network entry")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let clusters = match v.get("clusters") {
+            Some(Json::Null) | None => None,
+            Some(c) => Some(ClusterStats {
+                clusters: req_usize(c, "clusters", "clusters")?,
+                noise: req_usize(c, "noise", "clusters")?,
+            }),
+        };
+        Ok(RunReport {
+            schema_version,
+            command,
+            params,
+            dataset,
+            spans,
+            scopes,
+            sites,
+            transfer,
+            network,
+            clusters,
+        })
+    }
+
+    /// Parses and validates a report from JSON text.
+    pub fn parse(text: &str) -> Result<RunReport, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        RunReport::from_json(&v)
+    }
+
+    /// Finds a span by name across all recorded trees.
+    pub fn find_span(&self, name: &str) -> Option<&Span> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Renders the human-readable report `--trace` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== {} report (schema v{}) ==\n",
+            self.command, self.schema_version
+        ));
+        if !self.params.is_empty() {
+            let echoed: Vec<String> = self
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            out.push_str(&format!("params: {}\n", echoed.join(" ")));
+        }
+        if let Some(d) = &self.dataset {
+            out.push_str(&format!("dataset: {} points, dim {}\n", d.points, d.dim));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("phases:\n");
+            for span in &self.spans {
+                for line in span.render().lines() {
+                    out.push_str(&format!("  {line}\n"));
+                }
+            }
+        }
+        if !self.scopes.is_empty() {
+            out.push_str("counters:\n");
+            for (name, c) in &self.scopes {
+                let nonzero: Vec<String> = Counters::FIELDS
+                    .iter()
+                    .zip(c.values())
+                    .filter(|(_, v)| *v != 0)
+                    .map(|(f, v)| format!("{f}={v}"))
+                    .collect();
+                let body = if nonzero.is_empty() {
+                    "(idle)".to_string()
+                } else {
+                    nonzero.join(" ")
+                };
+                out.push_str(&format!("  {name:<12} {body}\n"));
+            }
+        }
+        if !self.sites.is_empty() {
+            out.push_str("sites:\n");
+            for s in &self.sites {
+                out.push_str(&format!(
+                    "  site {}: {} points, {} reps, {} B up, local {}, relabel {}\n",
+                    s.site,
+                    s.points,
+                    s.representatives,
+                    s.bytes_up,
+                    fmt_ms(s.local),
+                    fmt_ms(s.relabel),
+                ));
+            }
+        }
+        if let Some(t) = &self.transfer {
+            out.push_str(&format!(
+                "transfer: up {} B {:?}, global model {} B, down {} B, {} representatives\n",
+                t.bytes_up,
+                t.per_site_bytes_up,
+                t.global_model_bytes,
+                t.bytes_down,
+                t.representatives,
+            ));
+        }
+        if !self.network.is_empty() {
+            out.push_str("network (modeled):\n");
+            for n in &self.network {
+                out.push_str(&format!(
+                    "  {:<12} upload {} + broadcast {} -> total {}\n",
+                    n.link,
+                    fmt_ms(n.upload),
+                    fmt_ms(n.broadcast),
+                    fmt_ms(n.total),
+                ));
+            }
+        }
+        if let Some(c) = &self.clusters {
+            out.push_str(&format!(
+                "clusters: {} clusters, {} noise points\n",
+                c.clusters, c.noise
+            ));
+        }
+        out
+    }
+}
+
+/// Counters as a JSON object, all nine fields in [`Counters::FIELDS`]
+/// order.
+pub fn counters_to_json(c: &Counters) -> Json {
+    Json::Obj(
+        Counters::FIELDS
+            .iter()
+            .zip(c.values())
+            .map(|(name, v)| (name.to_string(), Json::num_u64(v)))
+            .collect(),
+    )
+}
+
+/// Rebuilds counters from [`counters_to_json`] output.
+pub fn counters_from_json(v: &Json) -> Result<Counters, String> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("counters missing {name:?}"))
+    };
+    Ok(Counters {
+        range_queries: field("range_queries")?,
+        knn_queries: field("knn_queries")?,
+        distance_evals: field("distance_evals")?,
+        node_visits: field("node_visits")?,
+        dsu_unions: field("dsu_unions")?,
+        dsu_finds: field("dsu_finds")?,
+        representatives: field("representatives")?,
+        bytes_sent: field("bytes_sent")?,
+        bytes_received: field("bytes_received")?,
+    })
+}
+
+fn req_usize(v: &Json, key: &str, what: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("{what} missing {key:?}"))
+}
+
+fn req_duration(v: &Json, key: &str, what: &str) -> Result<Duration, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .map(Duration::from_micros)
+        .ok_or_else(|| format!("{what} missing {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut root = Span::new("dbdc", Duration::from_micros(10_000));
+        let mut local = Span::new("local[0]", Duration::from_micros(4_000));
+        local.push(Span::new("cluster", Duration::from_micros(3_000)));
+        local.push(Span::new("extract", Duration::from_micros(700)));
+        local.push(Span::new("encode", Duration::from_micros(300)));
+        root.push(local);
+        root.push(Span::modeled("upload", Duration::from_micros(120)));
+        root.push(Span::new("global", Duration::from_micros(800)));
+        root.push(Span::modeled("broadcast", Duration::from_micros(60)));
+        root.push(Span::new("relabel[0]", Duration::from_micros(500)));
+
+        let local_counters = Counters {
+            range_queries: 40,
+            distance_evals: 1600,
+            representatives: 6,
+            bytes_sent: 280,
+            ..Counters::default()
+        };
+        RunReport {
+            schema_version: SCHEMA_VERSION,
+            command: "run".into(),
+            params: vec![("eps".into(), "1.2".into()), ("sites".into(), "1".into())],
+            dataset: Some(DatasetInfo { points: 40, dim: 2 }),
+            spans: vec![root],
+            scopes: vec![
+                ("local[0]".into(), local_counters),
+                (
+                    "global".into(),
+                    Counters {
+                        range_queries: 6,
+                        distance_evals: 36,
+                        bytes_received: 280,
+                        bytes_sent: 300,
+                        ..Counters::default()
+                    },
+                ),
+            ],
+            sites: vec![SiteStats {
+                site: 0,
+                points: 40,
+                representatives: 6,
+                bytes_up: 280,
+                local: Duration::from_micros(4_000),
+                relabel: Duration::from_micros(500),
+                counters: local_counters,
+            }],
+            transfer: Some(TransferStats {
+                bytes_up: 280,
+                bytes_down: 300,
+                per_site_bytes_up: vec![280],
+                global_model_bytes: 300,
+                representatives: 6,
+            }),
+            network: vec![NetworkCost {
+                link: "lan".into(),
+                upload: Duration::from_micros(120),
+                broadcast: Duration::from_micros(60),
+                total: Duration::from_micros(10_180),
+            }],
+            clusters: Some(ClusterStats {
+                clusters: 2,
+                noise: 3,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample();
+        let text = report.to_json_string();
+        let back = RunReport::parse(&text).expect("own output parses");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn minimal_report_round_trips() {
+        let report = RunReport::new("generate").with_param("set", "a");
+        let back = RunReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(back, report);
+        assert!(back.dataset.is_none());
+        assert!(back.transfer.is_none());
+        assert!(back.clusters.is_none());
+    }
+
+    #[test]
+    fn rejects_other_schema_versions() {
+        let mut v = sample().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs[0].1 = Json::num_u64(99);
+        }
+        let err = RunReport::from_json(&v).unwrap_err();
+        assert!(err.contains("schema_version 99"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_sections() {
+        let mut v = sample().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "spans");
+        }
+        let err = RunReport::from_json(&v).unwrap_err();
+        assert!(err.contains("spans"), "{err}");
+    }
+
+    #[test]
+    fn find_span_searches_all_trees() {
+        let report = sample();
+        assert!(report.find_span("encode").is_some());
+        assert!(report.find_span("broadcast").unwrap().modeled);
+        assert!(report.find_span("nope").is_none());
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let text = sample().render();
+        for needle in [
+            "== run report (schema v1) ==",
+            "eps=1.2",
+            "dataset: 40 points, dim 2",
+            "phases:",
+            "local[0]",
+            "counters:",
+            "range_queries=40",
+            "site 0: 40 points",
+            "transfer: up 280 B [280]",
+            "network (modeled):",
+            "lan",
+            "clusters: 2 clusters, 3 noise points",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Phase-scoped wall-time spans.
+//!
+//! A [`Span`] is one node of the DBDC phase tree: `dbdc` at the root,
+//! `local[i]` (with `cluster`/`extract`/`encode` children), `upload`,
+//! `global`, `broadcast`, and `relabel[i]` below it. Each node carries
+//! its wall time, the number of worker threads that produced it, and
+//! whether the duration was *measured* on this machine or *modeled*
+//! from the network cost model (uploads and broadcasts are modeled —
+//! all sites run in one process here, so no bytes actually cross a
+//! wire).
+//!
+//! Wall time serializes as integer microseconds (`wall_us`) so a report
+//! round-trips bit-exactly through JSON; sub-microsecond phases exist
+//! only below timer resolution anyway.
+
+use std::time::Duration;
+
+use crate::fmt_ms;
+use crate::json::Json;
+
+/// One node of the phase tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name, e.g. `local[3]` or `global`.
+    pub name: String,
+    /// Wall time spent in this phase (includes children).
+    pub wall: Duration,
+    /// Worker threads active in this phase.
+    pub threads: usize,
+    /// `true` when the duration comes from the network cost model
+    /// rather than a measurement.
+    pub modeled: bool,
+    /// Nested sub-phases, in execution order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A measured single-threaded span.
+    pub fn new(name: impl Into<String>, wall: Duration) -> Span {
+        Span {
+            name: name.into(),
+            wall,
+            threads: 1,
+            modeled: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// A modeled span (network cost model, not a measurement).
+    pub fn modeled(name: impl Into<String>, wall: Duration) -> Span {
+        Span {
+            modeled: true,
+            ..Span::new(name, wall)
+        }
+    }
+
+    /// Sets the thread count, builder-style.
+    pub fn with_threads(mut self, threads: usize) -> Span {
+        self.threads = threads;
+        self
+    }
+
+    /// Appends a child phase.
+    pub fn push(&mut self, child: Span) {
+        self.children.push(child);
+    }
+
+    /// Runs `f`, returning its result in a span timing the call.
+    pub fn timed<T>(name: impl Into<String>, f: impl FnOnce() -> T) -> (Span, T) {
+        let t0 = std::time::Instant::now();
+        let value = f();
+        (Span::new(name, t0.elapsed()), value)
+    }
+
+    /// Finds the first span named `name` in this subtree (pre-order).
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Total number of spans in this subtree, including `self`.
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(Span::count).sum::<usize>()
+    }
+
+    /// Renders the subtree as an indented text block.
+    ///
+    /// ```text
+    /// dbdc                    12.3 ms
+    ///   local[0]               4.0 ms  (2 threads)
+    ///     cluster              3.1 ms
+    ///   upload                 0.4 ms  (modeled)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{}", self.name);
+        out.push_str(&format!("{label:<28} {:>10}", fmt_ms(self.wall)));
+        if self.threads > 1 {
+            out.push_str(&format!("  ({} threads)", self.threads));
+        }
+        if self.modeled {
+            out.push_str("  (modeled)");
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+
+    /// The span as a JSON object: `name`, `wall_us`, `threads`,
+    /// `modeled`, `children` — always all five keys, for a stable
+    /// schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("wall_us", Json::num_u64(self.wall.as_micros() as u64)),
+            ("threads", Json::num_u64(self.threads as u64)),
+            ("modeled", Json::Bool(self.modeled)),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(Span::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a span from [`Span::to_json`] output.
+    pub fn from_json(v: &Json) -> Result<Span, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("span missing \"name\"")?
+            .to_string();
+        let wall_us = v
+            .get("wall_us")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("span {name:?} missing \"wall_us\""))?;
+        let threads =
+            v.get("threads")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("span {name:?} missing \"threads\""))? as usize;
+        let modeled = v
+            .get("modeled")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("span {name:?} missing \"modeled\""))?;
+        let children = v
+            .get("children")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("span {name:?} missing \"children\""))?
+            .iter()
+            .map(Span::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Span {
+            name,
+            wall: Duration::from_micros(wall_us),
+            threads,
+            modeled,
+            children,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Span {
+        let mut root = Span::new("dbdc", Duration::from_micros(12_300));
+        let mut local = Span::new("local[0]", Duration::from_micros(4_000)).with_threads(2);
+        local.push(Span::new("cluster", Duration::from_micros(3_100)));
+        local.push(Span::new("encode", Duration::from_micros(200)));
+        root.push(local);
+        root.push(Span::modeled("upload", Duration::from_micros(400)));
+        root.push(Span::new("global", Duration::from_micros(900)));
+        root
+    }
+
+    #[test]
+    fn nesting_and_find() {
+        let root = sample();
+        assert_eq!(root.count(), 6);
+        assert_eq!(
+            root.find("cluster").map(|s| s.wall),
+            Some(Duration::from_micros(3_100))
+        );
+        assert!(root.find("upload").unwrap().modeled);
+        assert_eq!(root.find("local[0]").unwrap().threads, 2);
+        assert!(root.find("relabel[0]").is_none());
+        // find() prefers self.
+        assert_eq!(root.find("dbdc").unwrap().count(), 6);
+    }
+
+    #[test]
+    fn render_shows_threads_and_modeled() {
+        let text = sample().render();
+        assert!(text.contains("dbdc"), "{text}");
+        assert!(text.contains("  local[0]"), "{text}");
+        assert!(text.contains("(2 threads)"), "{text}");
+        assert!(text.contains("(modeled)"), "{text}");
+        assert!(text.contains("3.1 ms"), "{text}");
+        assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let root = sample();
+        let back = Span::from_json(&root.to_json()).expect("round trip");
+        assert_eq!(back, root);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let mut v = sample().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "wall_us");
+        }
+        let err = Span::from_json(&v).unwrap_err();
+        assert!(err.contains("wall_us"), "{err}");
+    }
+
+    #[test]
+    fn timed_measures_the_closure() {
+        let (span, value) = Span::timed("work", || 41 + 1);
+        assert_eq!(value, 42);
+        assert_eq!(span.name, "work");
+        assert!(!span.modeled);
+    }
+}

@@ -1,0 +1,190 @@
+//! Golden-file test pinning the `RunReport` JSON schema.
+//!
+//! The report JSON is a contract: the CI metrics job, the bench
+//! harness's `BENCH_*.json`, and any external tooling parse it. This
+//! test compares a handcrafted deterministic report byte-for-byte
+//! against `tests/golden/run_report.json`. If a schema change is
+//! intentional, bump `SCHEMA_VERSION` and re-bless the file with
+//! `DBDC_BLESS=1 cargo test -p dbdc-obs --test golden_report`.
+
+use std::time::Duration;
+
+use dbdc_obs::{
+    ClusterStats, Counters, DatasetInfo, NetworkCost, RunReport, SiteStats, Span, TransferStats,
+};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_report.json")
+}
+
+/// A fully populated report with fixed, hand-picked values — every
+/// section present, so the golden file exercises the whole schema.
+fn sample_report() -> RunReport {
+    let site_counters = [
+        Counters {
+            range_queries: 25,
+            distance_evals: 500,
+            representatives: 4,
+            bytes_sent: 196,
+            ..Counters::default()
+        },
+        Counters {
+            range_queries: 22,
+            knn_queries: 1,
+            distance_evals: 440,
+            node_visits: 63,
+            dsu_unions: 17,
+            dsu_finds: 54,
+            representatives: 3,
+            bytes_sent: 152,
+            bytes_received: 6,
+        },
+    ];
+
+    let mut root = Span::new("dbdc", Duration::from_micros(9_470));
+    for (i, (local_us, threads)) in [(3_200u64, 1usize), (2_900, 2)].iter().enumerate() {
+        let mut local = Span::new(format!("local[{i}]"), Duration::from_micros(*local_us))
+            .with_threads(*threads);
+        local.push(Span::new("cluster", Duration::from_micros(local_us - 450)));
+        local.push(Span::new("extract", Duration::from_micros(300)));
+        local.push(Span::new("encode", Duration::from_micros(150)));
+        root.push(local);
+    }
+    root.push(Span::modeled("upload", Duration::from_micros(210)));
+    root.push(Span::new("global", Duration::from_micros(640)));
+    root.push(Span::modeled("broadcast", Duration::from_micros(90)));
+    root.push(Span::new("relabel[0]", Duration::from_micros(410)));
+    root.push(Span::new("relabel[1]", Duration::from_micros(380)));
+
+    let mut r = RunReport::new("run");
+    {
+        r.params = vec![
+            ("eps".into(), "1.2".into()),
+            ("min_pts".into(), "5".into()),
+            ("sites".into(), "2".into()),
+            ("model".into(), "REP_Scor".into()),
+            ("index".into(), "rstar".into()),
+        ];
+        r.dataset = Some(DatasetInfo { points: 47, dim: 2 });
+        r.spans = vec![root];
+        r.scopes = vec![
+            ("local[0]".into(), site_counters[0]),
+            ("local[1]".into(), site_counters[1]),
+            (
+                "global".into(),
+                Counters {
+                    range_queries: 7,
+                    distance_evals: 49,
+                    bytes_sent: 740,
+                    bytes_received: 348,
+                    ..Counters::default()
+                },
+            ),
+            (
+                "relabel[0]".into(),
+                Counters {
+                    range_queries: 24,
+                    distance_evals: 96,
+                    node_visits: 40,
+                    bytes_received: 370,
+                    ..Counters::default()
+                },
+            ),
+        ];
+        r.sites = vec![
+            SiteStats {
+                site: 0,
+                points: 24,
+                representatives: 4,
+                bytes_up: 196,
+                local: Duration::from_micros(3_200),
+                relabel: Duration::from_micros(410),
+                counters: site_counters[0],
+            },
+            SiteStats {
+                site: 1,
+                points: 23,
+                representatives: 3,
+                bytes_up: 152,
+                local: Duration::from_micros(2_900),
+                relabel: Duration::from_micros(380),
+                counters: site_counters[1],
+            },
+        ];
+        r.transfer = Some(TransferStats {
+            bytes_up: 348,
+            bytes_down: 740,
+            per_site_bytes_up: vec![196, 152],
+            global_model_bytes: 370,
+            representatives: 7,
+        });
+        r.network = vec![
+            NetworkCost {
+                link: "lan".into(),
+                upload: Duration::from_micros(210),
+                broadcast: Duration::from_micros(90),
+                total: Duration::from_micros(9_770),
+            },
+            NetworkCost {
+                link: "wan".into(),
+                upload: Duration::from_micros(30_031),
+                broadcast: Duration::from_micros(30_059),
+                total: Duration::from_micros(69_560),
+            },
+        ];
+        r.clusters = Some(ClusterStats {
+            clusters: 3,
+            noise: 5,
+        });
+    }
+    r
+}
+
+#[test]
+fn run_report_matches_golden_file() {
+    let report = sample_report();
+    let text = report.to_json_string();
+    let path = golden_path();
+    if std::env::var_os("DBDC_BLESS").is_some() {
+        std::fs::write(&path, &text).expect("write golden file");
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    assert_eq!(
+        text, golden,
+        "RunReport JSON drifted from the golden file; if intentional, bump \
+         SCHEMA_VERSION and re-bless with DBDC_BLESS=1"
+    );
+}
+
+#[test]
+fn golden_file_parses_back_to_the_same_report() {
+    let golden = std::fs::read_to_string(golden_path()).expect("read golden file");
+    let parsed = RunReport::parse(&golden).expect("golden file validates");
+    assert_eq!(parsed, sample_report());
+    // Writing the parsed report reproduces the file byte-for-byte.
+    assert_eq!(parsed.to_json_string(), golden);
+}
+
+#[test]
+fn golden_file_contains_every_protocol_phase() {
+    let golden = std::fs::read_to_string(golden_path()).expect("read golden file");
+    let parsed = RunReport::parse(&golden).expect("golden file validates");
+    for phase in [
+        "local[0]",
+        "local[1]",
+        "cluster",
+        "extract",
+        "encode",
+        "upload",
+        "global",
+        "broadcast",
+        "relabel[0]",
+        "relabel[1]",
+    ] {
+        assert!(parsed.find_span(phase).is_some(), "missing phase {phase}");
+    }
+    assert!(parsed.find_span("upload").unwrap().modeled);
+    assert!(!parsed.find_span("global").unwrap().modeled);
+}
