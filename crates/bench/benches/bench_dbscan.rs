@@ -1,13 +1,23 @@
 //! DBSCAN micro-benchmarks: the plain algorithm, the enhanced run with
 //! specific-core-point extraction (the paper's "on-the-fly" claim — the
 //! overhead should be small), and OPTICS for comparison.
+//!
+//! Besides the criterion timings, the harness writes
+//! `BENCH_dbscan.json` at the repository root through
+//! [`dbdc_bench::report`]: a schema-v2 `RunReport` with one wall-time
+//! histogram per configuration (one sample per repetition) and the
+//! environment fingerprint, diffable with `dbdc-cli report diff`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbdc_bench::report::{dataset_checksum, env_fingerprint, wall_histogram, write_bench_json};
 use dbdc_cluster::{dbscan, dbscan_with_scp, optics, DbscanParams};
 use dbdc_datagen::scaled_a;
 use dbdc_geom::Euclidean;
 use dbdc_index::{build_index, IndexKind};
+use dbdc_obs::{DatasetInfo, RunReport};
 use std::hint::black_box;
+
+const REPORT_ITERS: u32 = 5;
 
 fn bench_dbscan_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("dbscan");
@@ -50,10 +60,49 @@ fn bench_optics(c: &mut Criterion) {
     group.finish();
 }
 
+/// Emits `BENCH_dbscan.json`: one wall histogram per configuration,
+/// timed outside criterion with [`wall_histogram`].
+fn write_run_report(_c: &mut Criterion) {
+    let mut hists = Vec::new();
+    let mut points = 0;
+    for n in [1_000usize, 4_000, 8_700] {
+        let g = scaled_a(n, 7);
+        points = points.max(g.data.len());
+        let params = DbscanParams::new(g.suggested_eps, g.suggested_min_pts);
+        let idx = build_index(IndexKind::RStar, &g.data, Euclidean, params.eps);
+        hists.push((
+            format!("dbscan/n{n}/total_ns"),
+            wall_histogram(REPORT_ITERS, || {
+                black_box(dbscan(&g.data, idx.as_ref(), &params));
+            }),
+        ));
+        if n == 4_000 {
+            hists.push((
+                format!("dbscan_with_scp/n{n}/total_ns"),
+                wall_histogram(REPORT_ITERS, || {
+                    black_box(dbscan_with_scp(&g.data, idx.as_ref(), &params));
+                }),
+            ));
+        }
+    }
+    let g = scaled_a(8_700, 7);
+    let mut report = RunReport::new("bench_dbscan")
+        .with_param("index", IndexKind::RStar.name())
+        .with_param("report_iters", REPORT_ITERS);
+    report.env = Some(env_fingerprint(dataset_checksum(&g.data)));
+    report.dataset = Some(DatasetInfo {
+        points,
+        dim: g.data.dim(),
+    });
+    report.hists = hists;
+    write_bench_json("dbscan", &report);
+}
+
 criterion_group!(
     benches,
     bench_dbscan_sizes,
     bench_scp_overhead,
-    bench_optics
+    bench_optics,
+    write_run_report
 );
 criterion_main!(benches);

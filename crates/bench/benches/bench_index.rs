@@ -1,11 +1,22 @@
 //! Micro-benchmarks of the spatial index backends (the `abl-index`
 //! companion): build cost and ε-range query cost on dataset-A-like data.
+//!
+//! Besides the criterion timings, the harness writes `BENCH_index.json`
+//! at the repository root through [`dbdc_bench::report`]: a schema-v2
+//! `RunReport` with a per-backend wall histogram for build, a batch of
+//! ε-range queries, and a batch of knn queries, plus the environment
+//! fingerprint — diffable with `dbdc-cli report diff`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use dbdc_bench::report::{dataset_checksum, env_fingerprint, wall_histogram, write_bench_json};
 use dbdc_datagen::scaled_a;
 use dbdc_geom::Euclidean;
 use dbdc_index::{build_index, IndexKind, NeighborIndex};
+use dbdc_obs::{DatasetInfo, RunReport};
 use std::hint::black_box;
+
+const REPORT_ITERS: u32 = 5;
+const QUERY_BATCH: u32 = 200;
 
 const N: usize = 5_000;
 const EPS: f64 = 1.0;
@@ -71,11 +82,61 @@ fn bench_rstar_dynamic_insert(c: &mut Criterion) {
     });
 }
 
+/// Emits `BENCH_index.json`: per-backend wall histograms for build and
+/// query batches, timed outside criterion with [`wall_histogram`].
+fn write_run_report(_c: &mut Criterion) {
+    let g = scaled_a(N, 7);
+    let mut hists = Vec::new();
+    for kind in IndexKind::ALL {
+        hists.push((
+            format!("{}/build_ns", kind.name()),
+            wall_histogram(REPORT_ITERS, || {
+                black_box(build_index(kind, &g.data, Euclidean, EPS));
+            }),
+        ));
+        let idx = build_index(kind, &g.data, Euclidean, EPS);
+        let mut out = Vec::new();
+        let mut i = 0u32;
+        hists.push((
+            format!("{}/range_batch_ns", kind.name()),
+            wall_histogram(REPORT_ITERS, || {
+                for _ in 0..QUERY_BATCH {
+                    i = (i + 37) % N as u32;
+                    idx.range(g.data.point(i), EPS, &mut out);
+                    black_box(out.len());
+                }
+            }),
+        ));
+        hists.push((
+            format!("{}/knn10_batch_ns", kind.name()),
+            wall_histogram(REPORT_ITERS, || {
+                for _ in 0..QUERY_BATCH {
+                    i = (i + 37) % N as u32;
+                    black_box(idx.knn(g.data.point(i), 10));
+                }
+            }),
+        ));
+    }
+    let mut report = RunReport::new("bench_index")
+        .with_param("n", N)
+        .with_param("eps", EPS)
+        .with_param("query_batch", QUERY_BATCH)
+        .with_param("report_iters", REPORT_ITERS);
+    report.env = Some(env_fingerprint(dataset_checksum(&g.data)));
+    report.dataset = Some(DatasetInfo {
+        points: g.data.len(),
+        dim: g.data.dim(),
+    });
+    report.hists = hists;
+    write_bench_json("index", &report);
+}
+
 criterion_group!(
     benches,
     bench_build,
     bench_range_query,
     bench_knn,
-    bench_rstar_dynamic_insert
+    bench_rstar_dynamic_insert,
+    write_run_report
 );
 criterion_main!(benches);

@@ -6,14 +6,18 @@
 //! should be read against `std::thread::available_parallelism`.
 //!
 //! Besides the criterion timings, the harness writes
-//! `BENCH_par_dbscan.json` at the repository root: a `RunReport` (the
-//! same schema `dbdc-cli --metrics-out` emits) with per-configuration
-//! mean walls as spans and one observed run's work counters per
-//! configuration. The timing loops run *unobserved* — the report's
-//! counters come from separate instrumented runs, so the emitted means
-//! are the no-op-recorder baseline.
+//! `BENCH_par_dbscan.json` at the repository root through
+//! [`dbdc_bench::report`]: a schema-v2 `RunReport` (the same shape
+//! `dbdc-cli --metrics-out` emits) with per-configuration mean walls as
+//! spans, a per-configuration wall-time histogram (one sample per
+//! repetition, the cells `report diff` compares), the environment
+//! fingerprint, and one observed run's work counters per configuration.
+//! The timing loops run *unobserved* — the report's counters come from
+//! separate instrumented runs, so the emitted walls are the
+//! no-op-recorder baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbdc_bench::report::{dataset_checksum, env_fingerprint, wall_histogram, write_bench_json};
 use dbdc_cluster::{dbscan, par_dbscan, par_dbscan_observed, DbscanParams};
 use dbdc_datagen::dataset_c;
 use dbdc_geom::Euclidean;
@@ -24,14 +28,6 @@ use std::time::{Duration, Instant};
 
 const REPORT_ITERS: u32 = 10;
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
-
-fn mean_wall(mut f: impl FnMut()) -> Duration {
-    let t0 = Instant::now();
-    for _ in 0..REPORT_ITERS {
-        f();
-    }
-    t0.elapsed() / REPORT_ITERS
-}
 
 fn bench_seq_vs_parallel(c: &mut Criterion) {
     let g = dataset_c(42);
@@ -62,28 +58,34 @@ fn bench_seq_vs_parallel(c: &mut Criterion) {
     write_run_report(&g, &params);
 }
 
-/// Emits `BENCH_par_dbscan.json`: mean walls per configuration plus the
-/// observed work counters of one instrumented run each.
+/// Emits `BENCH_par_dbscan.json`: per-configuration wall histograms and
+/// mean walls plus the observed work counters of one instrumented run
+/// each.
 fn write_run_report(g: &dbdc_datagen::GeneratedData, params: &DbscanParams) {
     let idx = build_index(IndexKind::RStar, &g.data, Euclidean, params.eps);
     let t0 = Instant::now();
+    let mut hists = Vec::new();
     let mut root = Span::new("bench_par_dbscan", Duration::ZERO);
+    let seq = wall_histogram(REPORT_ITERS, || {
+        black_box(dbscan(&g.data, idx.as_ref(), params));
+    });
     root.push(Span::new(
         "sequential",
-        mean_wall(|| {
-            black_box(dbscan(&g.data, idx.as_ref(), params));
-        }),
+        Duration::from_nanos(seq.mean() as u64),
     ));
+    hists.push(("seq/total_ns".to_string(), seq));
     for threads in THREAD_SWEEP {
+        let h = wall_histogram(REPORT_ITERS, || {
+            black_box(par_dbscan(&g.data, idx.as_ref(), params, threads));
+        });
         root.push(
             Span::new(
                 format!("parallel[{threads}]"),
-                mean_wall(|| {
-                    black_box(par_dbscan(&g.data, idx.as_ref(), params, threads));
-                }),
+                Duration::from_nanos(h.mean() as u64),
             )
             .with_threads(threads),
         );
+        hists.push((format!("par[{threads}]/total_ns"), h));
     }
     root.wall = t0.elapsed();
 
@@ -118,16 +120,16 @@ fn write_run_report(g: &dbdc_datagen::GeneratedData, params: &DbscanParams) {
         .with_param("min_pts", params.min_pts)
         .with_param("index", IndexKind::RStar.name())
         .with_param("report_iters", REPORT_ITERS);
+    report.env = Some(env_fingerprint(dataset_checksum(&g.data)));
     report.dataset = Some(DatasetInfo {
         points: g.data.len(),
         dim: g.data.dim(),
     });
     report.spans = vec![root];
     report.scopes = rec.scopes();
+    report.hists = hists;
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par_dbscan.json");
-    std::fs::write(path, report.to_json_string()).expect("write BENCH_par_dbscan.json");
-    println!("wrote {path}");
+    write_bench_json("par_dbscan", &report);
 }
 
 criterion_group!(benches, bench_seq_vs_parallel);

@@ -1,0 +1,209 @@
+//! `dbdc-bench`: the continuous-benchmark harness.
+//!
+//! Runs the declarative matrix — datasets A/B/C × every index backend ×
+//! thread counts 1/2/8 — through the full DBDC protocol and writes a
+//! schema-v2 `RunReport` (`BENCH_dbdc.json` by default) whose `hists`
+//! section holds one wall-time histogram per matrix cell, with one
+//! sample per repetition. `dbdc-cli report diff BENCH_baseline.json
+//! BENCH_dbdc.json` then compares two such files cell by cell.
+//!
+//! Repetitions are interleaved (rep 0 of every cell, then rep 1, …) so
+//! slow host drift — thermal throttling, a background job — spreads
+//! across all cells instead of biasing the cells that happened to run
+//! last. The per-cell spread that interleaving captures is exactly what
+//! the diff uses as its noise floor.
+//!
+//! Quick mode (the default) truncates each dataset to a small prefix so
+//! the whole matrix finishes in seconds on CI; `--full` runs the native
+//! dataset sizes. Cell names are identical in both modes, so a quick
+//! baseline diffs cleanly against a quick run.
+//!
+//! ```text
+//! dbdc-bench [--reps N] [--out PATH] [--full]
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use dbdc::{run_dbdc, DbdcParams, Partitioner};
+use dbdc_bench::report::{dataset_checksum, env_fingerprint};
+use dbdc_datagen::{dataset_a, dataset_b, dataset_c, GeneratedData};
+use dbdc_geom::Dataset;
+use dbdc_index::IndexKind;
+use dbdc_obs::{DatasetInfo, Histogram, RunReport};
+
+/// Thread counts each (dataset, index) pair is swept over.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Quick mode keeps this many points per dataset. Sized so each cell
+/// runs long enough (tens of milliseconds) that millisecond-scale OS
+/// scheduling noise stays inside the diff's default tolerance.
+const QUICK_POINTS: usize = 2_000;
+
+/// Sites the protocol distributes every cell over.
+const SITES: usize = 4;
+
+/// Each recorded sample is the minimum wall over this many
+/// back-to-back protocol runs. The min strips scheduler hiccups (a
+/// preempted run only ever reads *slower*, never faster), so the
+/// per-cell distribution reflects the code, not the host's mood —
+/// which is what makes the diff's percentile gates stable enough to
+/// hold on a shared machine.
+const RUNS_PER_SAMPLE: u32 = 5;
+
+struct Cli {
+    reps: u32,
+    out: String,
+    full: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        reps: 20,
+        out: "BENCH_dbdc.json".to_string(),
+        full: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("--{name} needs a value"));
+        match arg.as_str() {
+            "--reps" => {
+                cli.reps = value("reps")?.parse().map_err(|e| format!("--reps: {e}"))?;
+                if cli.reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--out" => cli.out = value("out")?,
+            "--full" => cli.full = true,
+            "--help" | "-h" => {
+                println!("usage: dbdc-bench [--reps N] [--out PATH] [--full]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// The first `n` points of `g.data` (ground truth is irrelevant here —
+/// the harness times the protocol, it doesn't score quality).
+fn truncate(g: &GeneratedData, n: usize) -> Dataset {
+    let mut d = Dataset::with_capacity(g.data.dim(), n.min(g.data.len()));
+    for p in g.data.iter().take(n) {
+        d.push(p);
+    }
+    d
+}
+
+struct BenchDataset {
+    name: &'static str,
+    data: Dataset,
+    eps: f64,
+    min_pts: usize,
+}
+
+fn datasets(full: bool) -> Vec<BenchDataset> {
+    [
+        ("a", dataset_a(7)),
+        ("b", dataset_b(7)),
+        ("c", dataset_c(7)),
+    ]
+    .into_iter()
+    .map(|(name, g)| BenchDataset {
+        name,
+        data: if full {
+            g.data.clone()
+        } else {
+            truncate(&g, QUICK_POINTS)
+        },
+        eps: g.suggested_eps,
+        min_pts: g.suggested_min_pts,
+    })
+    .collect()
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("dbdc-bench: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let sets = datasets(cli.full);
+    // One checksum covering all three inputs, so the fingerprint pins
+    // the exact data the matrix timed.
+    let checksum = sets
+        .iter()
+        .map(|s| dataset_checksum(&s.data))
+        .collect::<Vec<_>>()
+        .join("-");
+    let total_points: usize = sets.iter().map(|s| s.data.len()).sum();
+
+    // Cell name → histogram of per-repetition protocol walls.
+    let mut cells: BTreeMap<String, Histogram> = BTreeMap::new();
+    let n_cells = sets.len() * IndexKind::ALL.len() * THREADS.len();
+    eprintln!(
+        "dbdc-bench: {n_cells} cells x {} reps ({} mode, {total_points} points total)",
+        cli.reps,
+        if cli.full { "full" } else { "quick" },
+    );
+
+    // Rep 0 is an unrecorded warmup pass: it touches every allocation
+    // path and faults in the pages, so cold-start cost doesn't land in
+    // one recorded cell.
+    for rep in 0..cli.reps + 1 {
+        for set in &sets {
+            for kind in IndexKind::ALL {
+                for threads in THREADS {
+                    let params = DbdcParams::new(set.eps, set.min_pts)
+                        .with_index(kind)
+                        .with_threads(threads);
+                    let runs = if rep == 0 { 1 } else { RUNS_PER_SAMPLE };
+                    let mut wall = Duration::MAX;
+                    for _ in 0..runs {
+                        let t0 = Instant::now();
+                        let outcome = run_dbdc(
+                            &set.data,
+                            &params,
+                            Partitioner::RandomEqual { seed: 11 },
+                            SITES,
+                        );
+                        wall = wall.min(t0.elapsed());
+                        std::hint::black_box(&outcome.assignment);
+                    }
+                    if rep == 0 {
+                        continue;
+                    }
+                    let cell = format!("{}/{}/t{}/total_ns", set.name, kind.name(), threads);
+                    cells.entry(cell).or_default().record_duration(wall);
+                }
+            }
+        }
+        if rep == 0 {
+            eprintln!("dbdc-bench: warmup done");
+        } else {
+            eprintln!("dbdc-bench: rep {}/{} done", rep, cli.reps);
+        }
+    }
+
+    let mut report = RunReport::new("dbdc-bench")
+        .with_param("reps", cli.reps)
+        .with_param("mode", if cli.full { "full" } else { "quick" })
+        .with_param("sites", SITES)
+        .with_param("threads", THREADS.map(|t| t.to_string()).join(","));
+    report.env = Some(env_fingerprint(checksum));
+    report.dataset = Some(DatasetInfo {
+        points: total_points,
+        dim: 2,
+    });
+    report.hists = cells.into_iter().collect();
+
+    std::fs::write(&cli.out, report.to_json_string()).unwrap_or_else(|e| {
+        eprintln!("dbdc-bench: write {}: {e}", cli.out);
+        std::process::exit(1);
+    });
+    println!("{}", report.render());
+    println!("wrote {}", cli.out);
+}

@@ -7,6 +7,7 @@
 //! computation, and the Figure 7 comparison).
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
 use std::time::{Duration, Instant};

@@ -80,8 +80,14 @@ commands:
       replay the file as a stream into incremental client sessions and an
       incremental server; report transmissions saved by drift gating
   report --input FILE [--require NAME,NAME,...]
+      [--require-counter NAME,NAME,...] [--hist]
       render a --metrics-out JSON report; fail unless every --require'd
-      phase span is present
+      phase span is present and every --require-counter'd counter is
+      nonzero in some scope; --hist prints only the histogram table
+  report diff OLD NEW [--threshold FRACTION]
+      compare two reports cell-by-cell (per-histogram p50/p99) and exit
+      nonzero on regression; tolerance is max(FRACTION, baseline cell
+      spread), FRACTION defaulting to 0.25
 
 KIND: linear|grid|kdtree|rstar (default rstar)
 T: DBSCAN worker threads; 1 = sequential (default), 0 = all cores.
@@ -135,6 +141,7 @@ fn simple_report(
     report.dataset = dataset;
     report.spans = vec![span];
     report.scopes = rec.scopes();
+    report.hists = rec.hist_scopes();
     report
 }
 
@@ -304,6 +311,7 @@ fn cmd_central(raw: &[String]) -> CliResult {
         });
         report.spans = rec.spans();
         report.scopes = rec.scopes();
+        report.hists = rec.hist_scopes();
         report.clusters = Some(cluster_stats(
             result.clustering.n_clusters() as usize,
             result.clustering.labels(),
@@ -643,12 +651,24 @@ fn cmd_stream(raw: &[String]) -> CliResult {
     Ok(())
 }
 
+fn load_report(path: &str) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    RunReport::parse(&text).map_err(|e| format!("{path}: {e}").into())
+}
+
 fn cmd_report(raw: &[String]) -> CliResult {
-    let args = Args::parse(raw, &["input", "require"])?;
+    let args = Args::parse(
+        raw,
+        &["input", "require", "require-counter", "hist", "threshold"],
+    )?;
+    // `report diff OLD NEW` is the positional sub-form; everything else
+    // is the single-report validator/renderer.
+    if args.positional().first().map(String::as_str) == Some("diff") {
+        return cmd_report_diff(&args);
+    }
     no_positionals(&args)?;
     let path = args.require("input")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let report = RunReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let report = load_report(path)?;
     if let Some(required) = args.get("require") {
         let missing: Vec<&str> = required
             .split(',')
@@ -663,6 +683,67 @@ fn cmd_report(raw: &[String]) -> CliResult {
             .into());
         }
     }
+    if let Some(required) = args.get("require-counter") {
+        // A counter "exists" when some scope recorded a nonzero value:
+        // an all-zero counter means the instrumentation never fired,
+        // which is exactly the wiring regression this flag guards.
+        let missing: Vec<&str> = required
+            .split(',')
+            .map(str::trim)
+            .filter(|name| !name.is_empty() && !report_counter_nonzero(&report, name))
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "{path}: required counter(s) absent or zero in every scope: {}",
+                missing.join(", ")
+            )
+            .into());
+        }
+    }
+    if args.switch("hist") {
+        // Distributions only; the full render below would repeat them.
+        print!("{}", dbdc_obs::report::render_hists(&report.hists));
+        return Ok(());
+    }
     print!("{}", report.render());
+    Ok(())
+}
+
+/// Whether `name` is a known counter field with a nonzero total across
+/// the report's scopes.
+fn report_counter_nonzero(report: &RunReport, name: &str) -> bool {
+    let Some(idx) = dbdc_obs::Counters::FIELDS.iter().position(|f| *f == name) else {
+        return false;
+    };
+    report.scopes.iter().any(|(_, c)| c.values()[idx] != 0)
+}
+
+fn cmd_report_diff(args: &Args) -> CliResult {
+    let [_, old_path, new_path] = args.positional() else {
+        return Err("usage: report diff OLD NEW [--threshold FRACTION]".into());
+    };
+    let threshold: f64 = args.get_or("threshold", dbdc_obs::diff::DEFAULT_THRESHOLD)?;
+    if !(0.0..10.0).contains(&threshold) {
+        return Err(format!("--threshold expects a fraction like 0.25, got {threshold}").into());
+    }
+    let old = load_report(old_path)?;
+    let new = load_report(new_path)?;
+    let rows = dbdc_obs::diff_reports(&old, &new, threshold);
+    if rows.is_empty() {
+        println!("no histogram cells to compare (baseline has no hists)");
+        return Ok(());
+    }
+    for row in &rows {
+        println!("{}", row.render());
+    }
+    let failures = rows.iter().filter(|r| r.outcome.is_failure()).count();
+    if failures > 0 {
+        return Err(format!(
+            "{failures} regression(s) against {old_path} (threshold {:.0}%, widened by baseline spread)",
+            threshold * 1e2
+        )
+        .into());
+    }
+    println!("ok: {} cell(s) within tolerance of {old_path}", rows.len());
     Ok(())
 }

@@ -203,6 +203,169 @@ fn metrics_out_report_round_trip() {
     let _ = std::fs::remove_file(&json);
 }
 
+/// A minimal v2 report with one histogram cell built from `values`.
+fn hist_report(values: &[u64]) -> dbdc_obs::RunReport {
+    let mut r = dbdc_obs::RunReport::new("bench");
+    r.hists = vec![(
+        "c/kdtree/t1/total_ns".to_string(),
+        dbdc_obs::Histogram::from_values(values.iter().copied()),
+    )];
+    r
+}
+
+fn write_report(name: &str, r: &dbdc_obs::RunReport) -> PathBuf {
+    let path = tmp(name);
+    std::fs::write(&path, r.to_json_string()).expect("report written");
+    path
+}
+
+#[test]
+fn report_diff_passes_within_tolerance_and_fails_on_regression() {
+    let baseline = write_report(
+        "diff_base.json",
+        &hist_report(&[1_000_000, 1_050_000, 1_100_000, 1_150_000]),
+    );
+    // Same distribution, slightly shifted: inside the 25% floor.
+    let steady = write_report(
+        "diff_steady.json",
+        &hist_report(&[1_020_000, 1_070_000, 1_110_000, 1_160_000]),
+    );
+    let out = bin()
+        .arg("report")
+        .arg("diff")
+        .args([&baseline, &steady])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "clean diff failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok"), "{stdout}");
+    assert!(stdout.contains("within tolerance"), "{stdout}");
+
+    // Everything 10x slower (the doctored-report shape): nonzero exit.
+    let doctored = write_report(
+        "diff_doctored.json",
+        &hist_report(&[10_000_000, 10_500_000, 11_000_000, 11_500_000]),
+    );
+    let out = bin()
+        .arg("report")
+        .arg("diff")
+        .args([&baseline, &doctored])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "doctored diff must fail");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESS"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regression"));
+
+    // A wider --threshold waves the same report through.
+    let out = bin()
+        .arg("report")
+        .arg("diff")
+        .args([&baseline, &doctored])
+        .args(["--threshold", "9.5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "wide threshold should pass: {out:?}");
+
+    for p in [&baseline, &steady, &doctored] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn report_diff_rejects_missing_cells() {
+    let baseline = write_report("diff_cells_base.json", &hist_report(&[1_000, 2_000]));
+    let mut empty = dbdc_obs::RunReport::new("bench");
+    empty.hists = vec![(
+        "other/cell_ns".to_string(),
+        dbdc_obs::Histogram::from_values([5]),
+    )];
+    let shrunk = write_report("diff_cells_new.json", &empty);
+    let out = bin()
+        .arg("report")
+        .arg("diff")
+        .args([&baseline, &shrunk])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "missing cell must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MISSING"), "{stdout}");
+    assert!(stdout.contains("informational"), "{stdout}");
+    let _ = std::fs::remove_file(&baseline);
+    let _ = std::fs::remove_file(&shrunk);
+}
+
+#[test]
+fn report_require_counter_and_hist_rendering() {
+    let csv = tmp("reqctr.csv");
+    let json = tmp("reqctr.json");
+    assert!(bin()
+        .args(["generate", "--set", "c", "--seed", "4", "--out"])
+        .arg(&csv)
+        .status()
+        .expect("binary runs")
+        .success());
+    assert!(bin()
+        .args(["run", "--input"])
+        .arg(&csv)
+        .args([
+            "--eps",
+            "1.2",
+            "--min-pts",
+            "5",
+            "--sites",
+            "3",
+            "--metrics-out"
+        ])
+        .arg(&json)
+        .status()
+        .expect("binary runs")
+        .success());
+
+    // The instrumentation fired: range queries were counted.
+    let out = bin()
+        .args(["report", "--input"])
+        .arg(&json)
+        .args(["--require-counter", "range_queries,bytes_sent"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "require-counter failed: {out:?}");
+
+    // A sequential run performs no DSU unions; the guard trips.
+    let out = bin()
+        .args(["report", "--input"])
+        .arg(&json)
+        .args(["--require-counter", "dsu_unions"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("dsu_unions"));
+
+    // Unknown counter names also trip rather than silently passing.
+    let out = bin()
+        .args(["report", "--input"])
+        .arg(&json)
+        .args(["--require-counter", "no_such_counter"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    // --hist prints the distribution rows and only them.
+    let out = bin()
+        .args(["report", "--input"])
+        .arg(&json)
+        .arg("--hist")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "--hist failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("eps_range_ns"), "{stdout}");
+    assert!(stdout.contains("p99="), "{stdout}");
+    assert!(!stdout.contains("== run report"), "{stdout}");
+
+    let _ = std::fs::remove_file(&csv);
+    let _ = std::fs::remove_file(&json);
+}
+
 #[test]
 fn central_trace_prints_counters() {
     let csv = tmp("central_trace.csv");

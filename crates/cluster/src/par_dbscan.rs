@@ -160,6 +160,25 @@ pub fn par_dbscan_observed(
     threads: usize,
     sheet: Option<&dbdc_obs::CounterSheet>,
 ) -> DbscanResult {
+    par_dbscan_instrumented(data, index, params, threads, sheet, None)
+}
+
+/// [`par_dbscan_observed`] with an optional [`dbdc_obs::HistSheet`]
+/// capturing the *distribution* of DSU batch sizes — how many union
+/// operations each core point's neighborhood contributes to the merge
+/// phase. A heavy tail here means a few dense hubs dominate the merge.
+/// With `hist: None` the merge loop is the uninstrumented original.
+///
+/// # Panics
+/// Panics if the index does not cover `data` (`index.len() != data.len()`).
+pub fn par_dbscan_instrumented(
+    data: &Dataset,
+    index: &dyn NeighborIndex,
+    params: &DbscanParams,
+    threads: usize,
+    sheet: Option<&dbdc_obs::CounterSheet>,
+    hist: Option<&dbdc_obs::HistSheet>,
+) -> DbscanResult {
     assert_eq!(
         index.len(),
         data.len(),
@@ -173,15 +192,36 @@ pub fn par_dbscan_observed(
         .collect();
 
     // Merge ε-adjacent cores. Neighborhoods are symmetric, so scanning
-    // each core's own list covers every core-core edge.
+    // each core's own list covers every core-core edge. The loop is
+    // duplicated rather than branch-per-edge so the unobserved path
+    // stays exactly the original.
     let mut components = UnionFind::new(n);
-    for i in 0..n {
-        if !core[i] {
-            continue;
+    match hist {
+        None => {
+            for i in 0..n {
+                if !core[i] {
+                    continue;
+                }
+                for &q in &neighbors[i] {
+                    if core[q as usize] {
+                        components.union(i as u32, q);
+                    }
+                }
+            }
         }
-        for &q in &neighbors[i] {
-            if core[q as usize] {
-                components.union(i as u32, q);
+        Some(h) => {
+            for i in 0..n {
+                if !core[i] {
+                    continue;
+                }
+                let mut batch = 0u64;
+                for &q in &neighbors[i] {
+                    if core[q as usize] {
+                        components.union(i as u32, q);
+                        batch += 1;
+                    }
+                }
+                h.record(batch);
             }
         }
     }
@@ -505,6 +545,30 @@ mod tests {
         assert_eq!(c.range_queries, 0);
 
         // Observed and plain runs agree.
+        let plain = par_dbscan(&d, &idx, &params, 2);
+        assert_eq!(plain.clustering, r.clustering);
+    }
+
+    #[test]
+    fn dsu_batch_histogram_matches_counters() {
+        let d = spiral_with_noise();
+        let idx = LinearScan::new(&d, Euclidean);
+        let params = DbscanParams::new(0.4, 3);
+        let sheet = dbdc_obs::CounterSheet::new();
+        let hist = dbdc_obs::HistSheet::new();
+        let r = par_dbscan_instrumented(&d, &idx, &params, 2, Some(&sheet), Some(&hist));
+        let h = hist.snapshot();
+        let c = sheet.snapshot();
+
+        // One batch per core point; the batch sizes sum to the union
+        // *calls*, of which exactly dsu_unions succeeded.
+        let nb = parallel_neighborhoods(&d, &idx, params.eps, 1);
+        let core_count = nb.iter().filter(|ns| ns.len() >= params.min_pts).count() as u64;
+        assert_eq!(h.count(), core_count);
+        assert!(h.sum() >= c.dsu_unions);
+        assert!(h.max() >= 1);
+
+        // Instrumented and plain runs agree.
         let plain = par_dbscan(&d, &idx, &params, 2);
         assert_eq!(plain.clustering, r.clustering);
     }

@@ -102,6 +102,7 @@ pub fn dbdc_run_report(
         })
         .collect();
     report.scopes = rec.scopes();
+    report.hists = rec.hist_scopes();
 
     // Per-site stats: counters from the local and relabel scopes merged.
     report.sites = (0..outcome.n_sites)
@@ -205,6 +206,50 @@ mod tests {
         assert_eq!(report.network.len(), LINK_PRESETS.len());
         let clusters = report.clusters.expect("cluster stats");
         assert_eq!(clusters.clusters, outcome.assignment.n_clusters() as usize);
+    }
+
+    #[test]
+    fn report_carries_latency_and_phase_histograms() {
+        let (outcome, rec) = recorded_outcome();
+        let p = DbdcParams::new(1.6, 5);
+        let report = dbdc_run_report("run", 2, &p, &outcome, &rec, None);
+        let hist = |name: &str| {
+            report
+                .hists
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing hist {name}"))
+                .1
+                .clone()
+        };
+        // Every ε-range and knn query of each site's local phase landed
+        // one latency sample.
+        for site in 0..3 {
+            let h = hist(&format!("local[{site}]/eps_range_ns"));
+            let c = rec.counters(&format!("local[{site}]"));
+            assert_eq!(h.count(), c.range_queries + c.knn_queries);
+            assert!(h.max() >= h.p50());
+        }
+        // Phase walls: one sample per site for local/relabel, one for
+        // global.
+        assert_eq!(hist("phase/local_ns").count(), 3);
+        assert_eq!(hist("phase/relabel_ns").count(), 3);
+        assert_eq!(hist("phase/global_ns").count(), 1);
+        // Histograms survive the JSON round trip exactly.
+        let back = RunReport::parse(&report.to_json_string()).expect("parses");
+        assert_eq!(back.hists, report.hists);
+    }
+
+    #[test]
+    fn noop_recorder_yields_no_histograms() {
+        let g = dataset_c(22);
+        let p = DbdcParams::new(1.6, 5).with_eps_global(EpsGlobal::MultipleOfLocal(2.0));
+        let rec = RecordingRecorder::new();
+        let with = run_dbdc_recorded(&g.data, &p, Partitioner::RoundRobin, 2, &rec);
+        let without = crate::runtime::run_dbdc(&g.data, &p, Partitioner::RoundRobin, 2);
+        // Instrumentation must not change the clustering.
+        assert_eq!(with.assignment, without.assignment);
+        assert!(!rec.hist_scopes().is_empty());
     }
 
     #[test]

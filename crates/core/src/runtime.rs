@@ -23,7 +23,7 @@ use crate::partition::Partitioner;
 use crate::relabel::relabel_site_observed;
 use crate::wire;
 use dbdc_cluster::{
-    dbscan, dbscan_with_scp, effective_threads, par_dbscan_observed, par_dbscan_with_scp,
+    dbscan, dbscan_with_scp, effective_threads, par_dbscan_instrumented, par_dbscan_with_scp,
     DbscanParams, DbscanResult, ScpResult,
 };
 use dbdc_geom::{Clustering, Dataset, Euclidean, Label};
@@ -193,14 +193,16 @@ fn local_phase(
     rec: &dyn Recorder,
 ) -> (ScpResult, bytes::Bytes, LocalTimes) {
     let sheet = rec.sheet(&format!("local[{site}]"));
+    let eps_hist = rec.hist(&format!("local[{site}]/eps_range_ns"));
     let t0 = Instant::now();
     let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
-    let index = dbdc_index::build_index_observed(
+    let index = dbdc_index::build_index_instrumented(
         params.index,
         site_data,
         Euclidean,
         params.eps_local,
         sheet.as_ref(),
+        eps_hist.as_ref(),
     );
     let scp = if params.threads == 1 {
         dbscan_with_scp(site_data, index.as_ref(), &dbscan_params)
@@ -392,6 +394,22 @@ fn assemble(
         encode: locals.iter().map(|(_, _, t)| t.encode).collect(),
     };
     if rec.is_enabled() {
+        // Phase walls as distributions *across sites*: with many sites
+        // the p99 exposes the straggler the paper's max-based cost
+        // model charges for.
+        if let Some(h) = rec.hist("phase/local_ns") {
+            for t in &timings.local {
+                h.record_duration(*t);
+            }
+        }
+        if let Some(h) = rec.hist("phase/relabel_ns") {
+            for t in &timings.relabel {
+                h.record_duration(*t);
+            }
+        }
+        if let Some(h) = rec.hist("phase/global_ns") {
+            h.record_duration(timings.global);
+        }
         rec.record_span(timings.to_span());
     }
     DbdcOutcome {
@@ -424,24 +442,27 @@ pub fn central_dbscan_recorded(
     rec: &dyn Recorder,
 ) -> (DbscanResult, Duration) {
     let sheet = rec.sheet("central");
+    let eps_hist = rec.hist("central/eps_range_ns");
     let t0 = Instant::now();
     let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
-    let index = dbdc_index::build_index_observed(
+    let index = dbdc_index::build_index_instrumented(
         params.index,
         data,
         Euclidean,
         params.eps_local,
         sheet.as_ref(),
+        eps_hist.as_ref(),
     );
     let result = if params.threads == 1 {
         dbscan(data, index.as_ref(), &dbscan_params)
     } else {
-        par_dbscan_observed(
+        par_dbscan_instrumented(
             data,
             index.as_ref(),
             &dbscan_params,
             params.threads,
             sheet.as_deref(),
+            rec.hist("central/dsu_batch_ops").as_deref(),
         )
     };
     let elapsed = t0.elapsed();

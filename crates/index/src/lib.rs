@@ -13,6 +13,7 @@
 
 pub mod grid;
 pub mod kdtree;
+pub mod latency;
 pub mod linear;
 pub mod mtree;
 pub mod rstar;
@@ -22,6 +23,7 @@ use dbdc_geom::{Dataset, Metric};
 
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
+pub use latency::LatencyObserved;
 pub use linear::LinearScan;
 pub use mtree::MTree;
 pub use rstar::RStarTree;
@@ -163,6 +165,25 @@ pub fn build_index_observed<'a, M: Metric + Clone + 'a>(
         IndexKind::Grid => Box::new(GridIndex::new(data, m, eps_hint).observed(sheet.clone())),
         IndexKind::KdTree => Box::new(KdTree::new(data, m).observed(sheet.clone())),
         IndexKind::RStar => Box::new(RStarTree::bulk_load(data, m).observed(sheet.clone())),
+    }
+}
+
+/// Like [`build_index_observed`], but additionally wraps the index in a
+/// [`LatencyObserved`] layer when `hist` is given, so every query's
+/// wall time lands in the histogram. Both observation layers are
+/// independent: `(None, None)` is exactly [`build_index`].
+pub fn build_index_instrumented<'a, M: Metric + Clone + 'a>(
+    kind: IndexKind,
+    data: &'a Dataset,
+    m: M,
+    eps_hint: f64,
+    sheet: Option<&std::sync::Arc<dbdc_obs::CounterSheet>>,
+    hist: Option<&std::sync::Arc<dbdc_obs::HistSheet>>,
+) -> Box<dyn NeighborIndex + 'a> {
+    let index = build_index_observed(kind, data, m, eps_hint, sheet);
+    match hist {
+        Some(hist) => Box::new(LatencyObserved::new(index, hist.clone())),
+        None => index,
     }
 }
 

@@ -1,0 +1,306 @@
+//! Cell-by-cell regression comparison of two [`RunReport`]s.
+//!
+//! `dbdc-cli report diff OLD NEW` drives this to gate CI: `OLD` is the
+//! checked-in baseline, `NEW` is the fresh harness run. Every histogram
+//! scope in the baseline is a *cell*; for each cell the p50, p90, and
+//! p99 of the new report must stay within a noise tolerance of the
+//! baseline.
+//!
+//! The tolerance is derived from the **baseline's own spread**
+//! (`(max - min) / p50` across its interleaved repetitions), floored at
+//! a configurable threshold. Deriving it only from the baseline — never
+//! from the incoming report — means a doctored new report cannot widen
+//! its own acceptance window: an inflated tail is judged against the
+//! baseline's variance, not its own.
+//!
+//! p50 and p90 are hard gates. At bench repetition counts (tens of
+//! samples) p99 degenerates to the max sample, and the max of a
+//! handful of millisecond-scale runs swings by whole milliseconds with
+//! host scheduling noise — so an exceeded p99 is printed as a `tail!`
+//! drift row but does not fail the diff on its own. Inflating the tail
+//! of a histogram necessarily shifts bucket mass, which moves p90 and
+//! trips the hard gate; only a lone outlier sample — indistinguishable
+//! from one scheduler hiccup — stays soft.
+//!
+//! A cell present in the baseline but missing from the new report is a
+//! failure (the matrix shrank); new cells absent from the baseline are
+//! reported as informational rows and do not fail the diff (the matrix
+//! grew, which the next baseline refresh picks up).
+
+use crate::hist::fmt_sample;
+use crate::report::RunReport;
+
+/// Default noise floor for the per-cell tolerance: a cell regresses
+/// only when it is at least this fraction slower than the baseline,
+/// even for baselines with zero recorded spread.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// A p99 past its tolerance limit by more than this factor stops being
+/// soft drift and fails the diff: harness samples are min-of-K runs, so
+/// host hiccups overshoot the limit by fractions, not multiples — a
+/// multiple-of-the-limit p99 means the tail itself moved (or the report
+/// was doctored).
+pub const TAIL_HARD_FACTOR: f64 = 4.0;
+
+/// Verdict for one compared quantile of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffOutcome {
+    /// Within tolerance (or improved).
+    Ok,
+    /// Slower than the baseline by more than the tolerance.
+    Regression,
+    /// The p99 exceeded its tolerance, but by less than
+    /// [`TAIL_HARD_FACTOR`]× the limit. Printed as a warning, not a
+    /// failure: at bench repetition counts p99 is the max sample, which
+    /// host scheduling noise moves by itself.
+    TailDrift,
+    /// Cell exists in the baseline but not in the new report.
+    Missing,
+    /// Cell exists only in the new report; informational.
+    New,
+}
+
+impl DiffOutcome {
+    /// Whether this outcome fails the diff.
+    pub fn is_failure(self) -> bool {
+        matches!(self, DiffOutcome::Regression | DiffOutcome::Missing)
+    }
+}
+
+/// One comparison row: a cell × quantile with both values and the
+/// applied tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Histogram scope name (the cell).
+    pub cell: String,
+    /// Which statistic was compared (`p50`, `p90`, `p99`) — empty for
+    /// [`DiffOutcome::Missing`] / [`DiffOutcome::New`] rows.
+    pub stat: &'static str,
+    /// Baseline value (0 for `New` rows).
+    pub old: u64,
+    /// New value (0 for `Missing` rows).
+    pub new: u64,
+    /// Relative tolerance applied to this cell.
+    pub tolerance: f64,
+    /// Verdict.
+    pub outcome: DiffOutcome,
+}
+
+impl DiffRow {
+    /// Renders the row the way `report diff` prints it.
+    pub fn render(&self) -> String {
+        match self.outcome {
+            DiffOutcome::Missing => format!("MISSING  {} (cell absent from new report)", self.cell),
+            DiffOutcome::New => format!("new      {} (no baseline; informational)", self.cell),
+            _ => {
+                let tag = match self.outcome {
+                    DiffOutcome::Regression => "REGRESS",
+                    DiffOutcome::TailDrift => "tail!",
+                    _ => "ok",
+                };
+                let ratio = if self.old == 0 {
+                    f64::from(u32::from(self.new > 0))
+                } else {
+                    self.new as f64 / self.old as f64 - 1.0
+                };
+                format!(
+                    "{tag:<8} {} {}: {} -> {} ({:+.1}%, tol {:.0}%)",
+                    self.cell,
+                    self.stat,
+                    fmt_sample(&self.cell, self.old),
+                    fmt_sample(&self.cell, self.new),
+                    ratio * 1e2,
+                    self.tolerance * 1e2,
+                )
+            }
+        }
+    }
+}
+
+/// Compares every histogram cell of `old` against `new`.
+///
+/// `threshold` is the noise floor; pass [`DEFAULT_THRESHOLD`] unless
+/// the caller overrides it. The effective per-cell tolerance is
+/// `max(threshold, old_cell.rel_spread())`, so noisier baseline cells
+/// get proportionally wider windows. p50 and p90 beyond tolerance are
+/// regressions; p99 beyond tolerance is a soft [`DiffOutcome::TailDrift`]
+/// (see module docs). Returns rows in baseline order, then
+/// informational rows for cells only the new report has.
+pub fn diff_reports(old: &RunReport, new: &RunReport, threshold: f64) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    for (cell, old_hist) in &old.hists {
+        let Some((_, new_hist)) = new.hists.iter().find(|(name, _)| name == cell) else {
+            rows.push(DiffRow {
+                cell: cell.clone(),
+                stat: "",
+                old: 0,
+                new: 0,
+                tolerance: threshold,
+                outcome: DiffOutcome::Missing,
+            });
+            continue;
+        };
+        // Tolerance from the baseline's spread only; see module docs.
+        let tolerance = threshold.max(old_hist.rel_spread());
+        for (stat, old_v, new_v) in [
+            ("p50", old_hist.p50(), new_hist.p50()),
+            ("p90", old_hist.p90(), new_hist.p90()),
+            ("p99", old_hist.p99(), new_hist.p99()),
+        ] {
+            let limit = old_v as f64 * (1.0 + tolerance);
+            let outcome = if (new_v as f64) <= limit {
+                DiffOutcome::Ok
+            } else if stat == "p99" && (new_v as f64) <= limit * TAIL_HARD_FACTOR {
+                DiffOutcome::TailDrift
+            } else {
+                DiffOutcome::Regression
+            };
+            rows.push(DiffRow {
+                cell: cell.clone(),
+                stat,
+                old: old_v,
+                new: new_v,
+                tolerance,
+                outcome,
+            });
+        }
+    }
+    for (cell, _) in &new.hists {
+        if !old.hists.iter().any(|(name, _)| name == cell) {
+            rows.push(DiffRow {
+                cell: cell.clone(),
+                stat: "",
+                old: 0,
+                new: 0,
+                tolerance: threshold,
+                outcome: DiffOutcome::New,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn report_with(hists: Vec<(&str, Histogram)>) -> RunReport {
+        let mut r = RunReport::new("bench");
+        r.hists = hists.into_iter().map(|(n, h)| (n.to_string(), h)).collect();
+        r
+    }
+
+    fn cell(values: impl IntoIterator<Item = u64>) -> Histogram {
+        Histogram::from_values(values)
+    }
+
+    #[test]
+    fn identical_reports_diff_clean() {
+        let old = report_with(vec![("A/kd/t1/total_ns", cell([1000, 1100, 1200]))]);
+        let rows = diff_reports(&old, &old.clone(), DEFAULT_THRESHOLD);
+        assert_eq!(rows.len(), 3); // p50 + p90 + p99
+        assert!(rows.iter().all(|r| r.outcome == DiffOutcome::Ok));
+        assert!(!rows.iter().any(|r| r.outcome.is_failure()));
+    }
+
+    #[test]
+    fn inflated_tail_regresses() {
+        let old = report_with(vec![("A/kd/t1/total_ns", cell([1000, 1050, 1100]))]);
+        // p50 unchanged, the tail doctored 10x: p90 and p99 both land on
+        // the inflated sample.
+        let new = report_with(vec![("A/kd/t1/total_ns", cell([1000, 1050, 11_000]))]);
+        let rows = diff_reports(&old, &new, DEFAULT_THRESHOLD);
+        let p90 = rows.iter().find(|r| r.stat == "p90").unwrap();
+        assert_eq!(p90.outcome, DiffOutcome::Regression);
+        assert!(p90.render().starts_with("REGRESS"));
+        assert!(rows.iter().any(|r| r.outcome.is_failure()));
+        let p50 = rows.iter().find(|r| r.stat == "p50").unwrap();
+        assert_eq!(p50.outcome, DiffOutcome::Ok);
+    }
+
+    #[test]
+    fn lone_p99_outlier_is_soft_tail_drift() {
+        // Ten baseline reps; the new run matches except one sample — a
+        // scheduler hiccup — lands moderately past tolerance. p90 still
+        // gates on the 9th sample, so only the soft tail row fires.
+        let base: Vec<u64> = (0..10).map(|i| 1000 + i * 10).collect();
+        let mut spiky = base.clone();
+        spiky[9] = 2_500;
+        let old = report_with(vec![("c_ns", cell(base))]);
+        let new = report_with(vec![("c_ns", cell(spiky))]);
+        let rows = diff_reports(&old, &new, DEFAULT_THRESHOLD);
+        let p99 = rows.iter().find(|r| r.stat == "p99").unwrap();
+        assert_eq!(p99.outcome, DiffOutcome::TailDrift);
+        assert!(p99.render().starts_with("tail!"));
+        assert!(!rows.iter().any(|r| r.outcome.is_failure()));
+    }
+
+    #[test]
+    fn egregious_p99_inflation_fails_hard() {
+        // A p99 many multiples past the limit — the doctored-report
+        // case — is a hard regression even though only the top sample
+        // moved.
+        let base: Vec<u64> = (0..50).map(|i| 1000 + i).collect();
+        let mut doctored = base.clone();
+        doctored[49] = 50_000;
+        let old = report_with(vec![("c_ns", cell(base))]);
+        let new = report_with(vec![("c_ns", cell(doctored))]);
+        let rows = diff_reports(&old, &new, DEFAULT_THRESHOLD);
+        let p99 = rows.iter().find(|r| r.stat == "p99").unwrap();
+        assert_eq!(p99.outcome, DiffOutcome::Regression);
+        assert!(rows.iter().any(|r| r.outcome.is_failure()));
+    }
+
+    #[test]
+    fn tolerance_comes_from_baseline_spread_not_new_report() {
+        // Noisy baseline: spread (2000-1000)/p50 ≈ 97% > 25% floor.
+        let old = report_with(vec![("c_ns", cell([1000, 1030, 2000]))]);
+        let widened = diff_reports(&old, &old.clone(), DEFAULT_THRESHOLD);
+        assert!(widened[0].tolerance > 0.9, "{}", widened[0].tolerance);
+
+        // A wildly-spread *new* report gains no extra tolerance: the
+        // tight baseline keeps its 25% floor and the doctored max
+        // regresses.
+        let tight = report_with(vec![("c_ns", cell([1000, 1010, 1020]))]);
+        let doctored = report_with(vec![("c_ns", cell([100, 1010, 50_000]))]);
+        let rows = diff_reports(&tight, &doctored, DEFAULT_THRESHOLD);
+        assert!((rows[0].tolerance - DEFAULT_THRESHOLD).abs() < 1e-9);
+        assert!(rows.iter().any(|r| r.outcome == DiffOutcome::Regression));
+    }
+
+    #[test]
+    fn missing_cell_fails_and_new_cell_informs() {
+        let old = report_with(vec![("gone_ns", cell([100]))]);
+        let new = report_with(vec![("added_ns", cell([100]))]);
+        let rows = diff_reports(&old, &new, DEFAULT_THRESHOLD);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].outcome, DiffOutcome::Missing);
+        assert!(rows[0].outcome.is_failure());
+        assert!(rows[0].render().contains("MISSING"));
+        assert_eq!(rows[1].outcome, DiffOutcome::New);
+        assert!(!rows[1].outcome.is_failure());
+        assert!(rows[1].render().contains("informational"));
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let old = report_with(vec![("c_ns", cell([10_000, 11_000]))]);
+        let new = report_with(vec![("c_ns", cell([100, 110]))]);
+        let rows = diff_reports(&old, &new, DEFAULT_THRESHOLD);
+        assert!(rows.iter().all(|r| r.outcome == DiffOutcome::Ok));
+    }
+
+    #[test]
+    fn custom_threshold_is_respected() {
+        let old = report_with(vec![("c_ns", cell([1000, 1000, 1000]))]);
+        let new = report_with(vec![("c_ns", cell([1400, 1400, 1400]))]);
+        // 40% slower: fails at 25%, passes at 50%.
+        assert!(diff_reports(&old, &new, 0.25)
+            .iter()
+            .any(|r| r.outcome.is_failure()));
+        assert!(!diff_reports(&old, &new, 0.50)
+            .iter()
+            .any(|r| r.outcome.is_failure()));
+    }
+}

@@ -15,10 +15,14 @@
 //!   visits, DSU unions/finds, representatives, wire bytes). Producers
 //!   accumulate into plain locals and flush once per operation, so the
 //!   uninstrumented path stays at full speed;
+//! * [`Histogram`] / [`HistSheet`] — mergeable log-bucketed latency
+//!   and batch-size distributions (p50/p90/p99/max) for the quantities
+//!   where a mean hides the story: per-query ε-range latency, per-site
+//!   phase walls, DSU op batches;
 //! * [`Recorder`] — the capture policy. [`NoopRecorder`] hands out no
 //!   sheets (instrumented code sees `None` and skips all atomics);
-//!   [`RecordingRecorder`] collects named counter scopes and span trees
-//!   for the report emitters.
+//!   [`RecordingRecorder`] collects named counter scopes, histogram
+//!   scopes, and span trees for the report emitters.
 //!
 //! The emitters produce either a human-readable phase tree
 //! ([`Span::render`], [`RunReport::render`]) or the stable
@@ -32,16 +36,21 @@
 //! bench — can report into it.
 
 pub mod counters;
+pub mod diff;
+pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod report;
 pub mod span;
 
 pub use counters::{CounterSheet, Counters};
+pub use diff::{diff_reports, DiffOutcome, DiffRow};
+pub use hist::{fmt_sample, HistSheet, Histogram};
 pub use json::{Json, JsonError};
 pub use recorder::{NoopRecorder, Recorder, RecordingRecorder};
 pub use report::{
-    ClusterStats, DatasetInfo, NetworkCost, RunReport, SiteStats, TransferStats, SCHEMA_VERSION,
+    ClusterStats, DatasetInfo, EnvFingerprint, NetworkCost, RunReport, SiteStats, TransferStats,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use span::Span;
 

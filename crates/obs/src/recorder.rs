@@ -11,6 +11,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::counters::{CounterSheet, Counters};
+use crate::hist::{HistSheet, Histogram};
 use crate::span::Span;
 
 /// Decides whether observability data is captured.
@@ -28,6 +29,14 @@ pub trait Recorder: Send + Sync {
     /// counting in that scope. Repeated calls with the same scope must
     /// return the same sheet.
     fn sheet(&self, _scope: &str) -> Option<Arc<CounterSheet>> {
+        None
+    }
+
+    /// The latency/size histogram sheet for a named scope (by
+    /// convention suffixed with its unit, e.g. `local[0]/eps_range_ns`),
+    /// or `None` to disable distribution capture in that scope.
+    /// Repeated calls with the same scope must return the same sheet.
+    fn hist(&self, _scope: &str) -> Option<Arc<HistSheet>> {
         None
     }
 
@@ -49,6 +58,7 @@ impl Recorder for NoopRecorder {}
 #[derive(Debug, Default)]
 pub struct RecordingRecorder {
     sheets: Mutex<Vec<(String, Arc<CounterSheet>)>>,
+    hists: Mutex<Vec<(String, Arc<HistSheet>)>>,
     spans: Mutex<Vec<Span>>,
 }
 
@@ -79,6 +89,29 @@ impl RecordingRecorder {
             .unwrap_or_default()
     }
 
+    /// All histogram scopes with their snapshots, in first-request
+    /// order, skipping scopes that never recorded a sample.
+    pub fn hist_scopes(&self) -> Vec<(String, Histogram)> {
+        self.hists
+            .lock()
+            .expect("recorder lock")
+            .iter()
+            .map(|(name, sheet)| (name.clone(), sheet.snapshot()))
+            .filter(|(_, h)| !h.is_empty())
+            .collect()
+    }
+
+    /// The histogram snapshot for one scope; empty if never requested.
+    pub fn histogram(&self, scope: &str) -> Histogram {
+        self.hists
+            .lock()
+            .expect("recorder lock")
+            .iter()
+            .find(|(name, _)| name == scope)
+            .map(|(_, sheet)| sheet.snapshot())
+            .unwrap_or_default()
+    }
+
     /// The span trees recorded so far, in arrival order.
     pub fn spans(&self) -> Vec<Span> {
         self.spans.lock().expect("recorder lock").clone()
@@ -100,6 +133,16 @@ impl Recorder for RecordingRecorder {
         Some(sheet)
     }
 
+    fn hist(&self, scope: &str) -> Option<Arc<HistSheet>> {
+        let mut hists = self.hists.lock().expect("recorder lock");
+        if let Some((_, sheet)) = hists.iter().find(|(name, _)| name == scope) {
+            return Some(Arc::clone(sheet));
+        }
+        let sheet = Arc::new(HistSheet::new());
+        hists.push((scope.to_string(), Arc::clone(&sheet)));
+        Some(sheet)
+    }
+
     fn record_span(&self, span: Span) {
         self.spans.lock().expect("recorder lock").push(span);
     }
@@ -115,7 +158,25 @@ mod tests {
         let rec = NoopRecorder;
         assert!(!rec.is_enabled());
         assert!(rec.sheet("local[0]").is_none());
+        assert!(rec.hist("local[0]/eps_range_ns").is_none());
         rec.record_span(Span::new("dbdc", Duration::ZERO)); // silently dropped
+    }
+
+    #[test]
+    fn hist_scopes_share_sheets_and_skip_idle_scopes() {
+        let rec = RecordingRecorder::new();
+        let a = rec.hist("local[0]/eps_range_ns").unwrap();
+        let b = rec.hist("local[0]/eps_range_ns").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        a.record(100);
+        b.record(300);
+        rec.hist("never_recorded_ns").unwrap(); // requested but idle
+        let scopes = rec.hist_scopes();
+        assert_eq!(scopes.len(), 1);
+        assert_eq!(scopes[0].0, "local[0]/eps_range_ns");
+        assert_eq!(scopes[0].1.count(), 2);
+        assert_eq!(rec.histogram("local[0]/eps_range_ns").max(), 300);
+        assert!(rec.histogram("missing").is_empty());
     }
 
     #[test]

@@ -11,17 +11,41 @@
 //! declaration order), every duration is integer microseconds
 //! (`*_us`), absent optional sections serialize as `null`, and any
 //! shape change must bump [`SCHEMA_VERSION`]. [`RunReport::from_json`]
-//! refuses reports from other schema versions.
+//! reads every version back to [`MIN_SCHEMA_VERSION`] — sections a past
+//! version lacked default to empty — and refuses versions newer than
+//! this build.
+//!
+//! Version history: v1 had no `env` and no `hists`; v2 added both.
 
 use std::time::Duration;
 
 use crate::counters::Counters;
 use crate::fmt_ms;
+use crate::hist::{fmt_sample, Histogram};
 use crate::json::Json;
 use crate::span::Span;
 
 /// Version of the JSON shape. Bump on any schema change.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version [`RunReport::from_json`] still reads.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
+
+/// Fingerprint of the environment a report was produced in, so two
+/// reports can be compared knowing whether the hardware or toolchain
+/// moved underneath them. Producers fill in what they can determine;
+/// unknown fields hold `"unknown"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// Available hardware parallelism (`nproc`).
+    pub nproc: usize,
+    /// `rustc --version` of the producing build.
+    pub rustc: String,
+    /// Git revision of the producing tree.
+    pub git_rev: String,
+    /// Checksum of the input dataset(s) the run consumed.
+    pub dataset_checksum: String,
+}
 
 /// Size and dimensionality of the input dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,12 +123,17 @@ pub struct RunReport {
     pub command: String,
     /// Echoed parameters, in display order.
     pub params: Vec<(String, String)>,
+    /// Environment fingerprint, when the producer captured one.
+    pub env: Option<EnvFingerprint>,
     /// Input dataset, when there is one.
     pub dataset: Option<DatasetInfo>,
     /// Recorded span trees, in arrival order (usually one root).
     pub spans: Vec<Span>,
     /// Counter scopes, in first-request order.
     pub scopes: Vec<(String, Counters)>,
+    /// Histogram scopes (latency/size distributions), in first-request
+    /// order. Scope names carry the unit suffix (`_ns`, `_ops`).
+    pub hists: Vec<(String, Histogram)>,
     /// Per-site statistics (empty for non-distributed commands).
     pub sites: Vec<SiteStats>,
     /// Transfer sizes, for distributed runs.
@@ -122,9 +151,11 @@ impl RunReport {
             schema_version: SCHEMA_VERSION,
             command: command.into(),
             params: Vec::new(),
+            env: None,
             dataset: None,
             spans: Vec::new(),
             scopes: Vec::new(),
+            hists: Vec::new(),
             sites: Vec::new(),
             transfer: None,
             network: Vec::new(),
@@ -153,6 +184,18 @@ impl RunReport {
                 ),
             ),
             (
+                "env",
+                match &self.env {
+                    Some(e) => Json::obj([
+                        ("nproc", Json::num_u64(e.nproc as u64)),
+                        ("rustc", Json::str(&e.rustc)),
+                        ("git_rev", Json::str(&e.git_rev)),
+                        ("dataset_checksum", Json::str(&e.dataset_checksum)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            (
                 "dataset",
                 match &self.dataset {
                     Some(d) => Json::obj([
@@ -172,6 +215,15 @@ impl RunReport {
                     self.scopes
                         .iter()
                         .map(|(name, c)| (name.clone(), counters_to_json(c)))
+                        .collect(),
+                ),
+            ),
+            (
+                "hists",
+                Json::Obj(
+                    self.hists
+                        .iter()
+                        .map(|(name, h)| (name.clone(), h.to_json()))
                         .collect(),
                 ),
             ),
@@ -255,17 +307,20 @@ impl RunReport {
         self.to_json().to_string_pretty()
     }
 
-    /// Rebuilds and validates a report from parsed JSON. Rejects
-    /// unknown schema versions and malformed sections with a message
-    /// naming the offending field.
+    /// Rebuilds and validates a report from parsed JSON. Accepts every
+    /// schema version from [`MIN_SCHEMA_VERSION`] to [`SCHEMA_VERSION`]
+    /// — sections an older version lacked (v1: `env`, `hists`) default
+    /// to empty — and rejects unknown *future* versions and malformed
+    /// sections with a message naming the offending field.
     pub fn from_json(v: &Json) -> Result<RunReport, String> {
         let schema_version = v
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("report missing \"schema_version\"")? as u32;
-        if schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema_version) {
             return Err(format!(
-                "unsupported schema_version {schema_version} (this build reads {SCHEMA_VERSION})"
+                "unsupported schema_version {schema_version} \
+                 (this build reads {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let command = v
@@ -283,6 +338,15 @@ impl RunReport {
                 })
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("report missing \"params\" object".into()),
+        };
+        let env = match v.get("env") {
+            Some(Json::Null) | None => None,
+            Some(e) => Some(EnvFingerprint {
+                nproc: req_usize(e, "nproc", "env")?,
+                rustc: req_str(e, "rustc", "env")?,
+                git_rev: req_str(e, "git_rev", "env")?,
+                dataset_checksum: req_str(e, "dataset_checksum", "env")?,
+            }),
         };
         let dataset = match v.get("dataset") {
             Some(Json::Null) | None => None,
@@ -304,6 +368,19 @@ impl RunReport {
                 .map(|(name, c)| counters_from_json(c).map(|c| (name.clone(), c)))
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("report missing \"counters\" object".into()),
+        };
+        // v1 reports predate histograms; absence means "none recorded".
+        let hists = match v.get("hists") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(name, h)| {
+                    Histogram::from_json(h)
+                        .map(|h| (name.clone(), h))
+                        .map_err(|e| format!("hist {name:?}: {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(Json::Null) | None => Vec::new(),
+            Some(_) => return Err("report \"hists\" is not an object".into()),
         };
         let sites = v
             .get("sites")
@@ -373,9 +450,11 @@ impl RunReport {
             schema_version,
             command,
             params,
+            env,
             dataset,
             spans,
             scopes,
+            hists,
             sites,
             transfer,
             network,
@@ -409,6 +488,12 @@ impl RunReport {
                 .collect();
             out.push_str(&format!("params: {}\n", echoed.join(" ")));
         }
+        if let Some(e) = &self.env {
+            out.push_str(&format!(
+                "env: nproc {}, {}, rev {}, data {}\n",
+                e.nproc, e.rustc, e.git_rev, e.dataset_checksum
+            ));
+        }
         if let Some(d) = &self.dataset {
             out.push_str(&format!("dataset: {} points, dim {}\n", d.points, d.dim));
         }
@@ -436,6 +521,9 @@ impl RunReport {
                 };
                 out.push_str(&format!("  {name:<12} {body}\n"));
             }
+        }
+        if !self.hists.is_empty() {
+            out.push_str(&render_hists(&self.hists));
         }
         if !self.sites.is_empty() {
             out.push_str("sites:\n");
@@ -483,6 +571,26 @@ impl RunReport {
     }
 }
 
+/// Renders histogram scopes as the table `render` and the CLI `--hist`
+/// flag print: one row per scope with count, p50/p90/p99, and max,
+/// formatted by the scope's unit suffix via [`fmt_sample`].
+pub fn render_hists(hists: &[(String, Histogram)]) -> String {
+    let mut out = String::new();
+    out.push_str("hists:\n");
+    let width = hists.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    for (name, h) in hists {
+        out.push_str(&format!(
+            "  {name:<width$}  n={} p50={} p90={} p99={} max={}\n",
+            h.count(),
+            fmt_sample(name, h.p50()),
+            fmt_sample(name, h.p90()),
+            fmt_sample(name, h.p99()),
+            fmt_sample(name, h.max()),
+        ));
+    }
+    out
+}
+
 /// Counters as a JSON object, all nine fields in [`Counters::FIELDS`]
 /// order.
 pub fn counters_to_json(c: &Counters) -> Json {
@@ -522,6 +630,13 @@ fn req_usize(v: &Json, key: &str, what: &str) -> Result<usize, String> {
         .ok_or_else(|| format!("{what} missing {key:?}"))
 }
 
+fn req_str(v: &Json, key: &str, what: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what} missing {key:?}"))
+}
+
 fn req_duration(v: &Json, key: &str, what: &str) -> Result<Duration, String> {
     v.get(key)
         .and_then(Json::as_u64)
@@ -556,6 +671,12 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             command: "run".into(),
             params: vec![("eps".into(), "1.2".into()), ("sites".into(), "1".into())],
+            env: Some(EnvFingerprint {
+                nproc: 8,
+                rustc: "rustc 1.75.0".into(),
+                git_rev: "abc1234".into(),
+                dataset_checksum: "11deadbeef".into(),
+            }),
             dataset: Some(DatasetInfo { points: 40, dim: 2 }),
             spans: vec![root],
             scopes: vec![
@@ -571,6 +692,10 @@ mod tests {
                     },
                 ),
             ],
+            hists: vec![(
+                "local[0]/eps_range_ns".into(),
+                Histogram::from_values([900, 1_200, 1_500, 40_000]),
+            )],
             sites: vec![SiteStats {
                 site: 0,
                 points: 40,
@@ -630,6 +755,23 @@ mod tests {
     }
 
     #[test]
+    fn reads_v1_reports_without_env_or_hists() {
+        // A v1 report has no "env" and no "hists" keys at all.
+        let mut v = sample().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs[0].1 = Json::num_u64(1);
+            pairs.retain(|(k, _)| k != "env" && k != "hists");
+        }
+        let back = RunReport::from_json(&v).expect("v1 still parses");
+        assert_eq!(back.schema_version, 1);
+        assert!(back.env.is_none());
+        assert!(back.hists.is_empty());
+        // Everything a v1 report did carry survives.
+        assert_eq!(back.scopes.len(), 2);
+        assert_eq!(back.sites.len(), 1);
+    }
+
+    #[test]
     fn rejects_malformed_sections() {
         let mut v = sample().to_json();
         if let Json::Obj(pairs) = &mut v {
@@ -651,13 +793,17 @@ mod tests {
     fn render_mentions_every_section() {
         let text = sample().render();
         for needle in [
-            "== run report (schema v1) ==",
+            "== run report (schema v2) ==",
             "eps=1.2",
+            "env: nproc 8, rustc 1.75.0, rev abc1234, data 11deadbeef",
             "dataset: 40 points, dim 2",
             "phases:",
             "local[0]",
             "counters:",
             "range_queries=40",
+            "hists:",
+            "local[0]/eps_range_ns",
+            "n=4",
             "site 0: 40 points",
             "transfer: up 280 B [280]",
             "network (modeled):",

@@ -10,11 +10,16 @@
 use std::time::Duration;
 
 use dbdc_obs::{
-    ClusterStats, Counters, DatasetInfo, NetworkCost, RunReport, SiteStats, Span, TransferStats,
+    ClusterStats, Counters, DatasetInfo, EnvFingerprint, Histogram, NetworkCost, RunReport,
+    SiteStats, Span, TransferStats,
 };
 
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_report.json")
+}
+
+fn golden_v1_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_report_v1.json")
 }
 
 /// A fully populated report with fixed, hand-picked values — every
@@ -65,6 +70,12 @@ fn sample_report() -> RunReport {
             ("model".into(), "REP_Scor".into()),
             ("index".into(), "rstar".into()),
         ];
+        r.env = Some(EnvFingerprint {
+            nproc: 8,
+            rustc: "rustc 1.75.0 (82e1608df 2023-12-21)".into(),
+            git_rev: "0123456789ab".into(),
+            dataset_checksum: "47ab12cd34ef56aa".into(),
+        });
         r.dataset = Some(DatasetInfo { points: 47, dim: 2 });
         r.spans = vec![root];
         r.scopes = vec![
@@ -89,6 +100,16 @@ fn sample_report() -> RunReport {
                     bytes_received: 370,
                     ..Counters::default()
                 },
+            ),
+        ];
+        r.hists = vec![
+            (
+                "local[0]/eps_range_ns".into(),
+                Histogram::from_values([850, 900, 1_100, 1_250, 2_300, 38_000]),
+            ),
+            (
+                "local[1]/dsu_batch_ops".into(),
+                Histogram::from_values([3, 17, 54]),
             ),
         ];
         r.sites = vec![
@@ -165,6 +186,27 @@ fn golden_file_parses_back_to_the_same_report() {
     assert_eq!(parsed, sample_report());
     // Writing the parsed report reproduces the file byte-for-byte.
     assert_eq!(parsed.to_json_string(), golden);
+}
+
+/// The checked-in v1 golden file (the schema before `env`/`hists`
+/// existed) must keep parsing, so `report diff` can compare across the
+/// schema bump. This file is frozen history — never re-bless it.
+#[test]
+fn v1_golden_file_still_parses() {
+    let golden = std::fs::read_to_string(golden_v1_path()).expect("read v1 golden file");
+    let parsed = RunReport::parse(&golden).expect("v1 golden validates");
+    assert_eq!(parsed.schema_version, 1);
+    assert!(parsed.env.is_none());
+    assert!(parsed.hists.is_empty());
+    // The sections v1 did carry match the v2 sample (which reuses the
+    // same handpicked values).
+    let v2 = sample_report();
+    assert_eq!(parsed.scopes, v2.scopes);
+    assert_eq!(parsed.sites, v2.sites);
+    assert_eq!(parsed.transfer, v2.transfer);
+    assert_eq!(parsed.network, v2.network);
+    assert_eq!(parsed.clusters, v2.clusters);
+    assert_eq!(parsed.spans, v2.spans);
 }
 
 #[test]
