@@ -3,9 +3,20 @@
 //! Runs the declarative matrix — datasets A/B/C × every index backend ×
 //! thread counts 1/2/8 — through the full DBDC protocol and writes a
 //! schema-v2 `RunReport` (`BENCH_dbdc.json` by default) whose `hists`
-//! section holds one wall-time histogram per matrix cell, with one
-//! sample per repetition. `dbdc-cli report diff BENCH_baseline.json
-//! BENCH_dbdc.json` then compares two such files cell by cell.
+//! section holds two histograms per matrix cell, with one sample per
+//! repetition:
+//!
+//! * `…/total_ns` — protocol wall time (min over [`RUNS_PER_SAMPLE`]
+//!   back-to-back runs);
+//! * `…/eps_range_ns` — the *median per-query ε-range latency* of one
+//!   latency-observed protocol run (all `local[i]/eps_range_ns` site
+//!   histograms merged, then collapsed to their p50). The within-run
+//!   median is already robust over thousands of queries, so one
+//!   observed run per repetition suffices, and the across-rep spread
+//!   stays tight enough for `report diff` to gate on.
+//!
+//! `dbdc-cli report diff BENCH_baseline.json BENCH_dbdc.json` then
+//! compares two such files cell by cell.
 //!
 //! Repetitions are interleaved (rep 0 of every cell, then rep 1, …) so
 //! slow host drift — thermal throttling, a background job — spreads
@@ -25,12 +36,12 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use dbdc::{run_dbdc, DbdcParams, Partitioner};
+use dbdc::{run_dbdc, run_dbdc_recorded, DbdcParams, Partitioner};
 use dbdc_bench::report::{dataset_checksum, env_fingerprint};
 use dbdc_datagen::{dataset_a, dataset_b, dataset_c, GeneratedData};
 use dbdc_geom::Dataset;
 use dbdc_index::IndexKind;
-use dbdc_obs::{DatasetInfo, Histogram, RunReport};
+use dbdc_obs::{DatasetInfo, Histogram, RecordingRecorder, RunReport};
 
 /// Thread counts each (dataset, index) pair is swept over.
 const THREADS: [usize; 3] = [1, 2, 8];
@@ -178,6 +189,29 @@ fn main() {
                     }
                     let cell = format!("{}/{}/t{}/total_ns", set.name, kind.name(), threads);
                     cells.entry(cell).or_default().record_duration(wall);
+                    // One latency-observed run per repetition: merge the
+                    // per-site ε-range query histograms and record their
+                    // median as this rep's eps_range_ns sample.
+                    let rec = RecordingRecorder::new();
+                    let outcome = run_dbdc_recorded(
+                        &set.data,
+                        &params,
+                        Partitioner::RandomEqual { seed: 11 },
+                        SITES,
+                        &rec,
+                    );
+                    std::hint::black_box(&outcome.assignment);
+                    let mut merged = Histogram::default();
+                    for (scope, h) in rec.hist_scopes() {
+                        if scope.starts_with("local[") && scope.ends_with("/eps_range_ns") {
+                            merged.merge(&h);
+                        }
+                    }
+                    if !merged.is_empty() {
+                        let cell =
+                            format!("{}/{}/t{}/eps_range_ns", set.name, kind.name(), threads);
+                        cells.entry(cell).or_default().record(merged.p50());
+                    }
                 }
             }
         }

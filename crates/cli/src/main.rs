@@ -84,10 +84,11 @@ commands:
       render a --metrics-out JSON report; fail unless every --require'd
       phase span is present and every --require-counter'd counter is
       nonzero in some scope; --hist prints only the histogram table
-  report diff OLD NEW [--threshold FRACTION]
+  report diff OLD NEW [--threshold FRACTION] [--only SUBSTR]
       compare two reports cell-by-cell (per-histogram p50/p99) and exit
       nonzero on regression; tolerance is max(FRACTION, baseline cell
-      spread), FRACTION defaulting to 0.25
+      spread), FRACTION defaulting to 0.25; --only gates just the cells
+      whose name contains SUBSTR
 
 KIND: linear|grid|kdtree|rstar (default rstar)
 T: DBSCAN worker threads; 1 = sequential (default), 0 = all cores.
@@ -659,7 +660,14 @@ fn load_report(path: &str) -> Result<RunReport, Box<dyn std::error::Error>> {
 fn cmd_report(raw: &[String]) -> CliResult {
     let args = Args::parse(
         raw,
-        &["input", "require", "require-counter", "hist", "threshold"],
+        &[
+            "input",
+            "require",
+            "require-counter",
+            "hist",
+            "threshold",
+            "only",
+        ],
     )?;
     // `report diff OLD NEW` is the positional sub-form; everything else
     // is the single-report validator/renderer.
@@ -720,7 +728,7 @@ fn report_counter_nonzero(report: &RunReport, name: &str) -> bool {
 
 fn cmd_report_diff(args: &Args) -> CliResult {
     let [_, old_path, new_path] = args.positional() else {
-        return Err("usage: report diff OLD NEW [--threshold FRACTION]".into());
+        return Err("usage: report diff OLD NEW [--threshold FRACTION] [--only SUBSTR]".into());
     };
     let threshold: f64 = args.get_or("threshold", dbdc_obs::diff::DEFAULT_THRESHOLD)?;
     if !(0.0..10.0).contains(&threshold) {
@@ -728,7 +736,15 @@ fn cmd_report_diff(args: &Args) -> CliResult {
     }
     let old = load_report(old_path)?;
     let new = load_report(new_path)?;
-    let rows = dbdc_obs::diff_reports(&old, &new, threshold);
+    let mut rows = dbdc_obs::diff_reports(&old, &new, threshold);
+    // `--only SUBSTR` narrows the gate to matching cells (e.g. CI fails
+    // on `eps_range_ns` regressions while the full diff stays advisory).
+    if let Some(only) = args.get("only") {
+        rows.retain(|r| r.cell.contains(only));
+        if rows.is_empty() {
+            return Err(format!("--only {only}: no histogram cell matches").into());
+        }
+    }
     if rows.is_empty() {
         println!("no histogram cells to compare (baseline has no hists)");
         return Ok(());

@@ -272,6 +272,62 @@ fn report_diff_passes_within_tolerance_and_fails_on_regression() {
 }
 
 #[test]
+fn report_diff_only_narrows_the_gate() {
+    // Baseline with two cells; only one regresses in the new report.
+    let mut base = dbdc_obs::RunReport::new("bench");
+    base.hists = vec![
+        (
+            "c/kdtree/t1/eps_range_ns".to_string(),
+            dbdc_obs::Histogram::from_values([1_000_000, 1_050_000, 1_100_000]),
+        ),
+        (
+            "c/kdtree/t1/total_ns".to_string(),
+            dbdc_obs::Histogram::from_values([1_000_000, 1_050_000, 1_100_000]),
+        ),
+    ];
+    let mut new = base.clone();
+    new.hists[1].1 = dbdc_obs::Histogram::from_values([9_000_000, 9_500_000, 9_900_000]);
+    let base_path = write_report("diff_only_base.json", &base);
+    let new_path = write_report("diff_only_new.json", &new);
+
+    // Ungated: the total_ns regression fails the diff.
+    let out = bin()
+        .arg("report")
+        .arg("diff")
+        .args([&base_path, &new_path])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "full diff must fail: {out:?}");
+
+    // --only eps_range_ns: the regressed cell is filtered out.
+    let out = bin()
+        .arg("report")
+        .arg("diff")
+        .args([&base_path, &new_path])
+        .args(["--only", "eps_range_ns"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "gated diff should pass: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("total_ns"), "{stdout}");
+
+    // A substring matching nothing is an error, not a silent pass.
+    let out = bin()
+        .arg("report")
+        .arg("diff")
+        .args([&base_path, &new_path])
+        .args(["--only", "no_such_cell"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "empty --only match must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no_such_cell"));
+
+    for p in [&base_path, &new_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn report_diff_rejects_missing_cells() {
     let baseline = write_report("diff_cells_base.json", &hist_report(&[1_000, 2_000]));
     let mut empty = dbdc_obs::RunReport::new("bench");

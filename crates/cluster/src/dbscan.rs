@@ -10,7 +10,7 @@
 //! use of R*-trees / M-trees for the region queries.
 
 use dbdc_geom::{Clustering, Dataset, Label};
-use dbdc_index::NeighborIndex;
+use dbdc_index::{NeighborIndex, QueryWorkspace};
 
 /// DBSCAN parameters: the ε-radius and the core-point density threshold.
 ///
@@ -112,13 +112,14 @@ pub fn dbscan(data: &Dataset, index: &dyn NeighborIndex, params: &DbscanParams) 
     let mut next_cluster: i64 = 0;
     let mut neighbors: Vec<u32> = Vec::new();
     let mut seeds: Vec<u32> = Vec::new();
+    let mut ws = QueryWorkspace::new();
     let mut range_queries = 0usize;
 
     for i in 0..n as u32 {
         if state[i as usize] != UNCLASSIFIED {
             continue;
         }
-        index.range(data.point(i), params.eps, &mut neighbors);
+        index.range_with(data.point(i), params.eps, &mut neighbors, &mut ws);
         range_queries += 1;
         if neighbors.len() < params.min_pts {
             state[i as usize] = NOISE;
@@ -141,7 +142,7 @@ pub fn dbscan(data: &Dataset, index: &dyn NeighborIndex, params: &DbscanParams) 
             }
         }
         while let Some(j) = seeds.pop() {
-            index.range(data.point(j), params.eps, &mut neighbors);
+            index.range_with(data.point(j), params.eps, &mut neighbors, &mut ws);
             range_queries += 1;
             if neighbors.len() < params.min_pts {
                 continue; // border point: clustered but not expanded

@@ -54,7 +54,7 @@ use crate::dbscan::{DbscanParams, DbscanResult};
 use crate::scp::{ScpResult, SpecificCorePoint};
 use crate::union_find::UnionFind;
 use dbdc_geom::{Clustering, Dataset, Label, Metric};
-use dbdc_index::NeighborIndex;
+use dbdc_index::{NeighborIndex, QueryWorkspace};
 use std::sync::Mutex;
 
 const UNCLASSIFIED: i64 = -2;
@@ -91,21 +91,27 @@ pub fn parallel_neighborhoods(
     let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
     let threads = effective_threads(threads).min(n.max(1));
     if threads <= 1 {
+        let mut ws = QueryWorkspace::new();
         for (i, slot) in neighbors.iter_mut().enumerate() {
-            index.range(data.point(i as u32), eps, slot);
+            index.range_with(data.point(i as u32), eps, slot, &mut ws);
         }
         return neighbors;
     }
     let work = Mutex::new(neighbors.chunks_mut(BLOCK).enumerate());
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                // Hold the lock only to claim a block, not to fill it.
-                let claimed = work.lock().expect("a worker panicked").next();
-                let Some((block, chunk)) = claimed else { break };
-                let base = block * BLOCK;
-                for (k, slot) in chunk.iter_mut().enumerate() {
-                    index.range(data.point((base + k) as u32), eps, slot);
+            scope.spawn(|| {
+                // One workspace per worker: the traversal stack keeps
+                // its high-water capacity across every claimed block.
+                let mut ws = QueryWorkspace::new();
+                loop {
+                    // Hold the lock only to claim a block, not to fill it.
+                    let claimed = work.lock().expect("a worker panicked").next();
+                    let Some((block, chunk)) = claimed else { break };
+                    let base = block * BLOCK;
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        index.range_with(data.point((base + k) as u32), eps, slot, &mut ws);
+                    }
                 }
             });
         }

@@ -21,7 +21,7 @@
 
 use crate::dbscan::{DbscanParams, DbscanResult};
 use dbdc_geom::{Clustering, Dataset, Label};
-use dbdc_index::NeighborIndex;
+use dbdc_index::{NeighborIndex, QueryWorkspace};
 
 /// A specific core point with its specific ε-range.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +94,7 @@ pub fn dbscan_with_scp(
     let mut next_cluster: i64 = 0;
     let mut neighbors: Vec<u32> = Vec::new();
     let mut seeds: Vec<u32> = Vec::new();
+    let mut ws = QueryWorkspace::new();
     let mut range_queries = 0usize;
     // Per-cluster specific core points (ids only; ranges computed at the
     // end).
@@ -117,7 +118,7 @@ pub fn dbscan_with_scp(
         if state[i as usize] != UNCLASSIFIED {
             continue;
         }
-        index.range(data.point(i), params.eps, &mut neighbors);
+        index.range_with(data.point(i), params.eps, &mut neighbors, &mut ws);
         range_queries += 1;
         if neighbors.len() < params.min_pts {
             state[i as usize] = NOISE;
@@ -140,7 +141,7 @@ pub fn dbscan_with_scp(
             }
         }
         while let Some(j) = seeds.pop() {
-            index.range(data.point(j), params.eps, &mut neighbors);
+            index.range_with(data.point(j), params.eps, &mut neighbors, &mut ws);
             range_queries += 1;
             if neighbors.len() < params.min_pts {
                 continue;
@@ -164,7 +165,7 @@ pub fn dbscan_with_scp(
     for ids in &scp_ids {
         let mut list = Vec::with_capacity(ids.len());
         for &s in ids {
-            index.range(data.point(s), params.eps, &mut neighbors);
+            index.range_with(data.point(s), params.eps, &mut neighbors, &mut ws);
             range_queries += 1;
             let max_core_dist = neighbors
                 .iter()

@@ -131,6 +131,66 @@ fn pinned_case_scp_invariants_hold() {
     }
 }
 
+/// Larger deterministic dataset (xorshift; ~300 points in three density
+/// regimes) exercising deep kd/R* trees, so the flattened arena
+/// traversals — not just tiny two-level trees — are held to the
+/// LinearScan oracle label-for-label.
+fn oracle_dataset() -> Dataset {
+    let mut d = Dataset::new(2);
+    let mut s = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 10_000) as f64 / 10_000.0
+    };
+    // Three dense blobs ...
+    for (cx, cy) in [(2.0, 2.0), (8.0, 3.0), (5.0, 9.0)] {
+        for _ in 0..80 {
+            d.push(&[cx + next() * 1.2, cy + next() * 1.2]);
+        }
+    }
+    // ... plus sparse background noise.
+    for _ in 0..60 {
+        d.push(&[next() * 12.0, next() * 12.0]);
+    }
+    d
+}
+
+#[test]
+fn flattened_backends_match_linear_oracle_label_for_label() {
+    let data = oracle_dataset();
+    let params = DbscanParams::new(0.4, 4);
+    let linear = build_index(IndexKind::Linear, &data, Euclidean, params.eps);
+    let oracle = dbscan(&data, linear.as_ref(), &params);
+    assert!(oracle.clustering.n_clusters() >= 3, "dataset must cluster");
+
+    for kind in [IndexKind::Grid, IndexKind::KdTree, IndexKind::RStar] {
+        let idx = build_index(kind, &data, Euclidean, params.eps);
+        let r = dbscan(&data, idx.as_ref(), &params);
+        assert_eq!(oracle.clustering, r.clustering, "[{kind:?}] labels");
+        assert_eq!(oracle.core, r.core, "[{kind:?}] core flags");
+        // The scp greedy selection is visit-order dependent and each
+        // backend has its own (deterministic) neighbor order, so scp is
+        // pinned per backend: sequential and parallel runs on the same
+        // index must replay the identical selection.
+        let seq_scp = dbscan_with_scp(&data, idx.as_ref(), &params);
+        for threads in [1, 2, 8] {
+            let par = par_dbscan(&data, idx.as_ref(), &params, threads);
+            assert_eq!(
+                oracle.clustering, par.clustering,
+                "[{kind:?}] labels, threads={threads}"
+            );
+            assert_eq!(oracle.core, par.core, "[{kind:?}] core, threads={threads}");
+            let par_scp = par_dbscan_with_scp(&data, idx.as_ref(), &params, threads);
+            assert_eq!(
+                seq_scp.scp, par_scp.scp,
+                "[{kind:?}] scp, threads={threads}"
+            );
+        }
+    }
+}
+
 #[test]
 fn pinned_case_parallel_matches_sequential() {
     let data = regression_dataset();

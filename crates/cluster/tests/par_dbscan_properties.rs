@@ -41,9 +41,18 @@ proptest! {
         min_pts in 2usize..7,
     ) {
         let params = DbscanParams::new(eps, min_pts);
+        // The sequential LinearScan run is the oracle every (backend,
+        // thread-count) combination must reproduce label-for-label — it
+        // is the one backend with no tree, no arena, and no batching.
+        let oracle_idx = build_index(IndexKind::Linear, &data, dbdc_geom::Euclidean, eps);
+        let oracle = dbscan(&data, oracle_idx.as_ref(), &params);
         for kind in IndexKind::ALL {
             let idx = build_index(kind, &data, dbdc_geom::Euclidean, eps);
             let seq = dbscan(&data, idx.as_ref(), &params);
+            prop_assert_eq!(&oracle.clustering, &seq.clustering,
+                "labels differ from LinearScan oracle ({:?})", kind);
+            prop_assert_eq!(&oracle.core, &seq.core,
+                "core flags differ from LinearScan oracle ({:?})", kind);
             for threads in [1usize, 2, 8] {
                 let par = par_dbscan(&data, idx.as_ref(), &params, threads);
                 prop_assert_eq!(&seq.clustering, &par.clustering,

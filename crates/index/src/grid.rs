@@ -7,16 +7,40 @@
 //! paper's evaluation this is the fastest structure by a wide margin, which
 //! is why the index ablation benchmark includes it.
 //!
+//! Cell membership lives in a `HashMap` keyed by cell coordinates, but the
+//! points themselves are packed into two shared arenas — ids plus per-cell
+//! structure-of-arrays coordinate blocks (cells packed in lexicographic key
+//! order, per-cell insertion order preserved) — so scanning a cell is one
+//! batched [`Metric::surrogate_batch`] kernel call over contiguous memory
+//! and steady-state range queries allocate nothing.
+//!
 //! Correct for every Lp metric: the ε-ball under any Lp (p ≥ 1) is contained
 //! in the L∞ box of radius ε, so scanning the cells that intersect that box
 //! and verifying each candidate with the exact metric cannot miss a result.
 
 use crate::linear::ordered::F64;
-use crate::NeighborIndex;
+use crate::{scan_block, NeighborIndex};
 use dbdc_geom::{Dataset, Metric};
 use dbdc_obs::CounterSheet;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
+
+/// Dimensions up to this size keep the odometer scan state on the
+/// stack; higher dimensions fall back to heap scratch per query.
+const STACK_DIM: usize = 16;
+
+/// One occupied cell's slice of the packed arenas.
+#[derive(Debug, Clone, Copy)]
+struct CellBlock {
+    /// First point of the cell in the `ids` arena.
+    start: u32,
+    /// Number of points in the cell.
+    len: u32,
+    /// Offset of the cell's SoA block in the `coords` arena
+    /// (coordinate `d` of the block's `k`-th point at
+    /// `coords + d * len + k`).
+    coords: u32,
+}
 
 /// A uniform grid over a dataset.
 #[derive(Debug, Clone)]
@@ -24,10 +48,14 @@ pub struct GridIndex<'a, M> {
     data: &'a Dataset,
     metric: M,
     cell: f64,
-    /// Cell coordinates -> point indices. A HashMap keeps memory proportional
-    /// to the number of *occupied* cells, so sparse/clustered data does not
-    /// explode the grid.
-    cells: HashMap<Box<[i64]>, Vec<u32>>,
+    /// Cell coordinates -> packed block. A HashMap keeps memory
+    /// proportional to the number of *occupied* cells, so sparse or
+    /// clustered data does not explode the grid.
+    cells: HashMap<Box<[i64]>, CellBlock>,
+    /// Point ids, cell by cell (cells in lexicographic key order).
+    ids: Vec<u32>,
+    /// Per-cell SoA coordinate blocks, same order as `ids`.
+    coords: Vec<f64>,
     sheet: Option<Arc<CounterSheet>>,
 }
 
@@ -41,18 +69,42 @@ impl<'a, M: Metric> GridIndex<'a, M> {
             cell.is_finite() && cell > 0.0,
             "grid cell size must be positive and finite"
         );
-        let mut cells: HashMap<Box<[i64]>, Vec<u32>> = HashMap::new();
+        let mut buckets: HashMap<Box<[i64]>, Vec<u32>> = HashMap::new();
         for (i, p) in data.iter().enumerate() {
-            cells
+            buckets
                 .entry(Self::cell_of(p, cell))
                 .or_default()
                 .push(i as u32);
+        }
+        // Pack cells in sorted key order so the arena layout (and with
+        // it any cache behavior) is deterministic regardless of hash
+        // seeding; per-cell order stays insertion (ascending id) order.
+        let mut buckets: Vec<(Box<[i64]>, Vec<u32>)> = buckets.into_iter().collect();
+        buckets.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut cells = HashMap::with_capacity(buckets.len());
+        let mut ids: Vec<u32> = Vec::with_capacity(data.len());
+        let mut coords: Vec<f64> = Vec::with_capacity(data.len() * data.dim());
+        for (key, pts) in buckets {
+            let block = CellBlock {
+                start: ids.len() as u32,
+                len: pts.len() as u32,
+                coords: coords.len() as u32,
+            };
+            ids.extend_from_slice(&pts);
+            for d in 0..data.dim() {
+                for &i in &pts {
+                    coords.push(data.point(i)[d]);
+                }
+            }
+            cells.insert(key, block);
         }
         Self {
             data,
             metric,
             cell,
             cells,
+            ids,
+            coords,
             sheet: None,
         }
     }
@@ -77,27 +129,35 @@ impl<'a, M: Metric> GridIndex<'a, M> {
         self.cells.len()
     }
 
-    /// Visits every point in cells intersecting the L∞ box of radius `r`
-    /// around `q`. Returns the number of *occupied* cells probed (the
-    /// node-visit count for this index).
-    fn for_candidates(&self, q: &[f64], r: f64, mut f: impl FnMut(u32)) -> u64 {
+    /// Visits every occupied cell intersecting the L∞ box of radius `r`
+    /// around `q`, in odometer (lexicographic lattice) order. Returns
+    /// the number of occupied cells probed (the node-visit count for
+    /// this index).
+    fn for_cells(&self, q: &[f64], r: f64, mut f: impl FnMut(CellBlock)) -> u64 {
         let dim = self.data.dim();
-        let lo: Vec<i64> = (0..dim)
-            .map(|i| ((q[i] - r) / self.cell).floor() as i64)
-            .collect();
-        let hi: Vec<i64> = (0..dim)
-            .map(|i| ((q[i] + r) / self.cell).floor() as i64)
-            .collect();
+        let mut stack = [0i64; 3 * STACK_DIM];
+        let mut heap;
+        let buf: &mut [i64] = if dim <= STACK_DIM {
+            &mut stack
+        } else {
+            heap = vec![0i64; 3 * dim];
+            &mut heap
+        };
+        let (lo, rest) = buf.split_at_mut(dim);
+        let (hi, cur) = rest.split_at_mut(rest.len() / 2);
+        let (hi, cur) = (&mut hi[..dim], &mut cur[..dim]);
+        for i in 0..dim {
+            lo[i] = ((q[i] - r) / self.cell).floor() as i64;
+            hi[i] = ((q[i] + r) / self.cell).floor() as i64;
+            cur[i] = lo[i];
+        }
         // Iterate the (hi-lo+1)^dim cell lattice with an odometer; dim is
         // small (2-3) in this workspace so this stays cheap.
-        let mut cur = lo.clone();
         let mut visited = 0u64;
         'outer: loop {
-            if let Some(points) = self.cells.get(cur.as_slice()) {
+            if let Some(&block) = self.cells.get(&cur[..]) {
                 visited += 1;
-                for &i in points {
-                    f(i);
-                }
+                f(block);
             }
             for d in 0..dim {
                 if cur[d] < hi[d] {
@@ -117,15 +177,24 @@ impl<M: Metric> NeighborIndex for GridIndex<'_, M> {
         self.data.len()
     }
 
+    // The default `range_with` delegates here; the grid has no
+    // traversal stack, so `range` itself is already allocation-free.
     fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
         out.clear();
         let bound = self.metric.to_surrogate(eps);
         let mut evals = 0u64;
-        let visits = self.for_candidates(q, eps, |i| {
-            evals += 1;
-            if self.metric.surrogate(q, self.data.point(i)) <= bound {
-                out.push(i);
-            }
+        let visits = self.for_cells(q, eps, |b| {
+            evals += b.len as u64;
+            let (start, len, coords) = (b.start as usize, b.len as usize, b.coords as usize);
+            scan_block(
+                &self.metric,
+                q,
+                &self.ids[start..start + len],
+                &self.coords[coords..coords + self.data.dim() * len],
+                len,
+                bound,
+                out,
+            );
         });
         if let Some(s) = &self.sheet {
             s.record_range(evals, visits);
@@ -144,15 +213,17 @@ impl<M: Metric> NeighborIndex for GridIndex<'_, M> {
         let mut visits = 0u64;
         loop {
             let mut heap: BinaryHeap<(F64, u32)> = BinaryHeap::with_capacity(k + 1);
-            visits += self.for_candidates(q, r, |i| {
-                evals += 1;
-                let d = self.metric.dist(q, self.data.point(i));
-                if heap.len() < k {
-                    heap.push((F64(d), i));
-                } else if let Some(&(worst, _)) = heap.peek() {
-                    if d < worst.0 {
-                        heap.pop();
+            visits += self.for_cells(q, r, |b| {
+                evals += b.len as u64;
+                for &i in &self.ids[b.start as usize..(b.start + b.len) as usize] {
+                    let d = self.metric.dist(q, self.data.point(i));
+                    if heap.len() < k {
                         heap.push((F64(d), i));
+                    } else if let Some(&(worst, _)) = heap.peek() {
+                        if d < worst.0 {
+                            heap.pop();
+                            heap.push((F64(d), i));
+                        }
                     }
                 }
             });
@@ -222,6 +293,15 @@ mod tests {
         // cells per dimension may be occupied.
         assert!(idx.occupied_cells() <= 4);
         testutil::check_against_linear(&idx, &d, Euclidean);
+    }
+
+    #[test]
+    fn cells_preserve_insertion_order() {
+        // All points in one cell: range must return them in id order,
+        // exactly as the pre-packing implementation did.
+        let d = Dataset::from_flat(2, vec![0.1, 0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4]);
+        let idx = GridIndex::new(&d, Euclidean, 10.0);
+        assert_eq!(idx.range_vec(&[0.25, 0.25], 5.0), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -1,13 +1,18 @@
-//! Balanced kd-tree.
+//! Balanced kd-tree, stored flat.
 //!
 //! Built once by recursive median splits (no insertion support — the
-//! clustering pipeline builds the index per run), with leaves holding small
-//! point buckets. Range queries prune subtrees by the distance from the
-//! query to the subtree's bounding box, which is metric-correct via
-//! [`crate::dist_to_box`].
+//! clustering pipeline builds the index per run). The build flattens the
+//! tree into arena storage: a `Vec`-backed node pool addressed by `u32`
+//! ids (root at 0), a parallel bounding-box arena, and the leaf points
+//! packed into traversal-ordered structure-of-arrays blocks. Queries
+//! walk an explicit stack — no recursion, no pointer chasing — and every
+//! leaf scan is one batched [`Metric::surrogate_batch`] kernel call over
+//! contiguous memory. Range queries prune subtrees in surrogate space
+//! via [`Metric::surrogate_dist_to_box`]; the knn path prunes by true
+//! distance via [`crate::dist_to_box`] (its heap stores distances).
 
 use crate::linear::ordered::F64;
-use crate::{dist_to_box, NeighborIndex};
+use crate::{dist_to_box, scan_block, with_scratch, NeighborIndex, QueryWorkspace};
 use dbdc_geom::{Dataset, Metric, Rect};
 use dbdc_obs::CounterSheet;
 use std::collections::BinaryHeap;
@@ -15,46 +20,63 @@ use std::sync::Arc;
 
 const LEAF_SIZE: usize = 16;
 
-#[derive(Debug)]
-enum Node {
+/// One arena node. Children / block offsets are indices into the
+/// sibling arenas, so the whole tree lives in three contiguous `Vec`s.
+#[derive(Debug, Clone, Copy)]
+enum FlatNode {
     Leaf {
-        /// Indices into the dataset.
-        points: Vec<u32>,
+        /// First point of this leaf in the packed `ids` arena.
+        start: u32,
+        /// Number of points in the leaf.
+        len: u32,
+        /// Offset of this leaf's SoA block in the `coords` arena
+        /// (coordinate `d` of the block's `k`-th point is at
+        /// `coords + d * len + k`).
+        coords: u32,
     },
     Inner {
-        bbox_left: Rect,
-        bbox_right: Rect,
-        left: Box<Node>,
-        right: Box<Node>,
+        left: u32,
+        right: u32,
     },
 }
 
-/// A static, balanced kd-tree over a dataset.
+/// A static, balanced kd-tree over a dataset, in flat arena storage.
 #[derive(Debug)]
 pub struct KdTree<'a, M> {
     data: &'a Dataset,
     metric: M,
-    root: Option<Node>,
-    bbox: Option<Rect>,
+    /// Node pool; the root is node 0 (empty iff the dataset is empty).
+    nodes: Vec<FlatNode>,
+    /// Node `i`'s bounding box at `[i * 2 * dim, (i + 1) * 2 * dim)`:
+    /// `dim` low coordinates, then `dim` high coordinates.
+    bounds: Vec<f64>,
+    /// Leaf point ids, concatenated in traversal (preorder) order.
+    ids: Vec<u32>,
+    /// Per-leaf SoA coordinate blocks, same order as `ids`.
+    coords: Vec<f64>,
+    dim: usize,
     sheet: Option<Arc<CounterSheet>>,
 }
 
 impl<'a, M: Metric> KdTree<'a, M> {
     /// Builds the tree by recursive median splits along the widest
-    /// dimension. `O(n log² n)` build via per-level sorts.
+    /// dimension. `O(n log² n)` build via per-level selects.
     pub fn new(data: &'a Dataset, metric: M) -> Self {
-        let mut ids: Vec<u32> = (0..data.len() as u32).collect();
-        let bbox = data.bounding_rect();
-        let root = bbox
-            .as_ref()
-            .map(|b| Self::build(data, &mut ids, b.clone()));
-        Self {
+        let mut tree = Self {
             data,
             metric,
-            root,
-            bbox,
+            nodes: Vec::new(),
+            bounds: Vec::new(),
+            ids: Vec::with_capacity(data.len()),
+            coords: Vec::with_capacity(data.len() * data.dim()),
+            dim: data.dim(),
             sheet: None,
+        };
+        if let Some(bbox) = data.bounding_rect() {
+            let mut ids: Vec<u32> = (0..data.len() as u32).collect();
+            tree.build(&mut ids, bbox);
         }
+        tree
     }
 
     /// Attaches a counter sheet recording per-query work.
@@ -63,14 +85,32 @@ impl<'a, M: Metric> KdTree<'a, M> {
         self
     }
 
-    fn build(data: &Dataset, ids: &mut [u32], bbox: Rect) -> Node {
+    /// Appends the subtree over `ids` (bounded by `bbox`) to the arenas
+    /// and returns its node id. Children are appended after their
+    /// parent, left subtree first, so leaf blocks land in traversal
+    /// order.
+    fn build(&mut self, ids: &mut [u32], bbox: Rect) -> u32 {
+        let me = self.nodes.len() as u32;
+        self.bounds.extend_from_slice(bbox.lo());
+        self.bounds.extend_from_slice(bbox.hi());
         if ids.len() <= LEAF_SIZE {
-            return Node::Leaf {
-                points: ids.to_vec(),
-            };
+            let start = self.ids.len() as u32;
+            let coords = self.coords.len() as u32;
+            self.ids.extend_from_slice(ids);
+            for d in 0..self.dim {
+                for &i in ids.iter() {
+                    self.coords.push(self.data.point(i)[d]);
+                }
+            }
+            self.nodes.push(FlatNode::Leaf {
+                start,
+                len: ids.len() as u32,
+                coords,
+            });
+            return me;
         }
         // Split along the widest dimension of the actual bounding box.
-        let dim = (0..data.dim())
+        let dim = (0..self.data.dim())
             .max_by(|&a, &b| {
                 let wa = bbox.hi()[a] - bbox.lo()[a];
                 let wb = bbox.hi()[b] - bbox.lo()[b];
@@ -78,6 +118,7 @@ impl<'a, M: Metric> KdTree<'a, M> {
             })
             .expect("dataset has at least 1 dimension");
         let mid = ids.len() / 2;
+        let data = self.data;
         ids.select_nth_unstable_by(mid, |&a, &b| {
             data.point(a)[dim].total_cmp(&data.point(b)[dim])
         });
@@ -86,114 +127,36 @@ impl<'a, M: Metric> KdTree<'a, M> {
             Rect::bounding(l.iter().map(|&i| data.point(i))).expect("left split is non-empty");
         let bbox_right =
             Rect::bounding(r.iter().map(|&i| data.point(i))).expect("right split is non-empty");
-        Node::Inner {
-            left: Box::new(Self::build(data, l, bbox_left.clone())),
-            right: Box::new(Self::build(data, r, bbox_right.clone())),
-            bbox_left,
-            bbox_right,
-        }
+        // Reserve the parent slot, then append both subtrees and patch
+        // the child ids in.
+        self.nodes.push(FlatNode::Inner { left: 0, right: 0 });
+        let left = self.build(l, bbox_left);
+        let right = self.build(r, bbox_right);
+        self.nodes[me as usize] = FlatNode::Inner { left, right };
+        me
     }
 
-    fn range_rec(
-        &self,
-        node: &Node,
-        bbox: &Rect,
-        q: &[f64],
-        eps: f64,
-        out: &mut Vec<u32>,
-        work: &mut Work,
-    ) {
-        // Every invocation tests one node's bounding box.
-        work.visits += 1;
-        if dist_to_box(&self.metric, q, bbox.lo(), bbox.hi()) > eps {
-            return;
-        }
-        match node {
-            Node::Leaf { points } => {
-                let bound = self.metric.to_surrogate(eps);
-                work.evals += points.len() as u64;
-                for &i in points {
-                    if self.metric.surrogate(q, self.data.point(i)) <= bound {
-                        out.push(i);
-                    }
-                }
-            }
-            Node::Inner {
-                bbox_left,
-                bbox_right,
-                left,
-                right,
-                ..
-            } => {
-                self.range_rec(left, bbox_left, q, eps, out, work);
-                self.range_rec(right, bbox_right, q, eps, out, work);
-            }
-        }
-    }
-
-    fn knn_rec(
-        &self,
-        node: &Node,
-        bbox: &Rect,
-        q: &[f64],
-        k: usize,
-        heap: &mut BinaryHeap<(F64, u32)>,
-        work: &mut Work,
-    ) {
-        work.visits += 1;
-        let worst = if heap.len() == k {
-            heap.peek().map(|&(d, _)| d.0).unwrap_or(f64::INFINITY)
-        } else {
-            f64::INFINITY
-        };
-        if dist_to_box(&self.metric, q, bbox.lo(), bbox.hi()) > worst {
-            return;
-        }
-        match node {
-            Node::Leaf { points } => {
-                work.evals += points.len() as u64;
-                for &i in points {
-                    let d = self.metric.dist(q, self.data.point(i));
-                    if heap.len() < k {
-                        heap.push((F64(d), i));
-                    } else if let Some(&(w, _)) = heap.peek() {
-                        if d < w.0 {
-                            heap.pop();
-                            heap.push((F64(d), i));
-                        }
-                    }
-                }
-            }
-            Node::Inner {
-                bbox_left,
-                bbox_right,
-                left,
-                right,
-                ..
-            } => {
-                // Descend into the nearer child first to tighten the bound.
-                let dl = dist_to_box(&self.metric, q, bbox_left.lo(), bbox_left.hi());
-                let dr = dist_to_box(&self.metric, q, bbox_right.lo(), bbox_right.hi());
-                if dl <= dr {
-                    self.knn_rec(left, bbox_left, q, k, heap, work);
-                    self.knn_rec(right, bbox_right, q, k, heap, work);
-                } else {
-                    self.knn_rec(right, bbox_right, q, k, heap, work);
-                    self.knn_rec(left, bbox_left, q, k, heap, work);
-                }
-            }
-        }
+    /// Node `n`'s bounding box as `(lo, hi)` slices.
+    #[inline]
+    fn node_bounds(&self, n: u32) -> (&[f64], &[f64]) {
+        let off = n as usize * 2 * self.dim;
+        let b = &self.bounds[off..off + 2 * self.dim];
+        b.split_at(self.dim)
     }
 
     /// Depth of the tree (1 for a single leaf); diagnostic.
     pub fn depth(&self) -> usize {
-        fn depth(n: &Node) -> usize {
-            match n {
-                Node::Leaf { .. } => 1,
-                Node::Inner { left, right, .. } => 1 + depth(left).max(depth(right)),
+        fn depth(nodes: &[FlatNode], n: u32) -> usize {
+            match nodes[n as usize] {
+                FlatNode::Leaf { .. } => 1,
+                FlatNode::Inner { left, right } => 1 + depth(nodes, left).max(depth(nodes, right)),
             }
         }
-        self.root.as_ref().map(depth).unwrap_or(0)
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth(&self.nodes, 0)
+        }
     }
 }
 
@@ -203,10 +166,46 @@ impl<M: Metric> NeighborIndex for KdTree<'_, M> {
     }
 
     fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
+        with_scratch(|ws| self.range_with(q, eps, out, ws));
+    }
+
+    fn range_with(&self, q: &[f64], eps: f64, out: &mut Vec<u32>, ws: &mut QueryWorkspace) {
         out.clear();
         let mut work = Work::default();
-        if let (Some(root), Some(bbox)) = (&self.root, &self.bbox) {
-            self.range_rec(root, bbox, q, eps, out, &mut work);
+        if !self.nodes.is_empty() {
+            let bound = self.metric.to_surrogate(eps);
+            ws.stack.clear();
+            ws.stack.push(0);
+            // Pop order (left child above right) reproduces the
+            // original recursion's preorder, so `out` keeps the exact
+            // visit order downstream consumers depend on.
+            while let Some(n) = ws.stack.pop() {
+                // Every popped node tests one bounding box.
+                work.visits += 1;
+                let (lo, hi) = self.node_bounds(n);
+                if self.metric.surrogate_dist_to_box(q, lo, hi) > bound {
+                    continue;
+                }
+                match self.nodes[n as usize] {
+                    FlatNode::Leaf { start, len, coords } => {
+                        work.evals += len as u64;
+                        let (start, len, coords) = (start as usize, len as usize, coords as usize);
+                        scan_block(
+                            &self.metric,
+                            q,
+                            &self.ids[start..start + len],
+                            &self.coords[coords..coords + self.dim * len],
+                            len,
+                            bound,
+                            out,
+                        );
+                    }
+                    FlatNode::Inner { left, right } => {
+                        ws.stack.push(right);
+                        ws.stack.push(left);
+                    }
+                }
+            }
         }
         if let Some(s) = &self.sheet {
             s.record_range(work.evals, work.visits);
@@ -217,10 +216,53 @@ impl<M: Metric> NeighborIndex for KdTree<'_, M> {
         if k == 0 {
             return Vec::new();
         }
-        let mut heap = BinaryHeap::with_capacity(k + 1);
+        let mut heap: BinaryHeap<(F64, u32)> = BinaryHeap::with_capacity(k + 1);
         let mut work = Work::default();
-        if let (Some(root), Some(bbox)) = (&self.root, &self.bbox) {
-            self.knn_rec(root, bbox, q, k, &mut heap, &mut work);
+        if !self.nodes.is_empty() {
+            let mut stack: Vec<u32> = vec![0];
+            while let Some(n) = stack.pop() {
+                work.visits += 1;
+                let worst = if heap.len() == k {
+                    heap.peek().map(|&(d, _)| d.0).unwrap_or(f64::INFINITY)
+                } else {
+                    f64::INFINITY
+                };
+                let (lo, hi) = self.node_bounds(n);
+                if dist_to_box(&self.metric, q, lo, hi) > worst {
+                    continue;
+                }
+                match self.nodes[n as usize] {
+                    FlatNode::Leaf { start, len, .. } => {
+                        work.evals += len as u64;
+                        for &i in &self.ids[start as usize..(start + len) as usize] {
+                            let d = self.metric.dist(q, self.data.point(i));
+                            if heap.len() < k {
+                                heap.push((F64(d), i));
+                            } else if let Some(&(w, _)) = heap.peek() {
+                                if d < w.0 {
+                                    heap.pop();
+                                    heap.push((F64(d), i));
+                                }
+                            }
+                        }
+                    }
+                    FlatNode::Inner { left, right } => {
+                        // Descend into the nearer child first (pushed
+                        // last) to tighten the bound early.
+                        let (llo, lhi) = self.node_bounds(left);
+                        let (rlo, rhi) = self.node_bounds(right);
+                        let dl = dist_to_box(&self.metric, q, llo, lhi);
+                        let dr = dist_to_box(&self.metric, q, rlo, rhi);
+                        if dl <= dr {
+                            stack.push(right);
+                            stack.push(left);
+                        } else {
+                            stack.push(left);
+                            stack.push(right);
+                        }
+                    }
+                }
+            }
         }
         let mut out: Vec<(u32, f64)> = heap.into_iter().map(|(d, i)| (i, d.0)).collect();
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -243,7 +285,7 @@ struct Work {
 mod tests {
     use super::*;
     use crate::testutil;
-    use dbdc_geom::{Chebyshev, Euclidean, Manhattan};
+    use dbdc_geom::{Chebyshev, Euclidean, Manhattan, Minkowski};
 
     #[test]
     fn matches_linear_scan_euclidean() {
@@ -264,6 +306,29 @@ mod tests {
         let d = testutil::random_dataset(300, 13);
         let idx = KdTree::new(&d, Chebyshev);
         testutil::check_against_linear(&idx, &d, Chebyshev);
+    }
+
+    #[test]
+    fn matches_linear_scan_minkowski() {
+        let d = testutil::random_dataset(300, 14);
+        let idx = KdTree::new(&d, Minkowski::new(3.0));
+        testutil::check_against_linear(&idx, &d, Minkowski::new(3.0));
+    }
+
+    #[test]
+    fn range_with_matches_range() {
+        let d = testutil::random_dataset(400, 21);
+        let idx = KdTree::new(&d, Euclidean);
+        let mut ws = QueryWorkspace::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in (0..d.len() as u32).step_by(17) {
+            for eps in [0.5, 3.0, 20.0] {
+                idx.range(d.point(i), eps, &mut a);
+                idx.range_with(d.point(i), eps, &mut b, &mut ws);
+                assert_eq!(a, b, "q={i} eps={eps}: order must match too");
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use dbdc_obs::HistSheet;
 
-use crate::NeighborIndex;
+use crate::{NeighborIndex, QueryWorkspace};
 
 /// A [`NeighborIndex`] that records each query's wall time in
 /// nanoseconds into a [`HistSheet`].
@@ -41,6 +41,12 @@ impl NeighborIndex for LatencyObserved<'_> {
     fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
         let t0 = Instant::now();
         self.inner.range(q, eps, out);
+        self.hist.record_duration(t0.elapsed());
+    }
+
+    fn range_with(&self, q: &[f64], eps: f64, out: &mut Vec<u32>, ws: &mut QueryWorkspace) {
+        let t0 = Instant::now();
+        self.inner.range_with(q, eps, out, ws);
         self.hist.record_duration(t0.elapsed());
     }
 

@@ -29,6 +29,40 @@ pub use mtree::MTree;
 pub use rstar::RStarTree;
 pub use vptree::VpTree;
 
+/// Reusable per-query scratch for [`NeighborIndex::range_with`].
+///
+/// The flattened indexes traverse with an explicit stack instead of
+/// recursion; callers that own a workspace and pass it to every query
+/// let that stack keep its high-water capacity, so steady-state range
+/// queries perform no allocations at all. A freshly `default()`ed
+/// workspace is always valid — the first few queries just grow it.
+#[derive(Debug, Default)]
+pub struct QueryWorkspace {
+    /// Traversal stack of arena node ids.
+    pub(crate) stack: Vec<u32>,
+}
+
+impl QueryWorkspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Fallback scratch for [`NeighborIndex::range`] calls that don't
+    /// thread a [`QueryWorkspace`]: one lazily-grown workspace per
+    /// thread, so even workspace-less callers stay allocation-free in
+    /// the steady state.
+    static SCRATCH: std::cell::RefCell<QueryWorkspace> =
+        std::cell::RefCell::new(QueryWorkspace::new());
+}
+
+/// Runs `f` with this thread's shared scratch [`QueryWorkspace`].
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut QueryWorkspace) -> R) -> R {
+    SCRATCH.with(|ws| f(&mut ws.borrow_mut()))
+}
+
 /// A spatial index over a [`Dataset`] answering ε-range and k-nearest-
 /// neighbour queries under some [`Metric`].
 ///
@@ -47,6 +81,19 @@ pub trait NeighborIndex: Send + Sync {
     /// Appends the indices of all points within distance `eps` of `q`
     /// (inclusive) to `out`. `out` is cleared first.
     fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>);
+
+    /// Like [`NeighborIndex::range`], but traverses with the caller's
+    /// reusable [`QueryWorkspace`] so steady-state queries allocate
+    /// nothing. Returns the same indices in the same order as `range`.
+    ///
+    /// The default delegates to `range` (correct for indexes without a
+    /// traversal stack, e.g. the linear scan); the flattened tree
+    /// indexes override it and implement `range` on top of it via
+    /// thread-local scratch.
+    fn range_with(&self, q: &[f64], eps: f64, out: &mut Vec<u32>, ws: &mut QueryWorkspace) {
+        let _ = ws;
+        self.range(q, eps, out);
+    }
 
     /// Convenience wrapper around [`NeighborIndex::range`] returning a fresh
     /// vector.
@@ -195,9 +242,21 @@ pub fn build_index_instrumented<'a, M: Metric + Clone + 'a>(
 /// point of the box to `q` is the per-coordinate clamp of `q`, so the
 /// distance is the metric norm of the per-coordinate gap vector.
 pub fn dist_to_box<M: Metric>(m: &M, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
-    let mut gaps = vec![0.0; q.len()];
-    let zeros = vec![0.0; q.len()];
-    for i in 0..q.len() {
+    // Stack buffers up to 16 dimensions so the knn hot loops stay
+    // allocation-free; the surrogate-space range path bypasses this
+    // entirely via `Metric::surrogate_dist_to_box`.
+    const STACK_DIM: usize = 16;
+    let dim = q.len();
+    let mut stack = [0.0f64; 2 * STACK_DIM];
+    let mut heap;
+    let buf: &mut [f64] = if dim <= STACK_DIM {
+        &mut stack
+    } else {
+        heap = vec![0.0; 2 * dim];
+        &mut heap
+    };
+    let (gaps, zeros) = buf.split_at_mut(buf.len() / 2);
+    for i in 0..dim {
         gaps[i] = if q[i] < lo[i] {
             lo[i] - q[i]
         } else if q[i] > hi[i] {
@@ -206,7 +265,43 @@ pub fn dist_to_box<M: Metric>(m: &M, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
             0.0
         };
     }
-    m.dist(&gaps, &zeros)
+    m.dist(&gaps[..dim], &zeros[..dim])
+}
+
+/// Scans one traversal-ordered SoA block with the batched surrogate
+/// kernel, appending every id whose surrogate distance is within
+/// `bound` to `out` — in block (traversal) order, which the callers'
+/// visit-order guarantees depend on.
+///
+/// `ids[i]`'s coordinates live column-major at `cols[d * stride + i]`.
+/// Work proceeds in fixed chunks through a stack buffer, so the scan
+/// allocates nothing regardless of block length.
+pub(crate) fn scan_block<M: Metric>(
+    m: &M,
+    q: &[f64],
+    ids: &[u32],
+    cols: &[f64],
+    stride: usize,
+    bound: f64,
+    out: &mut Vec<u32>,
+) {
+    const SCAN_CHUNK: usize = 32;
+    let mut buf = [0.0f64; SCAN_CHUNK];
+    let n = ids.len();
+    let mut i = 0;
+    while i < n {
+        let c = SCAN_CHUNK.min(n - i);
+        // Slicing at `i` keeps the same stride valid: within the chunk
+        // the kernel reads `cols[i + d * stride + k]` with
+        // `i + k < n <= stride`, which stays inside each column.
+        m.surrogate_batch(q, &cols[i..], stride, c, &mut buf[..c]);
+        for (k, &id) in ids[i..i + c].iter().enumerate() {
+            if buf[k] <= bound {
+                out.push(id);
+            }
+        }
+        i += c;
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //! coordinates except to verify leaf candidates.
 
 use crate::linear::ordered::F64;
-use crate::{dist_to_box, NeighborIndex};
+use crate::{dist_to_box, scan_block, with_scratch, NeighborIndex, QueryWorkspace};
 use dbdc_geom::{Dataset, Metric, Rect};
 use dbdc_obs::CounterSheet;
 use std::cmp::Reverse;
@@ -45,12 +45,120 @@ impl Node {
     }
 }
 
+/// Flattened query view of the tree: the whole structure in five
+/// contiguous `Vec`s, built once after [`RStarTree::bulk_load`] and
+/// walked by ε-range queries with an explicit stack. Leaf points are
+/// packed into traversal-ordered structure-of-arrays blocks so every
+/// leaf scan is one batched [`Metric::surrogate_batch`] call. Any
+/// mutation (`insert` / `delete`) drops the view; queries then fall
+/// back to the recursive `Box` tree until the next bulk load.
+#[derive(Debug)]
+struct FlatRStar {
+    /// Node pool in preorder; root at 0.
+    nodes: Vec<FlatRNode>,
+    /// Child node ids of the inner nodes, concatenated in child order.
+    children: Vec<u32>,
+    /// Node `i`'s bounding box at `[i * 2 * dim, (i + 1) * 2 * dim)`:
+    /// `dim` low coordinates, then `dim` high.
+    bounds: Vec<f64>,
+    /// Leaf point ids in traversal order.
+    ids: Vec<u32>,
+    /// Per-leaf SoA coordinate blocks, same order as `ids`.
+    coords: Vec<f64>,
+    dim: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlatRNode {
+    Leaf {
+        /// First point in the `ids` arena.
+        start: u32,
+        len: u32,
+        /// Offset of the leaf's SoA block in `coords` (coordinate `d`
+        /// of the `k`-th point at `coords + d * len + k`).
+        coords: u32,
+    },
+    Inner {
+        /// First child in the `children` arena.
+        start: u32,
+        len: u32,
+    },
+}
+
+impl FlatRStar {
+    fn build<M: Metric>(tree: &RStarTree<'_, M>) -> Option<FlatRStar> {
+        let root = tree.root.as_deref()?;
+        let mut flat = FlatRStar {
+            nodes: Vec::new(),
+            children: Vec::new(),
+            bounds: Vec::new(),
+            ids: Vec::with_capacity(tree.n),
+            coords: Vec::with_capacity(tree.n * tree.data.dim()),
+            dim: tree.data.dim(),
+        };
+        let root_rect = tree.node_rect(root);
+        flat.add(tree.data, root, &root_rect);
+        Some(flat)
+    }
+
+    /// Appends `node` (bounded by `rect`) and its subtree, children in
+    /// their original order so traversal order — and with it the
+    /// neighbor output order — matches the recursive path exactly.
+    fn add(&mut self, data: &Dataset, node: &Node, rect: &Rect) -> u32 {
+        let me = self.nodes.len() as u32;
+        self.bounds.extend_from_slice(rect.lo());
+        self.bounds.extend_from_slice(rect.hi());
+        match node {
+            Node::Leaf { points } => {
+                let start = self.ids.len() as u32;
+                let coords = self.coords.len() as u32;
+                self.ids.extend_from_slice(points);
+                for d in 0..self.dim {
+                    for &i in points {
+                        self.coords.push(data.point(i)[d]);
+                    }
+                }
+                self.nodes.push(FlatRNode::Leaf {
+                    start,
+                    len: points.len() as u32,
+                    coords,
+                });
+            }
+            Node::Inner { children } => {
+                // Reserve the parent slot, append the subtrees, then
+                // patch the child range in.
+                self.nodes.push(FlatRNode::Inner { start: 0, len: 0 });
+                let kid_ids: Vec<u32> =
+                    children.iter().map(|(r, c)| self.add(data, c, r)).collect();
+                let start = self.children.len() as u32;
+                self.children.extend_from_slice(&kid_ids);
+                self.nodes[me as usize] = FlatRNode::Inner {
+                    start,
+                    len: kid_ids.len() as u32,
+                };
+            }
+        }
+        me
+    }
+
+    /// Node `n`'s bounding box as `(lo, hi)` slices.
+    #[inline]
+    fn node_bounds(&self, n: u32) -> (&[f64], &[f64]) {
+        let off = n as usize * 2 * self.dim;
+        let b = &self.bounds[off..off + 2 * self.dim];
+        b.split_at(self.dim)
+    }
+}
+
 /// An R*-tree over a borrowed dataset.
 #[derive(Debug)]
 pub struct RStarTree<'a, M> {
     data: &'a Dataset,
     metric: M,
     root: Option<Box<Node>>,
+    /// Flattened query view; present iff the tree was bulk-loaded and
+    /// not mutated since.
+    flat: Option<FlatRStar>,
     /// Height of the tree: 1 = root is a leaf.
     height: usize,
     n: usize,
@@ -66,6 +174,7 @@ impl<'a, M: Metric> RStarTree<'a, M> {
             data,
             metric,
             root: None,
+            flat: None,
             height: 0,
             n: 0,
             sheet: None,
@@ -140,6 +249,7 @@ impl<'a, M: Metric> RStarTree<'a, M> {
         let (_, root) = level.pop().expect("at least one node");
         tree.root = Some(root);
         tree.n = data.len();
+        tree.flat = FlatRStar::build(&tree);
         tree
     }
 
@@ -147,6 +257,8 @@ impl<'a, M: Metric> RStarTree<'a, M> {
     /// insertion algorithm with forced reinsertion.
     pub fn insert(&mut self, id: u32) {
         assert!((id as usize) < self.data.len(), "point id out of bounds");
+        // Mutation invalidates the flattened query view.
+        self.flat = None;
         self.n += 1;
         match self.root {
             None => {
@@ -173,6 +285,8 @@ impl<'a, M: Metric> RStarTree<'a, M> {
     /// entries reinserted at their original level). Returns whether the
     /// point was found.
     pub fn delete(&mut self, id: u32) -> bool {
+        // Mutation invalidates the flattened query view.
+        self.flat = None;
         let Some(root) = self.root.take() else {
             return false;
         };
@@ -871,13 +985,54 @@ impl<M: Metric> NeighborIndex for RStarTree<'_, M> {
     }
 
     fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
+        with_scratch(|ws| self.range_with(q, eps, out, ws));
+    }
+
+    fn range_with(&self, q: &[f64], eps: f64, out: &mut Vec<u32>, ws: &mut QueryWorkspace) {
         out.clear();
-        let mut work = (0u64, 0u64);
-        if let Some(root) = &self.root {
-            work = self.range_rec(root, q, eps, out);
+        let mut evals = 0u64;
+        let mut visits = 0u64;
+        if let Some(flat) = &self.flat {
+            let bound = self.metric.to_surrogate(eps);
+            ws.stack.clear();
+            ws.stack.push(0);
+            while let Some(n) = ws.stack.pop() {
+                // A node counts as visited when the search descends
+                // into it — only nodes whose rect passed the test (or
+                // the root) are ever pushed, matching the recursion.
+                visits += 1;
+                match flat.nodes[n as usize] {
+                    FlatRNode::Leaf { start, len, coords } => {
+                        evals += len as u64;
+                        let (start, len, coords) = (start as usize, len as usize, coords as usize);
+                        scan_block(
+                            &self.metric,
+                            q,
+                            &flat.ids[start..start + len],
+                            &flat.coords[coords..coords + flat.dim * len],
+                            len,
+                            bound,
+                            out,
+                        );
+                    }
+                    FlatRNode::Inner { start, len } => {
+                        // Children pushed in reverse so they pop — and
+                        // their subtrees complete — in original order.
+                        let kids = &flat.children[start as usize..(start + len) as usize];
+                        for &c in kids.iter().rev() {
+                            let (lo, hi) = flat.node_bounds(c);
+                            if self.metric.surrogate_dist_to_box(q, lo, hi) <= bound {
+                                ws.stack.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        } else if let Some(root) = &self.root {
+            (evals, visits) = self.range_rec(root, q, eps, out);
         }
         if let Some(s) = &self.sheet {
-            s.record_range(work.0, work.1);
+            s.record_range(evals, visits);
         }
     }
 
@@ -980,6 +1135,39 @@ mod tests {
         let d = testutil::random_dataset(300, 22);
         let idx = RStarTree::bulk_load(&d, Manhattan);
         testutil::check_against_linear(&idx, &d, Manhattan);
+    }
+
+    #[test]
+    fn flat_view_matches_recursive_range_exactly() {
+        let d = testutil::random_dataset(600, 31);
+        let mut idx = RStarTree::bulk_load(&d, Euclidean);
+        assert!(idx.flat.is_some(), "bulk load builds the flat view");
+        let queries: Vec<u32> = (0..d.len() as u32).step_by(23).collect();
+        let flat: Vec<Vec<u32>> = queries
+            .iter()
+            .flat_map(|&i| [1.0, 6.0, 30.0].map(|eps| idx.range_vec(d.point(i), eps)))
+            .collect();
+        idx.flat = None;
+        let legacy: Vec<Vec<u32>> = queries
+            .iter()
+            .flat_map(|&i| [1.0, 6.0, 30.0].map(|eps| idx.range_vec(d.point(i), eps)))
+            .collect();
+        // Exact equality, order included: downstream scp selection is
+        // visit-order dependent.
+        assert_eq!(flat, legacy);
+    }
+
+    #[test]
+    fn mutation_drops_flat_view_and_queries_stay_correct() {
+        let d = testutil::random_dataset(400, 32);
+        let mut idx = RStarTree::bulk_load(&d, Euclidean);
+        assert!(idx.flat.is_some());
+        idx.delete(7);
+        assert!(idx.flat.is_none(), "delete invalidates the flat view");
+        idx.insert(7);
+        assert!(idx.flat.is_none(), "insert invalidates the flat view");
+        assert_eq!(idx.validate(), 400);
+        testutil::check_against_linear(&idx, &d, Euclidean);
     }
 
     #[test]

@@ -67,6 +67,15 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            O: Strategy,
+            F: Fn(Self::Value) -> O,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// Strategy returned by [`Strategy::prop_map`].
@@ -84,6 +93,27 @@ pub mod strategy {
 
         fn sample(&self, rng: &mut StdRng) -> O {
             (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`]: the outer
+    /// sample parameterizes an inner strategy, which is then sampled
+    /// from the same RNG stream (no value tree, so no shrinking).
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        O: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> O::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
         }
     }
 
