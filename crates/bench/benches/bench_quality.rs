@@ -48,7 +48,7 @@ fn bench_wire_codec(c: &mut Criterion) {
         &DbscanParams::new(g.suggested_eps, g.suggested_min_pts),
     );
     let model = build_local_model(LocalModelKind::Scor, &g.data, &scp, 0);
-    let encoded = wire::encode_local_model(&model);
+    let encoded = wire::encode_local_model(&model).unwrap();
     let mut group = c.benchmark_group("wire_codec");
     group.bench_function("encode_local_model", |b| {
         b.iter(|| black_box(wire::encode_local_model(&model)));

@@ -1,0 +1,15 @@
+//! `dbdc-server` — the DBDC server half over real TCP. A thin wrapper
+//! around the same code as `dbdc-cli serve`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match dbdc_cli::netcmd::cmd_serve(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

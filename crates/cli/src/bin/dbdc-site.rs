@@ -1,0 +1,15 @@
+//! `dbdc-site` — one DBDC client site over real TCP. A thin wrapper
+//! around the same code as `dbdc-cli site`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match dbdc_cli::netcmd::cmd_site(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

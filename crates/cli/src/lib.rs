@@ -1,0 +1,11 @@
+//! Shared plumbing of the DBDC command-line tools.
+//!
+//! Three binaries are built on this library: `dbdc-cli` (the original
+//! single-process driver), and the networked pair `dbdc-server` /
+//! `dbdc-site` ([`netcmd`]), which run the same protocol over real TCP
+//! via [`dbdc_net`].
+
+pub mod args;
+pub mod csv;
+pub mod netcmd;
+pub mod opts;

@@ -8,19 +8,21 @@
 //! dbdc-cli compare  --input points.csv --eps 1.0 --min-pts 5 --sites 4
 //! ```
 
-mod args;
-mod csv;
-
-use args::Args;
-use dbdc::observe::{cluster_stats, link_preset};
+use dbdc::observe::cluster_stats;
 use dbdc::{
     central_dbscan_recorded, dbdc_run_report, q_dbdc, run_dbdc_recorded,
-    run_dbdc_threaded_recorded, DbdcParams, EpsGlobal, LocalModelKind, ObjectQuality, Partitioner,
+    run_dbdc_threaded_recorded, DbdcParams, EpsGlobal, ObjectQuality, Partitioner,
 };
+use dbdc_cli::args::Args;
+use dbdc_cli::opts::{
+    build_params, finish_report, no_positionals, parse_link, parse_partitioner, read_input,
+    wants_report, CliResult,
+};
+use dbdc_cli::{csv, netcmd};
 use dbdc_geom::Dataset;
 use dbdc_obs::{fmt_ms, DatasetInfo, NoopRecorder, Recorder, RecordingRecorder, RunReport, Span};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -38,6 +40,8 @@ fn main() -> ExitCode {
         "plot" => cmd_plot(rest),
         "suggest" => cmd_suggest(rest),
         "stream" => cmd_stream(rest),
+        "serve" => netcmd::cmd_serve(rest),
+        "site" => netcmd::cmd_site(rest),
         "report" => cmd_report(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -79,6 +83,10 @@ commands:
       [--drift D] [--seed S]
       replay the file as a stream into incremental client sessions and an
       incremental server; report transmissions saved by drift gating
+  serve ... / site ...
+      the DBDC protocol over real TCP — also built as the standalone
+      dbdc-server and dbdc-site binaries; run `dbdc-cli serve --help`
+      or `dbdc-cli site --help` for their flags
   report --input FILE [--require NAME,NAME,...]
       [--require-counter NAME,NAME,...] [--hist]
       render a --metrics-out JSON report; fail unless every --require'd
@@ -97,38 +105,10 @@ T: DBSCAN worker threads; 1 = sequential (default), 0 = all cores.
 observability (every command):
   --trace              print the phase-span tree and counter scopes
   --metrics-out FILE   write the full RunReport as JSON
-  --link lan|wan|slow_uplink   link preset for the modeled upload/broadcast
-                       spans in run/compare reports (default wan)";
-
-type CliResult = Result<(), Box<dyn std::error::Error>>;
-
-/// Whether the command should assemble a [`RunReport`] at all.
-fn wants_report(args: &Args) -> bool {
-    args.switch("trace") || args.get("metrics-out").is_some()
-}
-
-/// Emits an assembled report: `--trace` prints the rendered form,
-/// `--metrics-out FILE` writes the JSON.
-fn finish_report(args: &Args, report: &RunReport) -> CliResult {
-    if args.switch("trace") {
-        print!("{}", report.render());
-    }
-    if let Some(path) = args.get("metrics-out") {
-        std::fs::write(path, report.to_json_string())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("wrote {path}");
-    }
-    Ok(())
-}
-
-/// The modeled-transfer link preset for run/compare reports.
-fn parse_link(args: &Args) -> Result<&str, Box<dyn std::error::Error>> {
-    let link = args.get("link").unwrap_or("wan");
-    if link_preset(link).is_none() {
-        return Err(format!("--link expects lan|wan|slow_uplink, got {link:?}").into());
-    }
-    Ok(link)
-}
+  --link lan|wan|slow_uplink|BW:LAT_MS
+                       link for the modeled upload/broadcast spans in
+                       run/compare reports (default wan); custom links are
+                       BYTES_PER_SEC:LATENCY_MS, e.g. 125000:250";
 
 /// A minimal report for commands without a distributed run: one span,
 /// the input dataset, and whatever scopes the recorder collected.
@@ -146,20 +126,6 @@ fn simple_report(
     report
 }
 
-/// Rejects stray positional arguments — every subcommand is flag-driven.
-fn no_positionals(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    match args.positional() {
-        [] => Ok(()),
-        extra => Err(format!("unexpected arguments: {extra:?}").into()),
-    }
-}
-
-fn read_input(args: &Args) -> Result<Dataset, Box<dyn std::error::Error>> {
-    let path = args.require("input")?;
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    Ok(csv::read_dataset(BufReader::new(file))?)
-}
-
 fn write_output(
     args: &Args,
     data: &Dataset,
@@ -171,50 +137,6 @@ fn write_output(
         println!("wrote {path}");
     }
     Ok(())
-}
-
-fn parse_eps_global(args: &Args) -> Result<EpsGlobal, Box<dyn std::error::Error>> {
-    match args.get("eps-global") {
-        None => Ok(EpsGlobal::MultipleOfLocal(2.0)),
-        Some("max") => Ok(EpsGlobal::MaxEpsRange),
-        Some(v) => {
-            let mult: f64 = v
-                .parse()
-                .map_err(|_| format!("--eps-global expects a multiplier or \"max\", got {v:?}"))?;
-            Ok(EpsGlobal::MultipleOfLocal(mult))
-        }
-    }
-}
-
-fn parse_model(args: &Args) -> Result<LocalModelKind, Box<dyn std::error::Error>> {
-    match args.get("model") {
-        None | Some("scor") => Ok(LocalModelKind::Scor),
-        Some("kmeans") => Ok(LocalModelKind::KMeans),
-        Some(v) => Err(format!("--model expects scor|kmeans, got {v:?}").into()),
-    }
-}
-
-fn parse_partitioner(args: &Args, seed: u64) -> Result<Partitioner, Box<dyn std::error::Error>> {
-    match args.get("partitioner") {
-        None | Some("random") => Ok(Partitioner::RandomEqual { seed }),
-        Some("roundrobin") => Ok(Partitioner::RoundRobin),
-        Some("stripes") => Ok(Partitioner::SpatialStripes { axis: 0 }),
-        Some(v) => {
-            Err(format!("--partitioner expects random|roundrobin|stripes, got {v:?}").into())
-        }
-    }
-}
-
-fn build_params(args: &Args) -> Result<DbdcParams, Box<dyn std::error::Error>> {
-    let eps: f64 = args.require_as("eps")?;
-    let min_pts: usize = args.require_as("min-pts")?;
-    let index: dbdc_index::IndexKind = args.get_or("index", dbdc_index::IndexKind::RStar)?;
-    let threads: usize = args.get_or("threads", 1)?;
-    Ok(DbdcParams::new(eps, min_pts)
-        .with_eps_global(parse_eps_global(args)?)
-        .with_model(parse_model(args)?)
-        .with_index(index)
-        .with_threads(threads))
 }
 
 fn cmd_generate(raw: &[String]) -> CliResult {

@@ -1,0 +1,338 @@
+//! The networked subcommands: `serve` (the DBDC server) and `site`
+//! (one client site), also exposed as the standalone `dbdc-server` and
+//! `dbdc-site` binaries.
+//!
+//! Together they run the exact protocol of `dbdc-cli run`, but over
+//! real TCP: every site process loads the shared input file, derives
+//! *its own* partition with the shared `--partitioner`/`--seed`
+//! (deterministic, so no coordinator has to ship data around), runs
+//! the local phase, and exchanges wire-encoded models with the server.
+//! The resulting `--metrics-out` reports carry **measured**
+//! `upload`/`broadcast` spans — real socket walls, where the
+//! single-process runtime can only model them from byte counts.
+//!
+//! Rendezvous: the server binds (`--bind`, default an ephemeral
+//! loopback port) and writes the bound address to `--addr-file`; sites
+//! either poll that file (`--addr-file`, `--wait-ms`) or take an
+//! explicit `--connect HOST:PORT`.
+
+use crate::args::Args;
+use crate::opts::{
+    build_params, finish_report, no_positionals, parse_partitioner, read_input, wants_report,
+    CliResult,
+};
+use dbdc_geom::Label;
+use dbdc_net::{run_site, serve, RetryPolicy, ServeOptions, SiteOptions};
+use dbdc_obs::{fmt_ms, NoopRecorder, Recorder, RecordingRecorder, RunReport, Span, TransferStats};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+/// Usage text of the `serve` subcommand / `dbdc-server` binary.
+pub const SERVE_USAGE: &str = "\
+dbdc-server — the DBDC server half over real TCP
+
+usage: dbdc-server --sites K --eps E --min-pts M
+    [--model scor|kmeans] [--eps-global MULT|max] [--index KIND]
+    [--bind ADDR]          listen address (default 127.0.0.1:0)
+    [--addr-file FILE]     write the bound address here (atomically) for
+                           sites to poll
+    [--read-timeout-ms N]  per-read socket timeout (default 2000); also
+                           paces broadcast resends
+    [--resend N]           broadcast resends per connection (default 3)
+    [--deadline-ms N]      overall run ceiling (default 60000)
+    [--drain-ms N]         replay window after all sites acked (default
+                           1000; keep above the sites' backoff ceiling)
+    [--trace] [--metrics-out FILE]
+      the report's upload/global/broadcast spans are measured socket
+      walls, not cost-model output";
+
+/// Usage text of the `site` subcommand / `dbdc-site` binary.
+pub const SITE_USAGE: &str = "\
+dbdc-site — one DBDC client site over real TCP
+
+usage: dbdc-site --input FILE --site I --sites K --eps E --min-pts M
+    (--connect ADDR | --addr-file FILE)   server rendezvous
+    [--wait-ms N]          how long to poll --addr-file (default 10000)
+    [--partitioner random|roundrobin|stripes] [--seed N]
+                           must match every other site so the derived
+                           partitions are disjoint and complete
+    [--model scor|kmeans] [--eps-global MULT|max] [--index KIND]
+    [--threads T]
+    [--retries N]          session attempts (default 5)
+    [--retry-base-ms N] [--retry-max-ms N]
+                           backoff start/ceiling (default 50/800)
+    [--connect-timeout-ms N] [--read-timeout-ms N]
+    [--out FILE]           write this site's final labels as
+                           `original_index,label` lines (-1 = noise)
+    [--trace] [--metrics-out FILE]";
+
+/// `serve` / `dbdc-server`: accept `--sites` connections, build and
+/// broadcast the global model, report measured transfer walls.
+pub fn cmd_serve(raw: &[String]) -> CliResult {
+    if wants_help(raw) {
+        println!("{SERVE_USAGE}");
+        return Ok(());
+    }
+    let args = Args::parse(
+        raw,
+        &[
+            "sites",
+            "eps",
+            "min-pts",
+            "model",
+            "eps-global",
+            "index",
+            "threads",
+            "bind",
+            "addr-file",
+            "read-timeout-ms",
+            "resend",
+            "deadline-ms",
+            "drain-ms",
+            "trace",
+            "metrics-out",
+        ],
+    )?;
+    no_positionals(&args)?;
+    let params = build_params(&args)?;
+    let n_sites: usize = args.require_as("sites")?;
+    if n_sites == 0 {
+        return Err("need at least one site".into());
+    }
+    let bind = args.get("bind").unwrap_or("127.0.0.1:0");
+    let listener = TcpListener::bind(bind).map_err(|e| format!("cannot bind {bind}: {e}"))?;
+    let addr = listener.local_addr()?;
+    println!("dbdc-server listening on {addr} for {n_sites} site(s)");
+    if let Some(path) = args.get("addr-file") {
+        write_addr_file(path, addr)?;
+    }
+
+    let mut opts = ServeOptions::new(n_sites, params);
+    opts.read_timeout = Duration::from_millis(args.get_or("read-timeout-ms", 2000u64)?);
+    opts.resend_attempts = args.get_or("resend", 3u32)?;
+    opts.deadline = Duration::from_millis(args.get_or("deadline-ms", 60_000u64)?);
+    opts.drain_window = Duration::from_millis(args.get_or("drain-ms", 1000u64)?);
+
+    let wants = wants_report(&args);
+    let rec = RecordingRecorder::new();
+    let recorder: &dyn Recorder = if wants { &rec } else { &NoopRecorder };
+    let outcome = serve(listener, opts, recorder).map_err(|e| format!("serve: {e}"))?;
+
+    let bytes_up: usize = outcome.per_site_bytes_up.iter().sum();
+    println!(
+        "served {n_sites} site(s): global model {} clusters from {} representatives",
+        outcome.global.n_clusters, outcome.n_representatives
+    );
+    println!(
+        "transfer: {} B up ({:?} per site), {} B down per site",
+        bytes_up, outcome.per_site_bytes_up, outcome.global_model_bytes
+    );
+    println!(
+        "measured walls: upload {}, global {}, broadcast {} ({} connection(s))",
+        fmt_ms(outcome.upload_wall),
+        fmt_ms(outcome.global_wall),
+        fmt_ms(outcome.broadcast_wall),
+        outcome.connections
+    );
+
+    if wants {
+        let mut report = RunReport::new("serve")
+            .with_param("sites", n_sites)
+            .with_param("connections", outcome.connections);
+        // Unlike `run`'s modeled transfer spans, these are measured
+        // socket walls: Span::new leaves `modeled` false.
+        let mut root = Span::new(
+            "dbdc_serve",
+            outcome.upload_wall + outcome.global_wall + outcome.broadcast_wall,
+        );
+        root.push(Span::new("upload", outcome.upload_wall));
+        root.push(Span::new("global", outcome.global_wall));
+        root.push(Span::new("broadcast", outcome.broadcast_wall));
+        report.spans = vec![root];
+        report.scopes = rec.scopes();
+        report.hists = rec.hist_scopes();
+        report.transfer = Some(TransferStats {
+            bytes_up,
+            bytes_down: outcome.global_model_bytes * n_sites,
+            per_site_bytes_up: outcome.per_site_bytes_up.clone(),
+            global_model_bytes: outcome.global_model_bytes,
+            representatives: outcome.n_representatives,
+        });
+        finish_report(&args, &report)?;
+    }
+    Ok(())
+}
+
+/// `site` / `dbdc-site`: derive this site's partition, run the client
+/// protocol against the server, optionally write the final labels.
+pub fn cmd_site(raw: &[String]) -> CliResult {
+    if wants_help(raw) {
+        println!("{SITE_USAGE}");
+        return Ok(());
+    }
+    let args = Args::parse(
+        raw,
+        &[
+            "input",
+            "site",
+            "sites",
+            "eps",
+            "min-pts",
+            "model",
+            "eps-global",
+            "index",
+            "threads",
+            "partitioner",
+            "seed",
+            "connect",
+            "addr-file",
+            "wait-ms",
+            "retries",
+            "retry-base-ms",
+            "retry-max-ms",
+            "connect-timeout-ms",
+            "read-timeout-ms",
+            "out",
+            "trace",
+            "metrics-out",
+        ],
+    )?;
+    no_positionals(&args)?;
+    let data = read_input(&args)?;
+    let params = build_params(&args)?;
+    let site: u32 = args.require_as("site")?;
+    let n_sites: usize = args.require_as("sites")?;
+    if n_sites == 0 || site as usize >= n_sites {
+        return Err(format!("--site {site} out of range for --sites {n_sites}").into());
+    }
+    let seed: u64 = args.get_or("seed", 42)?;
+    let partitioner = parse_partitioner(&args, seed)?;
+    // Every site derives the same deterministic partitioning and keeps
+    // its own slice — identical to the in-process runtime's split.
+    let assignment = partitioner.assign(&data, n_sites);
+    let (mut parts, back) = data.partition(n_sites, &assignment);
+    let site_data = parts.swap_remove(site as usize);
+    let origin_ids = &back[site as usize];
+
+    let addr = resolve_addr(&args)?;
+    let mut opts = SiteOptions::new(site, n_sites as u32, params);
+    opts.connect_timeout = Duration::from_millis(args.get_or("connect-timeout-ms", 2000u64)?);
+    opts.read_timeout = Duration::from_millis(args.get_or("read-timeout-ms", 3000u64)?);
+    opts.retry = RetryPolicy {
+        attempts: args.get_or("retries", RetryPolicy::standard().attempts)?,
+        base_delay: Duration::from_millis(args.get_or("retry-base-ms", 50u64)?),
+        max_delay: Duration::from_millis(args.get_or("retry-max-ms", 800u64)?),
+    };
+
+    let wants = wants_report(&args);
+    let rec = RecordingRecorder::new();
+    let recorder: &dyn Recorder = if wants { &rec } else { &NoopRecorder };
+    let outcome =
+        run_site(addr, &site_data, &opts, recorder).map_err(|e| format!("site {site}: {e}"))?;
+
+    println!(
+        "site {site}/{n_sites}: {} points, {} B up, {} B down, {} attempt(s)",
+        site_data.len(),
+        outcome.bytes_up,
+        outcome.bytes_down,
+        outcome.attempts
+    );
+    println!(
+        "measured walls: local {}, session {}, relabel {}",
+        fmt_ms(outcome.local_wall),
+        fmt_ms(outcome.session_wall),
+        fmt_ms(outcome.relabel_wall)
+    );
+
+    if let Some(path) = args.get("out") {
+        write_labels(path, origin_ids, &outcome.labels)?;
+        println!("wrote {path}");
+    }
+
+    if wants {
+        let mut report = RunReport::new("site")
+            .with_param("site", site)
+            .with_param("sites", n_sites)
+            .with_param("attempts", outcome.attempts);
+        let mut root = Span::new(
+            "dbdc_site",
+            outcome.local_wall + outcome.session_wall + outcome.relabel_wall,
+        );
+        root.push(Span::new(format!("local[{site}]"), outcome.local_wall));
+        // The session wall covers upload + broadcast receipt: a
+        // measured span where the in-process report splices modeled
+        // `upload`/`broadcast` durations.
+        root.push(Span::new("session", outcome.session_wall));
+        root.push(Span::new(format!("relabel[{site}]"), outcome.relabel_wall));
+        report.spans = vec![root];
+        report.scopes = rec.scopes();
+        report.hists = rec.hist_scopes();
+        report.transfer = Some(TransferStats {
+            bytes_up: outcome.bytes_up,
+            bytes_down: outcome.bytes_down,
+            per_site_bytes_up: vec![outcome.bytes_up],
+            global_model_bytes: outcome.bytes_down,
+            representatives: outcome.global.reps.len(),
+        });
+        finish_report(&args, &report)?;
+    }
+    Ok(())
+}
+
+fn wants_help(raw: &[String]) -> bool {
+    raw.iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+}
+
+/// Writes the server address atomically (write + rename) so a polling
+/// site can never observe a half-written file.
+fn write_addr_file(path: &str, addr: SocketAddr) -> CliResult {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, addr.to_string()).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} to {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// The server address: `--connect HOST:PORT`, or poll `--addr-file`
+/// until it appears (the server writes it after binding).
+fn resolve_addr(args: &Args) -> Result<SocketAddr, Box<dyn std::error::Error>> {
+    if let Some(spec) = args.get("connect") {
+        return spec
+            .parse()
+            .map_err(|e| format!("--connect {spec}: {e}").into());
+    }
+    let Some(path) = args.get("addr-file") else {
+        return Err("need --connect ADDR or --addr-file FILE".into());
+    };
+    let wait = Duration::from_millis(args.get_or("wait-ms", 10_000u64)?);
+    let t0 = Instant::now();
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(addr) = text.trim().parse() {
+                return Ok(addr);
+            }
+        }
+        if t0.elapsed() > wait {
+            return Err(format!("no server address in {path} after {wait:?}").into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Writes `original_index,label` lines (label `-1` = noise) for this
+/// site's points, in partition order.
+fn write_labels(path: &str, origin_ids: &[u32], labels: &dbdc_geom::Clustering) -> CliResult {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    for (pos, &orig) in origin_ids.iter().enumerate() {
+        let label = match labels.label(pos as u32) {
+            Label::Noise => -1i64,
+            Label::Cluster(c) => c as i64,
+        };
+        writeln!(w, "{orig},{label}")?;
+    }
+    w.flush()?;
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Flag parsing shared by every DBDC binary: protocol parameters,
+//! partitioners, links, input files, and report emission.
+
+use crate::args::Args;
+use crate::csv;
+use dbdc::{DbdcParams, EpsGlobal, LocalModelKind, Partitioner};
+use dbdc_geom::Dataset;
+use dbdc_obs::RunReport;
+use std::fs::File;
+use std::io::BufReader;
+
+/// Every subcommand's result type.
+pub type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Whether the command should assemble a [`RunReport`] at all.
+pub fn wants_report(args: &Args) -> bool {
+    args.switch("trace") || args.get("metrics-out").is_some()
+}
+
+/// Emits an assembled report: `--trace` prints the rendered form,
+/// `--metrics-out FILE` writes the JSON.
+pub fn finish_report(args: &Args, report: &RunReport) -> CliResult {
+    if args.switch("trace") {
+        print!("{}", report.render());
+    }
+    if let Some(path) = args.get("metrics-out") {
+        std::fs::write(path, report.to_json_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// The modeled-transfer link for run/compare reports: a preset name or a
+/// custom `BYTES_PER_SEC:LATENCY_MS` spec, validated here so a typo'd
+/// link surfaces as a CLI error instead of a panic in the cost model.
+pub fn parse_link(args: &Args) -> Result<&str, Box<dyn std::error::Error>> {
+    let link = args.get("link").unwrap_or("wan");
+    dbdc::NetworkModel::from_spec(link).map_err(|e| format!("--link: {e}"))?;
+    Ok(link)
+}
+
+/// Rejects stray positional arguments — every subcommand is flag-driven.
+pub fn no_positionals(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    match args.positional() {
+        [] => Ok(()),
+        extra => Err(format!("unexpected arguments: {extra:?}").into()),
+    }
+}
+
+/// Loads the `--input` CSV point file.
+pub fn read_input(args: &Args) -> Result<Dataset, Box<dyn std::error::Error>> {
+    let path = args.require("input")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(csv::read_dataset(BufReader::new(file))?)
+}
+
+/// Parses `--eps-global` (a multiplier of `--eps`, or `max`).
+pub fn parse_eps_global(args: &Args) -> Result<EpsGlobal, Box<dyn std::error::Error>> {
+    match args.get("eps-global") {
+        None => Ok(EpsGlobal::MultipleOfLocal(2.0)),
+        Some("max") => Ok(EpsGlobal::MaxEpsRange),
+        Some(v) => {
+            let mult: f64 = v
+                .parse()
+                .map_err(|_| format!("--eps-global expects a multiplier or \"max\", got {v:?}"))?;
+            Ok(EpsGlobal::MultipleOfLocal(mult))
+        }
+    }
+}
+
+/// Parses `--model` (scor|kmeans).
+pub fn parse_model(args: &Args) -> Result<LocalModelKind, Box<dyn std::error::Error>> {
+    match args.get("model") {
+        None | Some("scor") => Ok(LocalModelKind::Scor),
+        Some("kmeans") => Ok(LocalModelKind::KMeans),
+        Some(v) => Err(format!("--model expects scor|kmeans, got {v:?}").into()),
+    }
+}
+
+/// Parses `--partitioner` (random|roundrobin|stripes).
+pub fn parse_partitioner(
+    args: &Args,
+    seed: u64,
+) -> Result<Partitioner, Box<dyn std::error::Error>> {
+    match args.get("partitioner") {
+        None | Some("random") => Ok(Partitioner::RandomEqual { seed }),
+        Some("roundrobin") => Ok(Partitioner::RoundRobin),
+        Some("stripes") => Ok(Partitioner::SpatialStripes { axis: 0 }),
+        Some(v) => {
+            Err(format!("--partitioner expects random|roundrobin|stripes, got {v:?}").into())
+        }
+    }
+}
+
+/// Builds the full [`DbdcParams`] from `--eps`, `--min-pts`, and the
+/// optional model/index/threads flags.
+pub fn build_params(args: &Args) -> Result<DbdcParams, Box<dyn std::error::Error>> {
+    let eps: f64 = args.require_as("eps")?;
+    let min_pts: usize = args.require_as("min-pts")?;
+    let index: dbdc_index::IndexKind = args.get_or("index", dbdc_index::IndexKind::RStar)?;
+    let threads: usize = args.get_or("threads", 1)?;
+    Ok(DbdcParams::new(eps, min_pts)
+        .with_eps_global(parse_eps_global(args)?)
+        .with_model(parse_model(args)?)
+        .with_index(index)
+        .with_threads(threads))
+}

@@ -1,0 +1,207 @@
+//! Process-level end-to-end: the real `dbdc-server` and `dbdc-site`
+//! binaries, as separate OS processes over loopback TCP, produce
+//! exactly the labels of the in-process `run_dbdc` — on a clean link
+//! and through an adversarial fault proxy.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use dbdc::{run_dbdc, DbdcParams, EpsGlobal, Partitioner};
+use dbdc_cli::csv;
+use dbdc_geom::{Clustering, Dataset, Label};
+use dbdc_net::{FaultPlan, FaultProxy};
+
+const N_SITES: usize = 4;
+const EPS: &str = "1.6";
+const MIN_PTS: &str = "5";
+const SEED: &str = "7";
+
+fn params() -> DbdcParams {
+    DbdcParams::new(1.6, 5).with_eps_global(EpsGlobal::MultipleOfLocal(2.0))
+}
+
+/// A scratch directory unique to this test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbdc-net-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Writes the dataset as CSV and reads it back, so the reference run
+/// uses byte-for-byte what the site processes will parse.
+fn write_points(dir: &Path) -> (PathBuf, Dataset) {
+    let g = dbdc_datagen::dataset_c(31);
+    let path = dir.join("points.csv");
+    let file = File::create(&path).expect("create points.csv");
+    csv::write_dataset(BufWriter::new(file), &g.data, None).expect("write points.csv");
+    let file = File::open(&path).expect("reopen points.csv");
+    let data = csv::read_dataset(BufReader::new(file)).expect("reparse points.csv");
+    (path, data)
+}
+
+fn spawn_server(dir: &Path, extra: &[&str]) -> (Child, PathBuf) {
+    let addr_file = dir.join("addr.txt");
+    let child = Command::new(env!("CARGO_BIN_EXE_dbdc-server"))
+        .args([
+            "--sites",
+            &N_SITES.to_string(),
+            "--eps",
+            EPS,
+            "--min-pts",
+            MIN_PTS,
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--deadline-ms",
+            "120000",
+        ])
+        .args(extra)
+        .spawn()
+        .expect("spawn dbdc-server");
+    (child, addr_file)
+}
+
+fn await_addr(addr_file: &Path) -> String {
+    let t0 = Instant::now();
+    loop {
+        if let Ok(text) = std::fs::read_to_string(addr_file) {
+            let text = text.trim();
+            if !text.is_empty() {
+                return text.to_string();
+            }
+        }
+        assert!(t0.elapsed() < Duration::from_secs(20), "server never bound");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn spawn_site(points: &Path, dir: &Path, site: usize, connect: &str, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_dbdc-site"))
+        .args([
+            "--input",
+            points.to_str().unwrap(),
+            "--site",
+            &site.to_string(),
+            "--sites",
+            &N_SITES.to_string(),
+            "--eps",
+            EPS,
+            "--min-pts",
+            MIN_PTS,
+            "--seed",
+            SEED,
+            "--connect",
+            connect,
+            "--out",
+            dir.join(format!("labels-{site}.csv")).to_str().unwrap(),
+        ])
+        .args(extra)
+        .spawn()
+        .expect("spawn dbdc-site")
+}
+
+/// Merges the sites' `original_index,label` files into one clustering.
+/// Site labels already share the global id space, so dense renumbering
+/// mirrors the in-process assembly exactly.
+fn merge_labels(dir: &Path, n: usize) -> Clustering {
+    let mut full = vec![Label::Noise; n];
+    let mut seen = 0usize;
+    for site in 0..N_SITES {
+        let path = dir.join(format!("labels-{site}.csv"));
+        let text = std::fs::read_to_string(&path).expect("read site labels");
+        for line in text.lines() {
+            let (orig, label) = line.split_once(',').expect("orig,label line");
+            let orig: usize = orig.parse().expect("original index");
+            let label: i64 = label.parse().expect("label id");
+            full[orig] = match label {
+                -1 => Label::Noise,
+                c => Label::Cluster(u32::try_from(c).expect("cluster id fits u32")),
+            };
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, n, "sites covered every point exactly once");
+    Clustering::from_labels(full)
+}
+
+fn wait_ok(mut child: Child, what: &str) {
+    let status = child.wait().expect("wait for child");
+    assert!(status.success(), "{what} failed: {status}");
+}
+
+#[test]
+fn separate_processes_match_in_process_runtime() {
+    let dir = scratch("clean");
+    let (points, data) = write_points(&dir);
+    let reference = run_dbdc(
+        &data,
+        &params(),
+        Partitioner::RandomEqual { seed: 7 },
+        N_SITES,
+    );
+
+    let (server, addr_file) = spawn_server(&dir, &["--drain-ms", "400"]);
+    let addr = await_addr(&addr_file);
+    let sites: Vec<Child> = (0..N_SITES)
+        .map(|s| spawn_site(&points, &dir, s, &addr, &[]))
+        .collect();
+    for (s, child) in sites.into_iter().enumerate() {
+        wait_ok(child, &format!("site {s}"));
+    }
+    wait_ok(server, "server");
+
+    let merged = merge_labels(&dir, data.len());
+    assert_eq!(
+        merged, reference.assignment,
+        "process-level labels differ from in-process run_dbdc"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn separate_processes_converge_through_fault_proxy() {
+    let dir = scratch("lossy");
+    let (points, data) = write_points(&dir);
+    let reference = run_dbdc(
+        &data,
+        &params(),
+        Partitioner::RandomEqual { seed: 7 },
+        N_SITES,
+    );
+
+    // Give the server generous timeouts: with drops and delays in the
+    // way, sessions replay until the GOODBYE lands.
+    let (server, addr_file) =
+        spawn_server(&dir, &["--drain-ms", "1200", "--read-timeout-ms", "500"]);
+    let server_addr: std::net::SocketAddr = await_addr(&addr_file).parse().expect("server addr");
+    let proxy = FaultProxy::spawn(server_addr, FaultPlan::lossy(0xE2E)).expect("spawn proxy");
+    let via = proxy.addr().to_string();
+
+    let site_extra = [
+        "--retries",
+        "25",
+        "--retry-base-ms",
+        "25",
+        "--retry-max-ms",
+        "400",
+        "--read-timeout-ms",
+        "800",
+    ];
+    let sites: Vec<Child> = (0..N_SITES)
+        .map(|s| spawn_site(&points, &dir, s, &via, &site_extra))
+        .collect();
+    for (s, child) in sites.into_iter().enumerate() {
+        wait_ok(child, &format!("site {s}"));
+    }
+    wait_ok(server, "server");
+
+    let merged = merge_labels(&dir, data.len());
+    assert_eq!(
+        merged, reference.assignment,
+        "labels diverged through the fault proxy"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -60,7 +60,7 @@ pub mod wire;
 pub use catalog::{Federation, SiteCatalog};
 pub use global_model::{build_global_model, build_global_model_observed, GlobalModel, GlobalRep};
 pub use local_model::{build_local_model, LocalModel, Representative};
-pub use network::NetworkModel;
+pub use network::{NetworkConfigError, NetworkModel};
 pub use observe::dbdc_run_report;
 pub use params::{DbdcParams, EpsGlobal, LocalModelKind};
 pub use partition::Partitioner;

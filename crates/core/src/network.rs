@@ -10,6 +10,41 @@
 
 use std::time::Duration;
 
+/// Rejected link configurations — a typo'd or hostile `--link` must
+/// surface as a validation error, never a panic inside the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkConfigError {
+    /// Bandwidth is zero, negative, or non-finite.
+    BadBandwidth(f64),
+    /// Latency is negative or non-finite.
+    BadLatency(f64),
+    /// A link spec string that is neither a preset nor
+    /// `BYTES_PER_SEC:LATENCY_MS`.
+    BadSpec(String),
+}
+
+impl std::fmt::Display for NetworkConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkConfigError::BadBandwidth(b) => {
+                write!(f, "bandwidth must be a positive finite number, got {b}")
+            }
+            NetworkConfigError::BadLatency(l) => {
+                write!(
+                    f,
+                    "latency must be a non-negative finite number, got {l} ms"
+                )
+            }
+            NetworkConfigError::BadSpec(s) => write!(
+                f,
+                "link spec {s:?} is neither lan|wan|slow_uplink nor BYTES_PER_SEC:LATENCY_MS"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetworkConfigError {}
+
 /// A point-to-point link model: fixed per-message latency plus serialized
 /// throughput.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,6 +56,50 @@ pub struct NetworkModel {
 }
 
 impl NetworkModel {
+    /// A validated link model. This is the constructor CLI/config paths
+    /// must use: it rejects the degenerate bandwidths and latencies that
+    /// the cost-model arithmetic cannot price.
+    pub fn new(
+        bandwidth_bytes_per_sec: f64,
+        latency: Duration,
+    ) -> Result<Self, NetworkConfigError> {
+        if !(bandwidth_bytes_per_sec.is_finite() && bandwidth_bytes_per_sec > 0.0) {
+            return Err(NetworkConfigError::BadBandwidth(bandwidth_bytes_per_sec));
+        }
+        Ok(Self {
+            bandwidth_bytes_per_sec,
+            latency,
+        })
+    }
+
+    /// Parses a link spec: one of the presets (`lan`, `wan`,
+    /// `slow_uplink`) or a custom `BYTES_PER_SEC:LATENCY_MS` pair, e.g.
+    /// `125000:250` for the telescope uplink.
+    pub fn from_spec(spec: &str) -> Result<Self, NetworkConfigError> {
+        match spec {
+            "lan" => return Ok(Self::lan()),
+            "wan" => return Ok(Self::wan()),
+            "slow_uplink" => return Ok(Self::slow_uplink()),
+            _ => {}
+        }
+        let Some((bw, lat)) = spec.split_once(':') else {
+            return Err(NetworkConfigError::BadSpec(spec.to_string()));
+        };
+        let bw: f64 = bw
+            .trim()
+            .parse()
+            .map_err(|_| NetworkConfigError::BadSpec(spec.to_string()))?;
+        let lat_ms: f64 = lat
+            .trim()
+            .parse()
+            .map_err(|_| NetworkConfigError::BadSpec(spec.to_string()))?;
+        if !(lat_ms.is_finite() && lat_ms >= 0.0) {
+            return Err(NetworkConfigError::BadLatency(lat_ms));
+        }
+        let latency = Duration::try_from_secs_f64(lat_ms / 1e3)
+            .map_err(|_| NetworkConfigError::BadLatency(lat_ms))?;
+        Self::new(bw, latency)
+    }
     /// A LAN-ish link: 1 Gbit/s, 0.2 ms latency.
     pub fn lan() -> Self {
         Self {
@@ -47,12 +126,21 @@ impl NetworkModel {
     }
 
     /// Time to push one message of `bytes` over the link.
+    ///
+    /// Total for every input: a zero/negative/NaN bandwidth (possible when
+    /// the struct is built literally, bypassing [`NetworkModel::new`]) or a
+    /// transfer too long for a [`Duration`] saturates to [`Duration::MAX`]
+    /// instead of panicking — "this link never completes", which is what a
+    /// zero-bandwidth link means.
     pub fn transfer_time(&self, bytes: usize) -> Duration {
-        assert!(
-            self.bandwidth_bytes_per_sec > 0.0,
-            "bandwidth must be positive"
-        );
-        self.latency + Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+        if !(self.bandwidth_bytes_per_sec.is_finite() && self.bandwidth_bytes_per_sec > 0.0) {
+            return Duration::MAX;
+        }
+        let secs = bytes as f64 / self.bandwidth_bytes_per_sec;
+        match Duration::try_from_secs_f64(secs) {
+            Ok(d) => self.latency.saturating_add(d),
+            Err(_) => Duration::MAX,
+        }
     }
 
     /// Time for `k` sites to upload their models concurrently (the slowest
@@ -90,6 +178,79 @@ mod tests {
         let t = m.concurrent_upload(&[100, 5000, 700]);
         assert_eq!(t, Duration::from_secs(5));
         assert_eq!(m.concurrent_upload(&[]), Duration::ZERO);
+    }
+
+    #[test]
+    fn degenerate_bandwidth_never_panics() {
+        // Regression: `transfer_time` used to `assert!` on zero/negative
+        // bandwidth and `Duration::from_secs_f64` panicked on NaN — a
+        // struct-literal link with a typo'd bandwidth took the process
+        // down. Degenerate links now price as "never completes".
+        for bw in [0.0, -1.0, f64::NAN, f64::NEG_INFINITY] {
+            let m = NetworkModel {
+                bandwidth_bytes_per_sec: bw,
+                latency: Duration::from_millis(1),
+            };
+            assert_eq!(m.transfer_time(100), Duration::MAX, "bw {bw}");
+        }
+        // Infinite bandwidth is also non-finite: reject rather than
+        // pretend transfers are free.
+        let m = NetworkModel {
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            latency: Duration::ZERO,
+        };
+        assert_eq!(m.transfer_time(1), Duration::MAX);
+    }
+
+    #[test]
+    fn huge_transfers_saturate_instead_of_panicking() {
+        // Regression: usize::MAX bytes over a tiny-bandwidth link
+        // overflowed `Duration::from_secs_f64`.
+        let m = NetworkModel {
+            bandwidth_bytes_per_sec: 1e-300,
+            latency: Duration::ZERO,
+        };
+        assert_eq!(m.transfer_time(usize::MAX), Duration::MAX);
+    }
+
+    #[test]
+    fn validated_constructor_rejects_bad_links() {
+        assert!(NetworkModel::new(125_000.0, Duration::from_millis(1)).is_ok());
+        for bw in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                NetworkModel::new(bw, Duration::ZERO),
+                Err(NetworkConfigError::BadBandwidth(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(NetworkModel::from_spec("lan").unwrap(), NetworkModel::lan());
+        assert_eq!(NetworkModel::from_spec("wan").unwrap(), NetworkModel::wan());
+        assert_eq!(
+            NetworkModel::from_spec("slow_uplink").unwrap(),
+            NetworkModel::slow_uplink()
+        );
+        let custom = NetworkModel::from_spec("125000:250").unwrap();
+        assert_eq!(custom.bandwidth_bytes_per_sec, 125_000.0);
+        assert_eq!(custom.latency, Duration::from_millis(250));
+        for bad in [
+            "fast",
+            "0:10",
+            "-1:10",
+            "nan:10",
+            "1000:-3",
+            "1000:nan",
+            "1000",
+            ":",
+            "1e9:1e300",
+        ] {
+            assert!(NetworkModel::from_spec(bad).is_err(), "spec {bad:?}");
+        }
+        // Error text names the failure, for CLI surfacing.
+        let err = NetworkModel::from_spec("0:10").unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
     }
 
     #[test]

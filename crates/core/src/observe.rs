@@ -32,6 +32,12 @@ pub fn link_preset(name: &str) -> Option<NetworkModel> {
     }
 }
 
+/// Resolves any link spec a CLI accepts: a preset from [`LINK_PRESETS`]
+/// or a custom validated `BYTES_PER_SEC:LATENCY_MS` pair.
+pub fn link_model(spec: &str) -> Option<NetworkModel> {
+    NetworkModel::from_spec(spec).ok()
+}
+
 /// The measured `dbdc` span tree extended with the modeled transfer
 /// phases on `link`: `upload` goes after the last `local[i]` child,
 /// `broadcast` after `global`, both flagged modeled, and the root wall
@@ -92,7 +98,7 @@ pub fn dbdc_run_report(
 
     // Span trees: splice the modeled transfers of the chosen link into
     // every recorded dbdc tree.
-    let net = link.and_then(link_preset);
+    let net = link.and_then(link_model);
     report.spans = rec
         .spans()
         .into_iter()

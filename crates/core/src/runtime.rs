@@ -212,7 +212,7 @@ fn local_phase(
     let t_cluster = t0.elapsed();
     let model: LocalModel = build_local_model(params.model, site_data, &scp, site);
     let t_extract = t0.elapsed();
-    let encoded = wire::encode_local_model(&model);
+    let encoded = wire::encode_local_model(&model).expect("local model fits the wire format");
     let t_encode = t0.elapsed();
     if let Some(s) = &sheet {
         s.add_representatives(model.len() as u64);
@@ -317,7 +317,8 @@ fn assemble(
         .collect();
     let n_representatives: usize = models.iter().map(|m| m.len()).sum();
     let global = build_global_model_observed(&models, params, global_sheet.as_ref());
-    let encoded_global = wire::encode_global_model(&global);
+    let encoded_global =
+        wire::encode_global_model(&global).expect("global model fits the wire format");
     let global_time = t_global.elapsed();
     let global_model_bytes = encoded_global.len();
     let bytes_down = global_model_bytes * parts.len();

@@ -46,6 +46,25 @@ pub enum WireError {
     NonFinite,
     /// The header declares an impossible dimensionality or entry count.
     BadHeader,
+    /// A model field exceeds what the wire format can represent
+    /// (encode-time): encoding would silently truncate it into a
+    /// checksum-valid but wrong message.
+    Oversize {
+        /// Which field overflowed (`"dim"` or `"reps"`).
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The largest value the format can carry.
+        max: u64,
+    },
+    /// A representative's point dimensionality disagrees with the model
+    /// header (encode-time): the fixed-stride payload would misalign.
+    DimMismatch {
+        /// The model's declared dimensionality.
+        expected: usize,
+        /// The representative's actual dimensionality.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -58,6 +77,12 @@ impl std::fmt::Display for WireError {
             WireError::BadChecksum => write!(f, "checksum mismatch"),
             WireError::NonFinite => write!(f, "non-finite value in payload"),
             WireError::BadHeader => write!(f, "implausible header (dim or count)"),
+            WireError::Oversize { field, value, max } => {
+                write!(f, "{field} = {value} exceeds the wire maximum {max}")
+            }
+            WireError::DimMismatch { expected, got } => {
+                write!(f, "representative has dim {got}, model declares {expected}")
+            }
         }
     }
 }
@@ -79,8 +104,14 @@ fn finish(mut buf: BytesMut) -> Bytes {
     buf.freeze()
 }
 
+/// The smallest valid message on the wire: an empty local model —
+/// magic (4) + version (1) + kind (1) + site (4) + dim (2) + count (4) +
+/// checksum (8). Anything shorter is rejected before the checksum is
+/// even attempted, so framing layers can rely on this bound.
+pub const MIN_MESSAGE_BYTES: usize = 24;
+
 fn open(bytes: &[u8], kind: u8) -> Result<&[u8], WireError> {
-    if bytes.len() < MAGIC.len() + 2 + 8 {
+    if bytes.len() < MIN_MESSAGE_BYTES {
         return Err(WireError::Truncated);
     }
     let (payload, sum_bytes) = bytes.split_at(bytes.len() - 8);
@@ -126,7 +157,43 @@ fn get_u16(buf: &mut &[u8]) -> Result<u16, WireError> {
     Ok(buf.get_u16_le())
 }
 
+/// Validates that `dim`/`count` fit their wire fields and that every
+/// representative point matches the declared dimensionality. Encoding
+/// without this check would truncate `dim as u16` / `len as u32` into a
+/// checksum-valid but *wrong* message — the checksum is computed after
+/// the truncation, so no decoder could ever notice.
+fn check_header(
+    dim: usize,
+    count: usize,
+    rep_dims: impl Iterator<Item = usize>,
+) -> Result<(), WireError> {
+    if dim > u16::MAX as usize {
+        return Err(WireError::Oversize {
+            field: "dim",
+            value: dim as u64,
+            max: u16::MAX as u64,
+        });
+    }
+    if count > u32::MAX as usize {
+        return Err(WireError::Oversize {
+            field: "reps",
+            value: count as u64,
+            max: u32::MAX as u64,
+        });
+    }
+    for got in rep_dims {
+        if got != dim {
+            return Err(WireError::DimMismatch { expected: dim, got });
+        }
+    }
+    Ok(())
+}
+
 /// Encodes a local model for transmission to the server.
+///
+/// Fails with [`WireError::Oversize`] when `dim` or the representative
+/// count overflow their wire fields, and [`WireError::DimMismatch`] when
+/// a representative's point disagrees with the declared dimensionality.
 ///
 /// ```
 /// use dbdc::{wire, LocalModel, Representative};
@@ -141,14 +208,15 @@ fn get_u16(buf: &mut &[u8]) -> Result<u16, WireError> {
 ///         local_cluster: 0,
 ///     }],
 /// };
-/// let bytes = wire::encode_local_model(&model);
+/// let bytes = wire::encode_local_model(&model).unwrap();
 /// assert_eq!(wire::decode_local_model(&bytes).unwrap(), model);
 /// // Corruption is detected by the checksum.
 /// let mut bad = bytes.to_vec();
 /// bad[20] ^= 0xFF;
 /// assert!(wire::decode_local_model(&bad).is_err());
 /// ```
-pub fn encode_local_model(m: &LocalModel) -> Bytes {
+pub fn encode_local_model(m: &LocalModel) -> Result<Bytes, WireError> {
+    check_header(m.dim, m.reps.len(), m.reps.iter().map(|r| r.point.dim()))?;
     let mut buf = BytesMut::with_capacity(16 + m.reps.len() * (m.dim * 8 + 12));
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
@@ -157,14 +225,13 @@ pub fn encode_local_model(m: &LocalModel) -> Bytes {
     buf.put_u16_le(m.dim as u16);
     buf.put_u32_le(m.reps.len() as u32);
     for r in &m.reps {
-        debug_assert_eq!(r.point.dim(), m.dim);
         for &c in r.point.coords() {
             buf.put_f64_le(c);
         }
         buf.put_f64_le(r.eps_range);
         buf.put_u32_le(r.local_cluster);
     }
-    finish(buf)
+    Ok(finish(buf))
 }
 
 /// Decodes a local model.
@@ -199,7 +266,11 @@ pub fn decode_local_model(bytes: &[u8]) -> Result<LocalModel, WireError> {
 }
 
 /// Encodes the global model for broadcast to the client sites.
-pub fn encode_global_model(g: &GlobalModel) -> Bytes {
+///
+/// Validates `dim`/`count` against their wire fields like
+/// [`encode_local_model`].
+pub fn encode_global_model(g: &GlobalModel) -> Result<Bytes, WireError> {
+    check_header(g.dim, g.reps.len(), g.reps.iter().map(|r| r.point.dim()))?;
     let mut buf = BytesMut::with_capacity(24 + g.reps.len() * (g.dim * 8 + 20));
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
@@ -217,7 +288,7 @@ pub fn encode_global_model(g: &GlobalModel) -> Bytes {
         buf.put_u32_le(r.local_cluster);
         buf.put_u32_le(r.global_cluster);
     }
-    finish(buf)
+    Ok(finish(buf))
 }
 
 /// Decodes a global model.
@@ -306,7 +377,7 @@ mod tests {
     #[test]
     fn local_round_trip() {
         let m = local();
-        let bytes = encode_local_model(&m);
+        let bytes = encode_local_model(&m).unwrap();
         let back = decode_local_model(&bytes).unwrap();
         assert_eq!(back, m);
     }
@@ -314,7 +385,7 @@ mod tests {
     #[test]
     fn global_round_trip() {
         let g = global();
-        let bytes = encode_global_model(&g);
+        let bytes = encode_global_model(&g).unwrap();
         let back = decode_global_model(&bytes).unwrap();
         assert_eq!(back, g);
     }
@@ -326,12 +397,15 @@ mod tests {
             dim: 2,
             reps: vec![],
         };
-        assert_eq!(decode_local_model(&encode_local_model(&m)).unwrap(), m);
+        assert_eq!(
+            decode_local_model(&encode_local_model(&m).unwrap()).unwrap(),
+            m
+        );
     }
 
     #[test]
     fn corruption_is_detected() {
-        let mut bytes = encode_local_model(&local()).to_vec();
+        let mut bytes = encode_local_model(&local()).unwrap().to_vec();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         assert_eq!(decode_local_model(&bytes), Err(WireError::BadChecksum));
@@ -339,7 +413,7 @@ mod tests {
 
     #[test]
     fn truncation_is_detected() {
-        let bytes = encode_local_model(&local());
+        let bytes = encode_local_model(&local()).unwrap();
         assert_eq!(decode_local_model(&bytes[..4]), Err(WireError::Truncated));
         // Cutting the tail invalidates the checksum.
         let cut = &bytes[..bytes.len() - 3];
@@ -348,15 +422,15 @@ mod tests {
 
     #[test]
     fn kind_confusion_is_detected() {
-        let bytes = encode_global_model(&global());
+        let bytes = encode_global_model(&global()).unwrap();
         assert_eq!(decode_local_model(&bytes), Err(WireError::BadKind(0x02)));
-        let bytes = encode_local_model(&local());
+        let bytes = encode_local_model(&local()).unwrap();
         assert_eq!(decode_global_model(&bytes), Err(WireError::BadKind(0x01)));
     }
 
     #[test]
     fn bad_magic_and_version() {
-        let mut bytes = encode_local_model(&local()).to_vec();
+        let mut bytes = encode_local_model(&local()).unwrap().to_vec();
         bytes[0] = b'X';
         // Fix the checksum so magic is reached.
         let len = bytes.len();
@@ -364,7 +438,7 @@ mod tests {
         bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
         assert_eq!(decode_local_model(&bytes), Err(WireError::BadMagic));
 
-        let mut bytes = encode_local_model(&local()).to_vec();
+        let mut bytes = encode_local_model(&local()).unwrap().to_vec();
         bytes[4] = 9;
         let len = bytes.len();
         let sum = fnv1a(&bytes[..len - 8]);
@@ -387,7 +461,7 @@ mod tests {
                 })
                 .collect(),
         };
-        let model_bytes = encode_local_model(&m).len();
+        let model_bytes = encode_local_model(&m).unwrap().len();
         let raw = raw_data_bytes(10_000, 2);
         assert!(model_bytes * 100 < raw, "{model_bytes} vs {raw}");
     }
@@ -396,6 +470,126 @@ mod tests {
     fn error_messages_render() {
         assert_eq!(WireError::Truncated.to_string(), "message truncated");
         assert!(WireError::BadKind(2).to_string().contains("0x02"));
+        assert!(WireError::Oversize {
+            field: "dim",
+            value: 70_000,
+            max: 65_535
+        }
+        .to_string()
+        .contains("70000"));
+        assert!(WireError::DimMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("dim 3"));
+    }
+
+    #[test]
+    fn oversize_dim_is_rejected_at_encode_time() {
+        // Regression: `dim as u16` used to truncate 65 536 → 0 and produce
+        // a checksum-valid message declaring the wrong dimensionality.
+        let m = LocalModel {
+            site: 0,
+            dim: u16::MAX as usize + 1,
+            reps: vec![],
+        };
+        assert_eq!(
+            encode_local_model(&m),
+            Err(WireError::Oversize {
+                field: "dim",
+                value: u16::MAX as u64 + 1,
+                max: u16::MAX as u64,
+            })
+        );
+        let g = GlobalModel {
+            dim: u16::MAX as usize + 1,
+            reps: vec![],
+            n_clusters: 0,
+            eps_global: 1.0,
+        };
+        assert!(matches!(
+            encode_global_model(&g),
+            Err(WireError::Oversize { field: "dim", .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_dim_no_longer_round_trips_wrong() {
+        // The exact silent-truncation scenario: dim = 65 537 would have
+        // encoded as dim = 1. A model at the boundary (dim 65 535) still
+        // encodes fine.
+        let max_ok = LocalModel {
+            site: 1,
+            dim: u16::MAX as usize,
+            reps: vec![],
+        };
+        let decoded = decode_local_model(&encode_local_model(&max_ok).unwrap()).unwrap();
+        assert_eq!(decoded.dim, u16::MAX as usize);
+    }
+
+    #[test]
+    fn rep_dim_mismatch_is_rejected_at_encode_time() {
+        // A 3-d representative in a model declaring dim 2 would misalign
+        // every subsequent entry of the fixed-stride payload.
+        let m = LocalModel {
+            site: 0,
+            dim: 2,
+            reps: vec![Representative {
+                point: Point::new(vec![1.0, 2.0, 3.0]),
+                eps_range: 1.0,
+                local_cluster: 0,
+            }],
+        };
+        assert_eq!(
+            encode_local_model(&m),
+            Err(WireError::DimMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn minimum_frame_is_exactly_24_bytes() {
+        // The smallest valid message — an empty local model — is exactly
+        // MIN_MESSAGE_BYTES long and decodes.
+        let m = LocalModel {
+            site: 0,
+            dim: 2,
+            reps: vec![],
+        };
+        let bytes = encode_local_model(&m).unwrap();
+        assert_eq!(bytes.len(), MIN_MESSAGE_BYTES);
+        assert!(decode_local_model(&bytes).is_ok());
+    }
+
+    #[test]
+    fn sub_minimum_frames_are_truncated_at_the_boundary() {
+        // Regression: the old bound admitted 14..23-byte frames, which then
+        // hit the checksum path and could mis-report the failure. Every
+        // length below MIN_MESSAGE_BYTES must be `Truncated`, for both
+        // decoders, even when the bytes themselves are a valid prefix.
+        let m = LocalModel {
+            site: 0,
+            dim: 2,
+            reps: vec![],
+        };
+        let bytes = encode_local_model(&m).unwrap();
+        for len in 0..MIN_MESSAGE_BYTES {
+            assert_eq!(
+                decode_local_model(&bytes[..len]),
+                Err(WireError::Truncated),
+                "local prefix of {len} bytes"
+            );
+            assert_eq!(
+                decode_global_model(&bytes[..len]),
+                Err(WireError::Truncated),
+                "global prefix of {len} bytes"
+            );
+        }
+        // Exactly at the boundary the message is structurally complete.
+        assert_eq!(decode_local_model(&bytes[..MIN_MESSAGE_BYTES]), Ok(m));
     }
 }
 
@@ -427,7 +621,7 @@ mod fuzz_tests {
                     })
                     .collect(),
             };
-            let mut bytes = encode_local_model(&m).to_vec();
+            let mut bytes = encode_local_model(&m).unwrap().to_vec();
             let idx = flip_byte % bytes.len();
             bytes[idx] ^= 1 << flip_bit;
             // Flips inside the checksum itself, or the astronomically
@@ -459,8 +653,64 @@ mod fuzz_tests {
                     })
                     .collect(),
             };
-            let decoded = decode_local_model(&encode_local_model(&m)).unwrap();
+            let decoded = decode_local_model(&encode_local_model(&m).unwrap()).unwrap();
             prop_assert_eq!(decoded, m);
+        }
+
+        /// Every strict prefix of a valid encoded frame decodes to a clean
+        /// `WireError` — never a panic, never a spurious success. This is
+        /// the exact shape a truncated TCP read (or the fault proxy's
+        /// truncate mode) hands the decoder.
+        #[test]
+        fn strict_prefixes_error_cleanly(
+            site in 0u32..100,
+            reps in prop::collection::vec(
+                ((-1e3..1e3f64, -1e3..1e3f64), 0.0..10.0f64, 0u32..8),
+                0..6
+            )
+        ) {
+            let m = LocalModel {
+                site,
+                dim: 2,
+                reps: reps
+                    .into_iter()
+                    .map(|((x, y), eps_range, local_cluster)| Representative {
+                        point: Point::xy(x, y),
+                        eps_range,
+                        local_cluster,
+                    })
+                    .collect(),
+            };
+            let bytes = encode_local_model(&m).unwrap();
+            for len in 0..bytes.len() {
+                prop_assert!(
+                    decode_local_model(&bytes[..len]).is_err(),
+                    "prefix of {len}/{} bytes decoded",
+                    bytes.len()
+                );
+                prop_assert!(decode_global_model(&bytes[..len]).is_err());
+            }
+            // And the same for a global frame built from the local reps.
+            let g = GlobalModel {
+                dim: 2,
+                reps: m
+                    .reps
+                    .iter()
+                    .map(|r| GlobalRep {
+                        point: r.point.clone(),
+                        eps_range: r.eps_range,
+                        site: m.site,
+                        local_cluster: r.local_cluster,
+                        global_cluster: 0,
+                    })
+                    .collect(),
+                n_clusters: 1,
+                eps_global: 2.0,
+            };
+            let gb = encode_global_model(&g).unwrap();
+            for len in 0..gb.len() {
+                prop_assert!(decode_global_model(&gb[..len]).is_err());
+            }
         }
     }
 }
@@ -484,7 +734,7 @@ mod crafted_tests {
             dim: 2,
             reps: vec![],
         };
-        let mut bytes = encode_local_model(&m).to_vec();
+        let mut bytes = encode_local_model(&m).unwrap().to_vec();
         // count field sits after magic(4)+ver(1)+kind(1)+site(4)+dim(2).
         bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
         let bytes = reseal(bytes);
@@ -502,7 +752,7 @@ mod crafted_tests {
                 local_cluster: 0,
             }],
         };
-        let mut bytes = encode_local_model(&m).to_vec();
+        let mut bytes = encode_local_model(&m).unwrap().to_vec();
         bytes[10..12].copy_from_slice(&0u16.to_le_bytes()); // dim := 0
         let bytes = reseal(bytes);
         // Either BadHeader (dim 0) or Truncated (trailing bytes) — never a
@@ -518,7 +768,7 @@ mod crafted_tests {
             n_clusters: 0,
             eps_global: 1.0,
         };
-        let mut bytes = encode_global_model(&g).to_vec();
+        let mut bytes = encode_global_model(&g).unwrap().to_vec();
         // count sits after magic(4)+ver+kind(2)+n_clusters(4)+eps(8)+dim(2).
         bytes[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
         let bytes = reseal(bytes);

@@ -1,0 +1,173 @@
+//! Error taxonomy of the serving layer.
+//!
+//! The retry machinery cares about exactly one distinction: *retryable*
+//! failures (timeouts, broken connections, corrupted frames — anything a
+//! lossy link produces) versus *fatal* ones (protocol-version or topology
+//! mismatches, where retrying the same bytes can never succeed).
+
+use dbdc::wire::WireError;
+
+/// A failure in the frame layer, below any message semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix claims fewer bytes than the fixed overhead
+    /// (kind + checksum) requires.
+    TooShort(u32),
+    /// The length prefix exceeds the configured maximum frame size —
+    /// either a hostile peer or stream desynchronization.
+    TooLarge {
+        /// Declared frame length.
+        len: u32,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// The frame checksum does not match — the body was corrupted in
+    /// transit.
+    BadChecksum,
+    /// An unknown frame kind byte.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort(len) => write!(f, "frame length {len} below minimum"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds maximum {max}")
+            }
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Any failure of the serving layer.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (includes per-read timeouts).
+    Io(std::io::Error),
+    /// The frame layer rejected an incoming frame.
+    Frame(FrameError),
+    /// A frame carried a model the wire codec rejected (checksum,
+    /// truncation, bad header...).
+    Wire(WireError),
+    /// The peer violated the session protocol (unexpected frame kind,
+    /// malformed handshake payload). Retryable: usually a symptom of a
+    /// half-torn connection.
+    Protocol(String),
+    /// Fatal handshake disagreement (protocol version, site id, site
+    /// count). Retrying cannot help.
+    Handshake(String),
+    /// All retry attempts were exhausted.
+    Exhausted {
+        /// Attempts performed.
+        attempts: u32,
+        /// The last attempt's failure, rendered.
+        last: String,
+    },
+    /// The overall operation deadline passed.
+    Deadline,
+}
+
+impl NetError {
+    /// Whether a retry with the same inputs could succeed.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Io(_) | NetError::Frame(_) | NetError::Wire(_) | NetError::Protocol(_) => {
+                true
+            }
+            NetError::Handshake(_) | NetError::Exhausted { .. } | NetError::Deadline => false,
+        }
+    }
+
+    /// Whether this is a read/connect timeout (as opposed to a hard I/O
+    /// failure).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o: {e}"),
+            NetError::Frame(e) => write!(f, "frame: {e}"),
+            NetError::Wire(e) => write!(f, "wire: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol: {m}"),
+            NetError::Handshake(m) => write!(f, "handshake: {m}"),
+            NetError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts (last: {last})")
+            }
+            NetError::Deadline => write!(f, "operation deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(NetError::Frame(FrameError::BadChecksum).is_retryable());
+        assert!(
+            NetError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "t")).is_retryable()
+        );
+        assert!(NetError::Wire(WireError::Truncated).is_retryable());
+        assert!(!NetError::Handshake("version".into()).is_retryable());
+        assert!(!NetError::Deadline.is_retryable());
+    }
+
+    #[test]
+    fn timeout_classification() {
+        let t = NetError::Io(std::io::Error::new(std::io::ErrorKind::WouldBlock, "t"));
+        assert!(t.is_timeout());
+        let e = NetError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "r",
+        ));
+        assert!(!e.is_timeout());
+        assert!(!NetError::Frame(FrameError::BadChecksum).is_timeout());
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(NetError::Frame(FrameError::TooLarge { len: 9, max: 4 })
+            .to_string()
+            .contains("exceeds"));
+        assert!(NetError::Exhausted {
+            attempts: 3,
+            last: "x".into()
+        }
+        .to_string()
+        .contains("3 attempts"));
+    }
+}

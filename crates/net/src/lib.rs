@@ -1,0 +1,40 @@
+//! **dbdc-net** — the real TCP serving layer for DBDC.
+//!
+//! The core runtime ([`dbdc::runtime`]) executes the whole protocol in
+//! one process and *models* the network phases from exact message
+//! sizes. This crate runs the same protocol over actual sockets,
+//! std-only (no async runtime): a [`serve`]r accepting one connection
+//! per site, and a [`run_site`] client that clusters its partition,
+//! uploads its local model, and relabels against the broadcast global
+//! model. Labels are identical to the in-process runtime on the same
+//! partitions — asserted by the loopback tests.
+//!
+//! Layering, bottom up:
+//!
+//! - [`frame`] — length-prefixed, checksummed frames with a session
+//!   handshake; the payloads of the model frames are exactly the
+//!   [`dbdc::wire`] encodings, so message byte counts match the
+//!   in-process runtime's reports.
+//! - [`retry`] — bounded retries with exponential backoff.
+//! - [`server`] / [`site`] — the two protocol ends. All server-side
+//!   operations are idempotent; sites own recovery by replaying the
+//!   whole session.
+//! - [`fault`] — a deterministic fault-injecting TCP proxy (drop,
+//!   delay, truncate, bit-flip) for loopback torture tests.
+
+pub mod error;
+pub mod fault;
+pub mod frame;
+pub mod retry;
+pub mod server;
+pub mod site;
+
+pub use error::{FrameError, NetError};
+pub use fault::{FaultPlan, FaultProxy, FaultStats, SplitMix64};
+pub use frame::{
+    decode_frame_body, encode_frame, read_frame, write_frame, Frame, FrameKind, Hello,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use retry::RetryPolicy;
+pub use server::{serve, ServeOptions, ServerOutcome};
+pub use site::{run_site, SiteOptions, SiteOutcome};

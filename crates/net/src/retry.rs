@@ -1,0 +1,89 @@
+//! Bounded retries with exponential backoff.
+//!
+//! Sites retry the *whole session* (reconnect, handshake, re-upload,
+//! re-receive) rather than individual frames: every operation in the
+//! protocol is idempotent on the server side, so replaying the session
+//! from the top is always safe and keeps per-frame state machines out
+//! of the recovery path.
+
+use std::time::Duration;
+
+/// Retry budget and backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts; `1` means no retries).
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling on the exponentially growing delay.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// The default site policy: 5 attempts, 50 ms doubling to 800 ms.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(800),
+        }
+    }
+
+    /// A single attempt, no retries.
+    pub fn once() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based): doubles from
+    /// `base_delay`, clamped to `max_delay`.
+    pub fn delay_before(&self, retry: u32) -> Duration {
+        if retry == 0 || self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (retry - 1).min(16);
+        let d = self.base_delay.saturating_mul(factor);
+        d.min(self.max_delay)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_clamps() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(350),
+        };
+        assert_eq!(p.delay_before(1), Duration::from_millis(100));
+        assert_eq!(p.delay_before(2), Duration::from_millis(200));
+        assert_eq!(p.delay_before(3), Duration::from_millis(350));
+        assert_eq!(p.delay_before(4), Duration::from_millis(350));
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let p = RetryPolicy::once();
+        for retry in 0..5 {
+            assert_eq!(p.delay_before(retry), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn huge_retry_counts_do_not_overflow() {
+        let p = RetryPolicy::standard();
+        assert_eq!(p.delay_before(u32::MAX), p.max_delay);
+    }
+}

@@ -1,0 +1,456 @@
+//! The DBDC server over real TCP.
+//!
+//! [`serve`] accepts connections from `n_sites` client sites
+//! (thread-per-connection), runs the session protocol with each, builds
+//! the global model exactly once when the last local model arrives, and
+//! returns when every site has confirmed receipt of the broadcast.
+//!
+//! # Recovery model
+//!
+//! Every server-side operation is **idempotent**: a site that loses its
+//! connection at any point simply reconnects and replays the whole
+//! session (handshake → upload → receive global → ack). A re-uploaded
+//! model from a site whose model is already stored is acknowledged and
+//! discarded — deterministic sites re-encode byte-identical models, so
+//! first-wins is safe. The global model is built exactly once.
+//!
+//! The final exchange is two-generals-shaped, resolved by making the
+//! *site* the retrying party: the server sends GOODBYE after recording
+//! a GLOBAL_ACK, and a site that never sees the GOODBYE replays the
+//! session. The server therefore keeps serving replays for a drain
+//! window after all sites have acked, bounded by the overall deadline.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dbdc::wire;
+use dbdc::{build_global_model_observed, DbdcParams, GlobalModel, LocalModel};
+use dbdc_obs::Recorder;
+
+use crate::error::NetError;
+use crate::frame::{
+    read_frame, write_frame, Frame, FrameKind, Hello, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+
+/// Configuration of a serving run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// How many sites the session expects; [`serve`] returns once all
+    /// of them have confirmed the broadcast.
+    pub n_sites: usize,
+    /// The protocol parameters (the server only uses the global-phase
+    /// fields, but the full set keeps one source of truth).
+    pub params: DbdcParams,
+    /// Per-read socket timeout; also paces GLOBAL_MODEL resends while
+    /// waiting for a site's ack.
+    pub read_timeout: Duration,
+    /// How many times GLOBAL_MODEL is re-sent on an ack-read timeout
+    /// before the connection is abandoned (the site will reconnect).
+    pub resend_attempts: u32,
+    /// Hard ceiling on the whole run.
+    pub deadline: Duration,
+    /// How long to keep serving session replays after all sites acked
+    /// *and* the last connection activity, so a site whose GOODBYE was
+    /// lost can come back mid-backoff and re-confirm. Must exceed the
+    /// sites' maximum retry backoff.
+    pub drain_window: Duration,
+    /// Ceiling on incoming frame bodies.
+    pub max_frame_bytes: usize,
+}
+
+impl ServeOptions {
+    /// Defaults for `n_sites` sites: 2 s reads, 3 resends, 60 s
+    /// deadline, 1 s drain (above [`crate::RetryPolicy::standard`]'s
+    /// 800 ms backoff ceiling).
+    pub fn new(n_sites: usize, params: DbdcParams) -> Self {
+        ServeOptions {
+            n_sites,
+            params,
+            read_timeout: Duration::from_secs(2),
+            resend_attempts: 3,
+            deadline: Duration::from_secs(60),
+            drain_window: Duration::from_secs(1),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// What a completed serving run produced.
+#[derive(Debug, Clone)]
+pub struct ServerOutcome {
+    /// The global model built from all local models.
+    pub global: GlobalModel,
+    /// Every site's decoded local model, in site order.
+    pub models: Vec<LocalModel>,
+    /// Exact encoded size of each site's local model.
+    pub per_site_bytes_up: Vec<usize>,
+    /// Exact encoded size of the broadcast global model.
+    pub global_model_bytes: usize,
+    /// Total representatives across all local models.
+    pub n_representatives: usize,
+    /// Measured wall time from serve start until the last local model
+    /// arrived — the real (concurrent) upload phase.
+    pub upload_wall: Duration,
+    /// Measured wall time of building + encoding the global model.
+    pub global_wall: Duration,
+    /// Measured wall time from the global model being ready until the
+    /// last site confirmed receipt — the real broadcast phase.
+    pub broadcast_wall: Duration,
+    /// Connections accepted over the run (> `n_sites` means retries
+    /// happened).
+    pub connections: u64,
+}
+
+struct ServerState {
+    models: Vec<Option<LocalModel>>,
+    bytes_up: Vec<Option<usize>>,
+    global: Option<(GlobalModel, Vec<u8>)>,
+    acked: Vec<bool>,
+    active_conns: usize,
+    last_activity: Instant,
+    upload_wall: Duration,
+    global_wall: Duration,
+    all_acked_at: Option<Instant>,
+}
+
+impl ServerState {
+    fn all_models_in(&self) -> bool {
+        self.models.iter().all(|m| m.is_some())
+    }
+
+    fn all_acked(&self) -> bool {
+        !self.acked.is_empty() && self.acked.iter().all(|&a| a)
+    }
+}
+
+struct Shared {
+    state: Mutex<ServerState>,
+    ready: Condvar,
+    stop: AtomicBool,
+    connections: AtomicU64,
+    started: Instant,
+    opts: ServeOptions,
+}
+
+/// Runs a full DBDC serving session on `listener` (which should already
+/// be bound; pass a `127.0.0.1:0` bind for tests). Blocks until all
+/// sites confirm the broadcast or the deadline passes. Counter scopes
+/// land in `rec` under `server` (bytes up/down, representatives).
+pub fn serve(
+    listener: TcpListener,
+    opts: ServeOptions,
+    rec: &dyn Recorder,
+) -> Result<ServerOutcome, NetError> {
+    assert!(
+        opts.n_sites > 0,
+        "a serving session needs at least one site"
+    );
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        state: Mutex::new(ServerState {
+            models: vec![None; opts.n_sites],
+            bytes_up: vec![None; opts.n_sites],
+            global: None,
+            acked: vec![false; opts.n_sites],
+            active_conns: 0,
+            last_activity: Instant::now(),
+            upload_wall: Duration::ZERO,
+            global_wall: Duration::ZERO,
+            all_acked_at: None,
+        }),
+        ready: Condvar::new(),
+        stop: AtomicBool::new(false),
+        connections: AtomicU64::new(0),
+        started: Instant::now(),
+        opts,
+    });
+    let sheet = rec.sheet("server");
+
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let outcome = loop {
+        if shared.started.elapsed() > shared.opts.deadline {
+            shared.stop.store(true, Ordering::Relaxed);
+            break Err(NetError::Deadline);
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut st = shared.state.lock().expect("server state poisoned");
+                    st.active_conns += 1;
+                    st.last_activity = Instant::now();
+                }
+                let shared = Arc::clone(&shared);
+                let sheet = sheet.clone();
+                handlers.push(std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &shared, sheet.as_ref());
+                    let mut st = shared.state.lock().expect("server state poisoned");
+                    st.active_conns -= 1;
+                    st.last_activity = Instant::now();
+                    shared.ready.notify_all();
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                shared.stop.store(true, Ordering::Relaxed);
+                break Err(NetError::Io(e));
+            }
+        }
+        let st = shared.state.lock().expect("server state poisoned");
+        if st.all_acked_at.is_some() {
+            // Stay up through the drain window (measured from the last
+            // connection activity) so a site whose GOODBYE was lost can
+            // come back mid-backoff and re-confirm.
+            let quiet = st.last_activity.elapsed() > shared.opts.drain_window;
+            if quiet {
+                // Tell lingering handlers (e.g. a dangling connection
+                // that never sent HELLO) to stop re-arming their reads.
+                shared.stop.store(true, Ordering::Relaxed);
+                if st.active_conns == 0 {
+                    drop(st);
+                    break Ok(());
+                }
+            }
+        }
+    };
+    // Handler threads poll `stop` between blocking reads (which are all
+    // timeout-bounded), so this join is prompt.
+    for h in handlers {
+        let _ = h.join();
+    }
+    outcome?;
+
+    let st = shared.state.lock().expect("server state poisoned");
+    let models: Vec<LocalModel> = st
+        .models
+        .iter()
+        .map(|m| m.clone().expect("all in"))
+        .collect();
+    let (global, encoded) = st.global.clone().expect("global built");
+    let n_representatives = models.iter().map(|m| m.len()).sum();
+    let per_site_bytes_up: Vec<usize> = st.bytes_up.iter().map(|b| b.expect("all in")).collect();
+    if let Some(s) = &sheet {
+        s.add_representatives(n_representatives as u64);
+    }
+    let global_ready = st.upload_wall + st.global_wall;
+    let broadcast_wall = st
+        .all_acked_at
+        .map(|t| (t - shared.started).saturating_sub(global_ready))
+        .unwrap_or(Duration::ZERO);
+    Ok(ServerOutcome {
+        per_site_bytes_up,
+        global_model_bytes: encoded.len(),
+        n_representatives,
+        upload_wall: st.upload_wall,
+        global_wall: st.global_wall,
+        broadcast_wall,
+        connections: shared.connections.load(Ordering::Relaxed),
+        global,
+        models,
+    })
+}
+
+/// One connection's session. Any error just abandons the connection —
+/// the site owns recovery by replaying.
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    sheet: Option<&std::sync::Arc<dbdc_obs::CounterSheet>>,
+) -> Result<(), NetError> {
+    let opts = &shared.opts;
+    stream.set_read_timeout(Some(opts.read_timeout))?;
+    stream.set_nodelay(true).ok();
+
+    // --- Handshake. ---
+    let frame = read_frame_interruptible(&mut stream, shared)?;
+    if frame.kind != FrameKind::Hello {
+        return Err(NetError::Protocol(format!(
+            "expected HELLO, got {}",
+            frame.kind.name()
+        )));
+    }
+    let hello = Hello::decode(&frame.payload)
+        .ok_or_else(|| NetError::Protocol("malformed HELLO payload".into()))?;
+    if let Err(reason) = validate_hello(&hello, opts.n_sites) {
+        // Fatal for the site: tell it why so it stops retrying.
+        let _ = write_frame(
+            &mut stream,
+            &Frame::new(FrameKind::Error, reason.clone().into_bytes()),
+        );
+        return Err(NetError::Handshake(reason));
+    }
+    let site = hello.site as usize;
+    write_frame(&mut stream, &Frame::bare(FrameKind::HelloAck))?;
+
+    // --- Upload. ---
+    let frame = read_frame_interruptible(&mut stream, shared)?;
+    if frame.kind != FrameKind::LocalModel {
+        return Err(NetError::Protocol(format!(
+            "expected LOCAL_MODEL, got {}",
+            frame.kind.name()
+        )));
+    }
+    // Decode before acking: a corrupt payload must read as "not
+    // delivered" so the site retries.
+    let model = wire::decode_local_model(&frame.payload)?;
+    {
+        let mut st = shared.state.lock().expect("server state poisoned");
+        if st.models[site].is_none() {
+            if let Some(s) = sheet {
+                s.add_bytes_received(frame.payload.len() as u64);
+            }
+            st.models[site] = Some(model);
+            st.bytes_up[site] = Some(frame.payload.len());
+            if st.all_models_in() && st.global.is_none() {
+                // Exactly-once global build, on the thread that
+                // delivered the last model.
+                st.upload_wall = shared.started.elapsed();
+                let t0 = Instant::now();
+                let models: Vec<LocalModel> = st
+                    .models
+                    .iter()
+                    .map(|m| m.clone().expect("all in"))
+                    .collect();
+                let global = build_global_model_observed(&models, &opts.params, sheet);
+                let encoded = wire::encode_global_model(&global)
+                    .expect("global model fits the wire format")
+                    .to_vec();
+                st.global_wall = t0.elapsed();
+                st.global = Some((global, encoded));
+                shared.ready.notify_all();
+            }
+        }
+        // else: replayed upload from a deterministic site — identical
+        // bytes, nothing to store.
+    }
+    write_frame(&mut stream, &Frame::bare(FrameKind::ModelAck))?;
+
+    // --- Wait for the global model (the last uploader builds it). ---
+    let encoded_global = {
+        let mut st = shared.state.lock().expect("server state poisoned");
+        loop {
+            if let Some((_, encoded)) = &st.global {
+                break encoded.clone();
+            }
+            if shared.stop.load(Ordering::Relaxed) || shared.started.elapsed() > opts.deadline {
+                return Err(NetError::Deadline);
+            }
+            let (guard, _) = shared
+                .ready
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("server state poisoned");
+            st = guard;
+        }
+    };
+
+    // --- Broadcast until the site acks. ---
+    for _ in 0..=opts.resend_attempts {
+        write_frame(
+            &mut stream,
+            &Frame::new(FrameKind::GlobalModel, encoded_global.clone()),
+        )?;
+        if let Some(s) = sheet {
+            s.add_bytes_sent(encoded_global.len() as u64);
+        }
+        match read_frame(&mut stream, opts.max_frame_bytes) {
+            Ok(f) if f.kind == FrameKind::GlobalAck => {
+                {
+                    let mut st = shared.state.lock().expect("server state poisoned");
+                    st.acked[site] = true;
+                    if st.all_acked() && st.all_acked_at.is_none() {
+                        st.all_acked_at = Some(Instant::now());
+                    }
+                }
+                shared.ready.notify_all();
+                // Best-effort: if this is lost the site replays the
+                // session and gets another one.
+                let _ = write_frame(&mut stream, &Frame::bare(FrameKind::Goodbye));
+                return Ok(());
+            }
+            Ok(f) => {
+                return Err(NetError::Protocol(format!(
+                    "expected GLOBAL_ACK, got {}",
+                    f.kind.name()
+                )));
+            }
+            Err(e) if e.is_timeout() && !shared.stop.load(Ordering::Relaxed) => {
+                // Ack lost or site still reading: resend the broadcast.
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(NetError::Exhausted {
+        attempts: opts.resend_attempts + 1,
+        last: "no GLOBAL_ACK".into(),
+    })
+}
+
+fn validate_hello(hello: &Hello, n_sites: usize) -> Result<(), String> {
+    if hello.version != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version mismatch: server speaks {PROTOCOL_VERSION}, site sent {}",
+            hello.version
+        ));
+    }
+    if hello.n_sites as usize != n_sites {
+        return Err(format!(
+            "site count mismatch: server expects {n_sites}, site sent {}",
+            hello.n_sites
+        ));
+    }
+    if hello.site as usize >= n_sites {
+        return Err(format!(
+            "site id {} out of range for {n_sites} sites",
+            hello.site
+        ));
+    }
+    Ok(())
+}
+
+/// A frame read that re-arms on timeout until the server stops, so an
+/// idle connection (a site mid-backoff) doesn't get abandoned while the
+/// run is still live.
+fn read_frame_interruptible(stream: &mut TcpStream, shared: &Shared) -> Result<Frame, NetError> {
+    loop {
+        match read_frame(stream, shared.opts.max_frame_bytes) {
+            Err(e)
+                if e.is_timeout()
+                    && !shared.stop.load(Ordering::Relaxed)
+                    && shared.started.elapsed() < shared.opts.deadline =>
+            {
+                continue;
+            }
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_validation_covers_all_mismatches() {
+        assert!(validate_hello(&Hello::new(0, 4), 4).is_ok());
+        assert!(validate_hello(&Hello::new(3, 4), 4).is_ok());
+        let bad_version = Hello {
+            version: PROTOCOL_VERSION + 1,
+            site: 0,
+            n_sites: 4,
+        };
+        assert!(validate_hello(&bad_version, 4)
+            .unwrap_err()
+            .contains("version"));
+        assert!(validate_hello(&Hello::new(0, 5), 4)
+            .unwrap_err()
+            .contains("site count"));
+        assert!(validate_hello(&Hello::new(4, 4), 4)
+            .unwrap_err()
+            .contains("out of range"));
+    }
+}

@@ -1,0 +1,344 @@
+//! A DBDC client site over real TCP.
+//!
+//! [`run_site`] runs the full client half of the protocol against a
+//! server address: local clustering, model extraction and wire
+//! encoding (identical to the in-process runtime — same index, same
+//! DBSCAN driver, same encoder, so the bytes on the wire are exactly
+//! the in-process message sizes), then the network session, then the
+//! relabel phase against the received global model.
+//!
+//! The network session is retried as a whole under the site's
+//! [`RetryPolicy`]: the local phase is deterministic and the encoded
+//! model is reused, so a replay sends byte-identical frames and every
+//! server-side effect is idempotent. Only a handshake rejection
+//! (version/topology mismatch) aborts without retrying.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dbdc::wire;
+use dbdc::{build_local_model, DbdcParams, GlobalModel};
+use dbdc_cluster::{dbscan_with_scp, par_dbscan_with_scp, DbscanParams, ScpResult};
+use dbdc_geom::{Clustering, Dataset, Euclidean};
+use dbdc_obs::Recorder;
+
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame, Frame, FrameKind, Hello, DEFAULT_MAX_FRAME_BYTES};
+use crate::retry::RetryPolicy;
+
+/// Configuration of a client site.
+#[derive(Debug, Clone)]
+pub struct SiteOptions {
+    /// This site's id, `0 <= site < n_sites`.
+    pub site: u32,
+    /// The session's total site count (validated by the server).
+    pub n_sites: u32,
+    /// The protocol parameters (must match the server's).
+    pub params: DbdcParams,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Per-read socket timeout.
+    pub read_timeout: Duration,
+    /// Session retry budget and backoff.
+    pub retry: RetryPolicy,
+    /// Ceiling on incoming frame bodies.
+    pub max_frame_bytes: usize,
+}
+
+impl SiteOptions {
+    /// Defaults for site `site` of `n_sites`: 2 s connect, 3 s reads
+    /// (above the server's 2 s ack-resend pace), standard retries.
+    pub fn new(site: u32, n_sites: u32, params: DbdcParams) -> Self {
+        SiteOptions {
+            site,
+            n_sites,
+            params,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(3),
+            retry: RetryPolicy::standard(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// What a completed site run produced.
+#[derive(Debug, Clone)]
+pub struct SiteOutcome {
+    /// The site's final labels (dense ids local to this site's points,
+    /// in partition order), after relabeling against the global model.
+    pub labels: Clustering,
+    /// The received global model.
+    pub global: GlobalModel,
+    /// Exact encoded size of the uploaded local model.
+    pub bytes_up: usize,
+    /// Exact encoded size of the received global model.
+    pub bytes_down: usize,
+    /// Network session attempts used (1 = first try succeeded).
+    pub attempts: u32,
+    /// Measured wall time of the local phase (cluster+extract+encode).
+    pub local_wall: Duration,
+    /// Measured wall time of the network session, connect through
+    /// GOODBYE, across all attempts including backoff.
+    pub session_wall: Duration,
+    /// Measured wall time of the relabel phase.
+    pub relabel_wall: Duration,
+}
+
+/// Runs the full client protocol against `addr`. Counter scopes land in
+/// `rec` under `local[site]` and `relabel[site]`, matching the
+/// in-process runtime's scope names.
+pub fn run_site(
+    addr: SocketAddr,
+    site_data: &Dataset,
+    opts: &SiteOptions,
+    rec: &dyn Recorder,
+) -> Result<SiteOutcome, NetError> {
+    // --- Local phase: identical to the in-process runtime. ---
+    let t0 = Instant::now();
+    let (scp, encoded) = local_phase(site_data, opts, rec);
+    let local_wall = t0.elapsed();
+
+    // --- Network session, retried as a whole. ---
+    let t1 = Instant::now();
+    let (encoded_global, attempts) = run_session(addr, &encoded, opts)?;
+    let session_wall = t1.elapsed();
+
+    // --- Relabel against the broadcast model. ---
+    let t2 = Instant::now();
+    let sheet = rec.sheet(&format!("relabel[{}]", opts.site));
+    let global = wire::decode_global_model(&encoded_global)?;
+    if let Some(s) = &sheet {
+        s.add_bytes_received(encoded_global.len() as u64);
+    }
+    let labels =
+        dbdc::relabel_site_observed(site_data, &scp.dbscan.clustering, &global, sheet.as_ref());
+    let relabel_wall = t2.elapsed();
+
+    Ok(SiteOutcome {
+        labels,
+        bytes_up: encoded.len(),
+        bytes_down: encoded_global.len(),
+        attempts,
+        local_wall,
+        session_wall,
+        relabel_wall,
+        global,
+    })
+}
+
+/// Cluster, extract the local model, encode it — the same sequence, on
+/// the same public APIs, as the in-process runtime's local phase, so a
+/// networked run is byte- and label-identical to `run_dbdc` on the same
+/// partition.
+fn local_phase(
+    site_data: &Dataset,
+    opts: &SiteOptions,
+    rec: &dyn Recorder,
+) -> (ScpResult, bytes::Bytes) {
+    let params = &opts.params;
+    let sheet = rec.sheet(&format!("local[{}]", opts.site));
+    let eps_hist = rec.hist(&format!("local[{}]/eps_range_ns", opts.site));
+    let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
+    let index = dbdc_index::build_index_instrumented(
+        params.index,
+        site_data,
+        Euclidean,
+        params.eps_local,
+        sheet.as_ref(),
+        eps_hist.as_ref(),
+    );
+    let scp = if params.threads == 1 {
+        dbscan_with_scp(site_data, index.as_ref(), &dbscan_params)
+    } else {
+        par_dbscan_with_scp(site_data, index.as_ref(), &dbscan_params, params.threads)
+    };
+    let model = build_local_model(params.model, site_data, &scp, opts.site);
+    let encoded = wire::encode_local_model(&model).expect("local model fits the wire format");
+    if let Some(s) = &sheet {
+        s.add_representatives(model.len() as u64);
+        s.add_bytes_sent(encoded.len() as u64);
+    }
+    (scp, encoded)
+}
+
+/// The session with retries: returns the received global model's wire
+/// bytes and the attempt count.
+fn run_session(
+    addr: SocketAddr,
+    encoded_model: &[u8],
+    opts: &SiteOptions,
+) -> Result<(Vec<u8>, u32), NetError> {
+    let mut last: Option<NetError> = None;
+    for attempt in 1..=opts.retry.attempts {
+        std::thread::sleep(opts.retry.delay_before(attempt - 1));
+        match session_once(addr, encoded_model, opts) {
+            Ok(global) => return Ok((global, attempt)),
+            Err(e) if e.is_retryable() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(NetError::Exhausted {
+        attempts: opts.retry.attempts,
+        last: last.map(|e| e.to_string()).unwrap_or_default(),
+    })
+}
+
+/// One full session attempt: connect, handshake, upload, receive the
+/// global model, ack, wait for GOODBYE.
+fn session_once(
+    addr: SocketAddr,
+    encoded_model: &[u8],
+    opts: &SiteOptions,
+) -> Result<Vec<u8>, NetError> {
+    let mut stream = TcpStream::connect_timeout(&addr, opts.connect_timeout)?;
+    stream.set_read_timeout(Some(opts.read_timeout))?;
+    stream.set_nodelay(true).ok();
+
+    // --- Handshake. ---
+    write_frame(
+        &mut stream,
+        &Frame::new(
+            FrameKind::Hello,
+            Hello::new(opts.site, opts.n_sites).encode(),
+        ),
+    )?;
+    expect_frame(&mut stream, opts, FrameKind::HelloAck)?;
+
+    // --- Upload. ---
+    write_frame(
+        &mut stream,
+        &Frame::new(FrameKind::LocalModel, encoded_model.to_vec()),
+    )?;
+    expect_frame(&mut stream, opts, FrameKind::ModelAck)?;
+
+    // --- Receive the global model. ---
+    let frame = expect_frame(&mut stream, opts, FrameKind::GlobalModel)?;
+    // Verify end-to-end before acking: a corrupted broadcast must read
+    // as "not delivered" so the server resends / the session replays.
+    wire::decode_global_model(&frame.payload)?;
+    let encoded_global = frame.payload;
+
+    // --- Confirm, then linger for the server's confirmation. ---
+    write_frame(&mut stream, &Frame::bare(FrameKind::GlobalAck))?;
+    // The server resends GLOBAL_MODEL if our ack was lost; re-ack each
+    // copy. Only GOODBYE ends the session — anything else replays it.
+    for _ in 0..64 {
+        let f = read_frame(&mut stream, opts.max_frame_bytes)?;
+        match f.kind {
+            FrameKind::Goodbye => return Ok(encoded_global),
+            FrameKind::GlobalModel => {
+                write_frame(&mut stream, &Frame::bare(FrameKind::GlobalAck))?;
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected GOODBYE, got {}",
+                    other.name()
+                )))
+            }
+        }
+    }
+    Err(NetError::Protocol("no GOODBYE after 64 frames".into()))
+}
+
+/// Reads one frame and checks its kind. An ERROR frame is a fatal
+/// handshake rejection carrying the server's reason.
+fn expect_frame(
+    stream: &mut TcpStream,
+    opts: &SiteOptions,
+    want: FrameKind,
+) -> Result<Frame, NetError> {
+    let frame = read_frame(stream, opts.max_frame_bytes)?;
+    if frame.kind == want {
+        return Ok(frame);
+    }
+    if frame.kind == FrameKind::Error {
+        return Err(NetError::Handshake(
+            String::from_utf8_lossy(&frame.payload).into_owned(),
+        ));
+    }
+    Err(NetError::Protocol(format!(
+        "expected {}, got {}",
+        want.name(),
+        frame.kind.name()
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn opts() -> SiteOptions {
+        let mut o = SiteOptions::new(0, 1, DbdcParams::new(1.6, 5));
+        o.connect_timeout = Duration::from_millis(200);
+        o.read_timeout = Duration::from_millis(200);
+        o.retry = RetryPolicy {
+            attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        };
+        o
+    }
+
+    #[test]
+    fn connect_refused_exhausts_retries() {
+        // Bind-then-drop guarantees a dead port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let err = run_session(addr, &[], &opts()).unwrap_err();
+        match err {
+            NetError::Exhausted { attempts, .. } => assert_eq!(attempts, 2),
+            other => panic!("expected Exhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn error_frame_aborts_without_retrying() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Reject both potential attempts; the test asserts only one
+            // connection ever arrives.
+            let mut served = 0u32;
+            while served < 1 {
+                let (mut s, _) = listener.accept().unwrap();
+                let _ = read_frame(&mut s, DEFAULT_MAX_FRAME_BYTES).unwrap();
+                write_frame(
+                    &mut s,
+                    &Frame::new(FrameKind::Error, b"version mismatch".to_vec()),
+                )
+                .unwrap();
+                served += 1;
+            }
+            served
+        });
+        let err = run_session(addr, &[], &opts()).unwrap_err();
+        assert!(matches!(err, NetError::Handshake(ref m) if m.contains("version")));
+        assert_eq!(
+            server.join().unwrap(),
+            1,
+            "no retry after a fatal rejection"
+        );
+    }
+
+    #[test]
+    fn unexpected_kind_is_a_retryable_protocol_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let _ = read_frame(&mut s, DEFAULT_MAX_FRAME_BYTES).unwrap();
+                // A GOODBYE during the handshake is nonsense.
+                write_frame(&mut s, &Frame::bare(FrameKind::Goodbye)).unwrap();
+            }
+        });
+        let err = run_session(addr, &[], &opts()).unwrap_err();
+        assert!(
+            matches!(err, NetError::Exhausted { attempts: 2, ref last } if last.contains("GOODBYE"))
+        );
+        server.join().unwrap();
+    }
+}

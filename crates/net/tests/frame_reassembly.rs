@@ -1,0 +1,138 @@
+//! TCP delivers frames in arbitrary fragments and dies at arbitrary
+//! offsets. These properties pin down the frame reader against both:
+//! any fragmentation reassembles to the identical frame, and any
+//! truncation — including the fault shim's generator-driven cut points
+//! — yields a clean error, never a panic, never a wrong frame.
+
+use std::io::Read;
+
+use dbdc_net::frame::{encode_frame, read_frame, Frame, FrameKind, DEFAULT_MAX_FRAME_BYTES};
+use dbdc_net::SplitMix64;
+use proptest::prelude::*;
+
+/// A reader that returns at most one byte per `read` call — the most
+/// fragmented stream TCP can legally produce.
+struct TrickleReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Read for TrickleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.bytes.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+/// A reader delivering the stream in caller-chosen chunk sizes.
+struct ChunkedReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    chunks: Vec<usize>,
+    next: usize,
+}
+
+impl Read for ChunkedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.bytes.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        let want = if self.next < self.chunks.len() {
+            let c = self.chunks[self.next];
+            self.next += 1;
+            c.max(1)
+        } else {
+            buf.len()
+        };
+        let n = want.min(buf.len()).min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn kinds() -> [FrameKind; 8] {
+    [
+        FrameKind::Hello,
+        FrameKind::HelloAck,
+        FrameKind::LocalModel,
+        FrameKind::ModelAck,
+        FrameKind::GlobalModel,
+        FrameKind::GlobalAck,
+        FrameKind::Error,
+        FrameKind::Goodbye,
+    ]
+}
+
+proptest! {
+    /// Single-byte reassembly: a frame delivered one byte at a time
+    /// decodes to exactly the frame that was sent.
+    #[test]
+    fn single_byte_trickle_reassembles_exactly(
+        kind_idx in 0usize..8,
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let frame = Frame::new(kinds()[kind_idx], payload);
+        let bytes = encode_frame(&frame);
+        let mut r = TrickleReader { bytes: &bytes, pos: 0 };
+        let back = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES);
+        prop_assert_eq!(back.ok(), Some(frame));
+        prop_assert_eq!(r.pos, bytes.len());
+    }
+
+    /// Arbitrary fragmentation: any chunking of the stream reassembles
+    /// to the identical frame.
+    #[test]
+    fn arbitrary_chunking_reassembles_exactly(
+        kind_idx in 0usize..8,
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+        chunks in prop::collection::vec(1usize..40, 0..64),
+    ) {
+        let frame = Frame::new(kinds()[kind_idx], payload);
+        let bytes = encode_frame(&frame);
+        let mut r = ChunkedReader { bytes: &bytes, pos: 0, chunks, next: 0 };
+        let back = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES);
+        prop_assert_eq!(back.ok(), Some(frame));
+    }
+
+    /// Every strict prefix of a valid frame — a connection dying
+    /// mid-transfer — errors cleanly, even via a trickle reader.
+    #[test]
+    fn every_strict_prefix_errors_cleanly(
+        kind_idx in 0usize..8,
+        payload in prop::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let frame = Frame::new(kinds()[kind_idx], payload);
+        let bytes = encode_frame(&frame);
+        for cut in 0..bytes.len() {
+            let got = read_frame(&mut &bytes[..cut], DEFAULT_MAX_FRAME_BYTES);
+            prop_assert!(got.is_err(), "prefix of {} bytes decoded", cut);
+            let mut trickle = TrickleReader { bytes: &bytes[..cut], pos: 0 };
+            let got = read_frame(&mut trickle, DEFAULT_MAX_FRAME_BYTES);
+            prop_assert!(got.is_err(), "trickled prefix of {} bytes decoded", cut);
+        }
+    }
+
+    /// The fault shim's truncate mode, replayed exactly: the shim picks
+    /// its cut with `SplitMix64::below(body_len)` and always forwards
+    /// the full length prefix plus that strict body prefix. Whatever
+    /// the seed, the receiver reports an error.
+    #[test]
+    fn shim_style_truncations_error_cleanly(
+        seed in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let frame = Frame::new(FrameKind::LocalModel, payload);
+        let bytes = encode_frame(&frame);
+        let body_len = bytes.len() - 4;
+        let mut rng = SplitMix64::new(seed);
+        let cut = rng.below(body_len as u64) as usize;
+        let delivered = &bytes[..4 + cut];
+        let got = read_frame(&mut &delivered[..], DEFAULT_MAX_FRAME_BYTES);
+        prop_assert!(got.is_err(), "shim cut at body byte {} decoded", cut);
+    }
+}

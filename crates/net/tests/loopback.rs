@@ -1,0 +1,261 @@
+//! In-process loopback: a real TCP server and real TCP sites on
+//! 127.0.0.1, asserted label-identical to the single-process runtime —
+//! with and without an adversarial link in the middle.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use dbdc::{run_dbdc, DbdcOutcome, DbdcParams, EpsGlobal, Partitioner};
+use dbdc_datagen::dataset_c;
+use dbdc_geom::{Clustering, Dataset, Label};
+use dbdc_net::{
+    run_site, serve, FaultPlan, FaultProxy, NetError, RetryPolicy, ServeOptions, ServerOutcome,
+    SiteOptions, SiteOutcome,
+};
+use dbdc_obs::NoopRecorder;
+
+const N_SITES: usize = 4;
+
+fn params() -> DbdcParams {
+    DbdcParams::new(1.6, 5).with_eps_global(EpsGlobal::MultipleOfLocal(2.0))
+}
+
+fn partitioner() -> Partitioner {
+    Partitioner::RandomEqual { seed: 7 }
+}
+
+/// Splits the dataset exactly like the in-process runtime does.
+fn split(data: &Dataset) -> (Vec<Dataset>, Vec<Vec<u32>>) {
+    let assignment = partitioner().assign(data, N_SITES);
+    data.partition(N_SITES, &assignment)
+}
+
+/// Reassembles per-site labels into the full clustering, mirroring the
+/// runtime's assembly step.
+fn reassemble(n: usize, back: &[Vec<u32>], sites: &[SiteOutcome]) -> Clustering {
+    let mut full = vec![Label::Noise; n];
+    for (site, ids) in back.iter().enumerate() {
+        for (pos, &orig) in ids.iter().enumerate() {
+            full[orig as usize] = sites[site].labels.label(pos as u32);
+        }
+    }
+    Clustering::from_labels(full)
+}
+
+/// Runs server + sites over loopback (optionally through a fault
+/// proxy), returning everything needed for identity checks.
+#[allow(clippy::type_complexity)]
+fn networked_run(
+    data: &Dataset,
+    serve_opts: ServeOptions,
+    site_opts: impl Fn(u32) -> SiteOptions,
+    plan: Option<FaultPlan>,
+) -> (
+    Result<ServerOutcome, NetError>,
+    Vec<Result<SiteOutcome, NetError>>,
+    Option<FaultProxy>,
+) {
+    let (parts, _) = split(data);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server_addr = listener.local_addr().expect("local addr");
+    let proxy = plan.map(|p| FaultProxy::spawn(server_addr, p).expect("spawn proxy"));
+    let connect_addr = proxy.as_ref().map(|p| p.addr()).unwrap_or(server_addr);
+    let server = std::thread::spawn(move || serve(listener, serve_opts, &NoopRecorder));
+    let site_results: Vec<Result<SiteOutcome, NetError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(site, part)| {
+                let opts = site_opts(site as u32);
+                scope.spawn(move || run_site(connect_addr, part, &opts, &NoopRecorder))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("site thread panicked"))
+            .collect()
+    });
+    let server_result = server.join().expect("server thread panicked");
+    (server_result, site_results, proxy)
+}
+
+fn expected(data: &Dataset) -> DbdcOutcome {
+    run_dbdc(data, &params(), partitioner(), N_SITES)
+}
+
+#[test]
+fn clean_loopback_matches_in_process_runtime() {
+    let g = dataset_c(31);
+    let reference = expected(&g.data);
+    let (_, back) = split(&g.data);
+
+    let mut serve_opts = ServeOptions::new(N_SITES, params());
+    serve_opts.drain_window = Duration::from_millis(150);
+    let (server, sites, _) = networked_run(
+        &g.data,
+        serve_opts,
+        |site| SiteOptions::new(site, N_SITES as u32, params()),
+        None,
+    );
+    let server = server.expect("server completes");
+    let sites: Vec<SiteOutcome> = sites
+        .into_iter()
+        .map(|s| s.expect("site completes"))
+        .collect();
+
+    // The distributed-over-TCP clustering is the in-process clustering.
+    let assignment = reassemble(g.data.len(), &back, &sites);
+    assert_eq!(assignment, reference.assignment);
+
+    // The server saw exactly the in-process protocol: same global
+    // model, same message sizes, one connection per site.
+    assert_eq!(server.global, reference.global);
+    assert_eq!(server.per_site_bytes_up, reference.per_site_bytes_up);
+    assert_eq!(server.global_model_bytes, reference.global_model_bytes);
+    assert_eq!(server.n_representatives, reference.n_representatives);
+    assert_eq!(server.connections, N_SITES as u64);
+    for (site, s) in sites.iter().enumerate() {
+        assert_eq!(s.attempts, 1, "site {site} needed retries on a clean link");
+        assert_eq!(s.bytes_up, reference.per_site_bytes_up[site]);
+        assert_eq!(s.bytes_down, reference.global_model_bytes);
+        assert_eq!(s.global, reference.global);
+    }
+    // The measured phases are real walls now, not model outputs.
+    assert!(server.upload_wall > Duration::ZERO);
+    assert!(server.broadcast_wall > Duration::ZERO);
+}
+
+#[test]
+fn lossy_loopback_converges_to_identical_labels() {
+    let g = dataset_c(32);
+    let reference = expected(&g.data);
+    let (_, back) = split(&g.data);
+
+    let mut total_events = 0u64;
+    for seed in [0xA11CEu64, 0xB0BB1E] {
+        let mut serve_opts = ServeOptions::new(N_SITES, params());
+        serve_opts.read_timeout = Duration::from_millis(500);
+        serve_opts.deadline = Duration::from_secs(45);
+        serve_opts.drain_window = Duration::from_millis(1200);
+        let site_opts = |site: u32| {
+            let mut o = SiteOptions::new(site, N_SITES as u32, params());
+            o.connect_timeout = Duration::from_secs(1);
+            o.read_timeout = Duration::from_millis(800);
+            o.retry = RetryPolicy {
+                attempts: 25,
+                base_delay: Duration::from_millis(25),
+                max_delay: Duration::from_millis(400),
+            };
+            o
+        };
+        let (server, sites, proxy) =
+            networked_run(&g.data, serve_opts, site_opts, Some(FaultPlan::lossy(seed)));
+        let server = server.expect("server converges through faults");
+        let sites: Vec<SiteOutcome> = sites
+            .into_iter()
+            .map(|s| s.expect("site converges through faults"))
+            .collect();
+
+        // Drops, delays, truncations and bitflips changed nothing: the
+        // result is byte- and label-identical to the clean run.
+        let assignment = reassemble(g.data.len(), &back, &sites);
+        assert_eq!(assignment, reference.assignment, "plan seed {seed:#x}");
+        assert_eq!(server.global, reference.global);
+        assert_eq!(server.per_site_bytes_up, reference.per_site_bytes_up);
+
+        let proxy = proxy.expect("proxy ran");
+        let stats = proxy.stats();
+        total_events += stats.injected() + stats.delayed.load(std::sync::atomic::Ordering::Relaxed);
+    }
+    // Across both seeds the adversarial link did fire: with an 18%
+    // per-frame event rate over ≥56 frames, two silent runs have
+    // probability ~1e-5. Convergence above does not depend on this.
+    assert!(total_events > 0, "fault proxy never fired across two runs");
+}
+
+#[test]
+fn fully_corrupted_link_is_rejected_by_checksums() {
+    let g = dataset_c(33);
+    let (parts, _) = split(&g.data);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server_addr = listener.local_addr().expect("local addr");
+    // Every frame gets one bit flipped: nothing valid ever arrives.
+    let mut plan = FaultPlan::clean(99);
+    plan.bitflip = 1.0;
+    let proxy = FaultProxy::spawn(server_addr, plan).expect("spawn proxy");
+    let proxy_addr = proxy.addr();
+
+    let mut serve_opts = ServeOptions::new(N_SITES, params());
+    serve_opts.read_timeout = Duration::from_millis(200);
+    serve_opts.deadline = Duration::from_secs(3);
+    let server = std::thread::spawn(move || serve(listener, serve_opts, &NoopRecorder));
+
+    let result = {
+        let mut o = SiteOptions::new(0, N_SITES as u32, params());
+        o.connect_timeout = Duration::from_millis(500);
+        o.read_timeout = Duration::from_millis(300);
+        o.retry = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(10),
+        };
+        run_site(proxy_addr, &parts[0], &o, &NoopRecorder)
+    };
+    // The site never accepts a corrupt frame: it retries and exhausts.
+    match result {
+        Err(NetError::Exhausted { attempts, .. }) => assert_eq!(attempts, 3),
+        other => panic!("expected Exhausted, got {other:?}"),
+    }
+    assert!(
+        proxy
+            .stats()
+            .bitflipped
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "corruption was injected"
+    );
+    // The server never saw a valid model either and times out cleanly.
+    match server.join().expect("server thread panicked") {
+        Err(NetError::Deadline) => {}
+        other => panic!("expected Deadline, got {other:?}"),
+    }
+}
+
+#[test]
+fn topology_mismatch_is_fatal_but_session_recovers() {
+    let g = dataset_c(34);
+    let (parts, _) = split(&g.data);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let mut serve_opts = ServeOptions::new(1, params());
+    serve_opts.drain_window = Duration::from_millis(150);
+    serve_opts.deadline = Duration::from_secs(20);
+    let server = std::thread::spawn(move || serve(listener, serve_opts, &NoopRecorder));
+
+    // A site claiming the wrong topology is rejected without retries.
+    let bad = {
+        let mut o = SiteOptions::new(0, 2, params());
+        o.retry = RetryPolicy::standard();
+        run_site(addr, &parts[0], &o, &NoopRecorder)
+    };
+    match bad {
+        Err(NetError::Handshake(reason)) => {
+            assert!(reason.contains("site count"), "reason: {reason}")
+        }
+        other => panic!("expected Handshake rejection, got {other:?}"),
+    }
+
+    // The server survives the rejection and serves a correct site.
+    let good = run_site(
+        addr,
+        &parts[0],
+        &SiteOptions::new(0, 1, params()),
+        &NoopRecorder,
+    )
+    .expect("correct site completes");
+    assert_eq!(good.attempts, 1);
+    let server = server.join().expect("server thread panicked");
+    assert!(server.is_ok(), "server failed: {:?}", server.err());
+}

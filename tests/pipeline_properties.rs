@@ -56,7 +56,7 @@ proptest! {
         prop_assert_eq!(outcome.bytes_down % sites.max(1), 0);
 
         // Wire round trip of the produced global model.
-        let encoded = wire::encode_global_model(&outcome.global);
+        let encoded = wire::encode_global_model(&outcome.global).unwrap();
         let decoded = wire::decode_global_model(&encoded).unwrap();
         prop_assert_eq!(&decoded, &outcome.global);
 
