@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         "stream" => cmd_stream(rest),
         "serve" => netcmd::cmd_serve(rest),
         "site" => netcmd::cmd_site(rest),
+        "proxy" => netcmd::cmd_proxy(rest),
         "report" => cmd_report(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -86,17 +87,30 @@ commands:
   serve ... / site ...
       the DBDC protocol over real TCP — also built as the standalone
       dbdc-server and dbdc-site binaries; run `dbdc-cli serve --help`
-      or `dbdc-cli site --help` for their flags
+      or `dbdc-cli site --help` for their flags; both take --run-id ID
+      so their reports can be merged
+  proxy ...
+      a fault-injecting TCP forwarder between sites and server; run
+      `dbdc-cli proxy --help` for its flags
   report --input FILE [--require NAME,NAME,...]
       [--require-counter NAME,NAME,...] [--hist]
       render a --metrics-out JSON report; fail unless every --require'd
-      phase span is present and every --require-counter'd counter is
-      nonzero in some scope; --hist prints only the histogram table
+      name is present as a phase span or histogram scope and every
+      --require-counter'd counter is nonzero in some scope; --hist
+      prints only the histogram table
   report diff OLD NEW [--threshold FRACTION] [--only SUBSTR]
       compare two reports cell-by-cell (per-histogram p50/p99) and exit
       nonzero on regression; tolerance is max(FRACTION, baseline cell
       spread), FRACTION defaulting to 0.25; --only gates just the cells
       whose name contains SUBSTR
+  report merge SERVER SITE... --out FILE
+      join one server report with its site reports (matched by
+      --run-id) into a single fleet report: counters summed, histograms
+      bucket-merged, spans grafted under per-site subtrees
+  report timeline REPORT --out trace.json
+      render a (merged) report's span forest as Chrome trace_event
+      JSON — one pid per process, clocks aligned via the handshake
+      spans; open in chrome://tracing or ui.perfetto.dev
 
 KIND: linear|grid|kdtree|rstar (default rstar)
 T: DBSCAN worker threads; 1 = sequential (default), 0 = all cores.
@@ -105,6 +119,9 @@ T: DBSCAN worker threads; 1 = sequential (default), 0 = all cores.
 observability (every command):
   --trace              print the phase-span tree and counter scopes
   --metrics-out FILE   write the full RunReport as JSON
+  --run-id ID          shared run identity stamped into the report
+                       (run/compare/serve/site/proxy); `report merge`
+                       matches fleet reports on it
   --link lan|wan|slow_uplink|BW:LAT_MS
                        link for the modeled upload/broadcast spans in
                        run/compare reports (default wan); custom links are
@@ -263,6 +280,7 @@ fn cmd_run(raw: &[String]) -> CliResult {
             "trace",
             "metrics-out",
             "link",
+            "run-id",
         ],
     )?;
     no_positionals(&args)?;
@@ -304,7 +322,15 @@ fn cmd_run(raw: &[String]) -> CliResult {
         fmt_ms(outcome.timings.dbdc_total())
     );
     if wants {
-        let report = dbdc_run_report("run", data.dim(), &params, &outcome, &rec, Some(link));
+        let report = dbdc_run_report(
+            "run",
+            data.dim(),
+            &params,
+            &outcome,
+            &rec,
+            Some(link),
+            args.get("run-id").map(String::from),
+        );
         finish_report(&args, &report)?;
     }
     write_output(&args, &data, &outcome.assignment)
@@ -326,6 +352,7 @@ fn cmd_compare(raw: &[String]) -> CliResult {
             "trace",
             "metrics-out",
             "link",
+            "run-id",
         ],
     )?;
     no_positionals(&args)?;
@@ -374,8 +401,15 @@ fn cmd_compare(raw: &[String]) -> CliResult {
         outcome.per_site_bytes_up, outcome.global_model_bytes
     );
     if wants {
-        let mut report =
-            dbdc_run_report("compare", data.dim(), &params, &outcome, &rec, Some(link));
+        let mut report = dbdc_run_report(
+            "compare",
+            data.dim(),
+            &params,
+            &outcome,
+            &rec,
+            Some(link),
+            args.get("run-id").map(String::from),
+        );
         report.params.push(("p_i".into(), format!("{:.4}", p1.q)));
         report.params.push(("p_ii".into(), format!("{:.4}", p2.q)));
         finish_report(&args, &report)?;
@@ -589,25 +623,37 @@ fn cmd_report(raw: &[String]) -> CliResult {
             "hist",
             "threshold",
             "only",
+            "out",
         ],
     )?;
-    // `report diff OLD NEW` is the positional sub-form; everything else
-    // is the single-report validator/renderer.
-    if args.positional().first().map(String::as_str) == Some("diff") {
-        return cmd_report_diff(&args);
+    // `report diff OLD NEW`, `report merge SERVER SITE...`, and
+    // `report timeline REPORT` are positional sub-forms; everything
+    // else is the single-report validator/renderer.
+    match args.positional().first().map(String::as_str) {
+        Some("diff") => return cmd_report_diff(&args),
+        Some("merge") => return cmd_report_merge(&args),
+        Some("timeline") => return cmd_report_timeline(&args),
+        _ => {}
     }
     no_positionals(&args)?;
     let path = args.require("input")?;
     let report = load_report(path)?;
     if let Some(required) = args.get("require") {
+        // A required name may be satisfied by a phase span *or* a
+        // histogram scope: latency distributions like `net/session_ns`
+        // have no span of their own.
         let missing: Vec<&str> = required
             .split(',')
             .map(str::trim)
-            .filter(|name| !name.is_empty() && report.find_span(name).is_none())
+            .filter(|name| {
+                !name.is_empty()
+                    && report.find_span(name).is_none()
+                    && !report.hists.iter().any(|(n, _)| n == name)
+            })
             .collect();
         if !missing.is_empty() {
             return Err(format!(
-                "{path}: report is missing required span(s): {}",
+                "{path}: report is missing required span(s)/histogram(s): {}",
                 missing.join(", ")
             )
             .into());
@@ -646,6 +692,58 @@ fn report_counter_nonzero(report: &RunReport, name: &str) -> bool {
         return false;
     };
     report.scopes.iter().any(|(_, c)| c.values()[idx] != 0)
+}
+
+/// `report merge SERVER SITE... --out FILE`: join one server report
+/// with its site reports into a single fleet report.
+fn cmd_report_merge(args: &Args) -> CliResult {
+    let positional = args.positional();
+    if positional.len() < 3 {
+        return Err("usage: report merge SERVER SITE... --out FILE".into());
+    }
+    let out = args.require("out")?;
+    let server = load_report(&positional[1])?;
+    let sites: Vec<RunReport> = positional[2..]
+        .iter()
+        .map(|p| load_report(p))
+        .collect::<Result<_, _>>()?;
+    let site_refs: Vec<&RunReport> = sites.iter().collect();
+    let (merged, warnings) =
+        dbdc_obs::merge_reports(&server, &site_refs).map_err(|e| format!("report merge: {e}"))?;
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
+    std::fs::write(out, merged.to_json_string()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "merged 1 server + {} site report(s) into {out}{}",
+        sites.len(),
+        if warnings.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} warning(s))", warnings.len())
+        }
+    );
+    Ok(())
+}
+
+/// `report timeline REPORT --out trace.json`: export the span forest as
+/// Chrome trace_event JSON.
+fn cmd_report_timeline(args: &Args) -> CliResult {
+    let [_, path] = args.positional() else {
+        return Err("usage: report timeline REPORT --out trace.json".into());
+    };
+    let out = args.require("out")?;
+    let report = load_report(path)?;
+    let trace = dbdc_obs::chrome_trace(&report).map_err(|e| format!("report timeline: {e}"))?;
+    let events = trace
+        .get("traceEvents")
+        .and_then(dbdc_obs::Json::as_arr)
+        .map(<[_]>::len)
+        .unwrap_or(0);
+    std::fs::write(out, trace.to_string_pretty())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out} ({events} events); open in chrome://tracing or ui.perfetto.dev");
+    Ok(())
 }
 
 fn cmd_report_diff(args: &Args) -> CliResult {

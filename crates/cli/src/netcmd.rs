@@ -21,11 +21,15 @@ use crate::opts::{
     build_params, finish_report, no_positionals, parse_partitioner, read_input, wants_report,
     CliResult,
 };
-use dbdc_geom::Label;
-use dbdc_net::{run_site, serve, RetryPolicy, ServeOptions, SiteOptions};
-use dbdc_obs::{fmt_ms, NoopRecorder, Recorder, RecordingRecorder, RunReport, Span, TransferStats};
+use dbdc_geom::{Dataset, Label};
+use dbdc_net::{run_site, serve, FaultPlan, FaultProxy, RetryPolicy, ServeOptions, SiteOptions};
+use dbdc_obs::{
+    fmt_ms, DatasetInfo, EnvFingerprint, NoopRecorder, Recorder, RecordingRecorder, RunReport,
+    SiteStats, Span, TransferStats,
+};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// Usage text of the `serve` subcommand / `dbdc-server` binary.
@@ -43,9 +47,11 @@ usage: dbdc-server --sites K --eps E --min-pts M
     [--deadline-ms N]      overall run ceiling (default 60000)
     [--drain-ms N]         replay window after all sites acked (default
                            1000; keep above the sites' backoff ceiling)
+    [--run-id ID]          stamp the report with a shared run identity so
+                           `report merge` can join it with site reports
     [--trace] [--metrics-out FILE]
       the report's upload/global/broadcast spans are measured socket
-      walls, not cost-model output";
+      walls, not cost-model output; wire traffic lands under net/server";
 
 /// Usage text of the `site` subcommand / `dbdc-site` binary.
 pub const SITE_USAGE: &str = "\
@@ -65,7 +71,28 @@ usage: dbdc-site --input FILE --site I --sites K --eps E --min-pts M
     [--connect-timeout-ms N] [--read-timeout-ms N]
     [--out FILE]           write this site's final labels as
                            `original_index,label` lines (-1 = noise)
+    [--run-id ID]          stamp the report with a shared run identity so
+                           `report merge` can join it with the server's
     [--trace] [--metrics-out FILE]";
+
+/// Usage text of the `proxy` subcommand.
+pub const PROXY_USAGE: &str = "\
+dbdc-cli proxy — a fault-injecting TCP forwarder for torture runs
+
+usage: dbdc-cli proxy (--connect ADDR | --addr-file FILE)
+    [--wait-ms N]            how long to poll --addr-file (default 10000)
+    [--proxy-addr-file FILE] write the proxy's listen address here for
+                             sites to rendezvous on
+    [--seed N]               deterministic fault schedule seed (default 1)
+    [--drop P] [--truncate P] [--bitflip P]
+                             per-frame fault probabilities (default 0)
+    [--delay-p P] [--delay-ms N]
+                             per-frame delay probability and length
+    [--duration-ms N]        how long to forward before shutting down
+                             (default 30000)
+    [--run-id ID] [--trace] [--metrics-out FILE]
+      the report carries the injected-fault ledger under proxy/c2s
+      (site->server) and proxy/s2c (server->site)";
 
 /// `serve` / `dbdc-server`: accept `--sites` connections, build and
 /// broadcast the global model, report measured transfer walls.
@@ -90,6 +117,7 @@ pub fn cmd_serve(raw: &[String]) -> CliResult {
             "resend",
             "deadline-ms",
             "drain-ms",
+            "run-id",
             "trace",
             "metrics-out",
         ],
@@ -138,17 +166,29 @@ pub fn cmd_serve(raw: &[String]) -> CliResult {
 
     if wants {
         let mut report = RunReport::new("serve")
+            .with_identity("server", args.get("run-id").map(String::from), "server")
             .with_param("sites", n_sites)
             .with_param("connections", outcome.connections);
+        // The server holds no dataset; the checksum slot says so rather
+        // than aliasing some site's input.
+        report.env = Some(env_fingerprint("none".into()));
         // Unlike `run`'s modeled transfer spans, these are measured
         // socket walls: Span::new leaves `modeled` false.
-        let mut root = Span::new(
-            "dbdc_serve",
-            outcome.upload_wall + outcome.global_wall + outcome.broadcast_wall,
-        );
+        // The root span carries the full serve wall (drain included):
+        // in a merged timeline it is the window every site session must
+        // nest inside, and the phase sum would cut off the drain tail.
+        let mut root = Span::new("dbdc_serve", outcome.serve_wall);
         root.push(Span::new("upload", outcome.upload_wall));
         root.push(Span::new("global", outcome.global_wall));
         root.push(Span::new("broadcast", outcome.broadcast_wall));
+        // Per-site handshake windows, explicitly placed at their offset
+        // from serve start: `report timeline` pairs each with the
+        // matching site's handshake span to align the process clocks.
+        for (i, hs) in outcome.handshakes.iter().enumerate() {
+            if let Some((start, wall)) = hs {
+                root.push(Span::new(format!("handshake[{i}]"), *wall).with_start(*start));
+            }
+        }
         report.spans = vec![root];
         report.scopes = rec.scopes();
         report.hists = rec.hist_scopes();
@@ -194,6 +234,7 @@ pub fn cmd_site(raw: &[String]) -> CliResult {
             "connect-timeout-ms",
             "read-timeout-ms",
             "out",
+            "run-id",
             "trace",
             "metrics-out",
         ],
@@ -252,9 +293,19 @@ pub fn cmd_site(raw: &[String]) -> CliResult {
 
     if wants {
         let mut report = RunReport::new("site")
+            .with_identity(
+                "site",
+                args.get("run-id").map(String::from),
+                format!("site[{site}]"),
+            )
             .with_param("site", site)
             .with_param("sites", n_sites)
             .with_param("attempts", outcome.attempts);
+        report.env = Some(env_fingerprint(dataset_checksum(&data)));
+        report.dataset = Some(DatasetInfo {
+            points: site_data.len(),
+            dim: data.dim(),
+        });
         let mut root = Span::new(
             "dbdc_site",
             outcome.local_wall + outcome.session_wall + outcome.relabel_wall,
@@ -262,12 +313,30 @@ pub fn cmd_site(raw: &[String]) -> CliResult {
         root.push(Span::new(format!("local[{site}]"), outcome.local_wall));
         // The session wall covers upload + broadcast receipt: a
         // measured span where the in-process report splices modeled
-        // `upload`/`broadcast` durations.
-        root.push(Span::new("session", outcome.session_wall));
+        // `upload`/`broadcast` durations. Its children are the measured
+        // sub-phases of the *successful* attempt, explicitly placed at
+        // their offset from that attempt's connect call (on a retried
+        // session, earlier failed attempts and backoff also live inside
+        // the session wall but carry no spans of their own).
+        let mut session = Span::new("session", outcome.session_wall);
+        let p = outcome.session_phases;
+        session.push(Span::new("handshake", p.handshake).with_start(p.handshake_start));
+        session.push(Span::new("upload", p.upload).with_start(p.upload_start));
+        session.push(Span::new("download", p.download).with_start(p.download_start));
+        root.push(session);
         root.push(Span::new(format!("relabel[{site}]"), outcome.relabel_wall));
         report.spans = vec![root];
         report.scopes = rec.scopes();
         report.hists = rec.hist_scopes();
+        report.sites = vec![SiteStats {
+            site: site as usize,
+            points: site_data.len(),
+            representatives: rec.counters(&format!("local[{site}]")).representatives as usize,
+            bytes_up: outcome.bytes_up,
+            local: outcome.local_wall,
+            relabel: outcome.relabel_wall,
+            counters: rec.counters(&format!("local[{site}]")),
+        }];
         report.transfer = Some(TransferStats {
             bytes_up: outcome.bytes_up,
             bytes_down: outcome.bytes_down,
@@ -278,6 +347,132 @@ pub fn cmd_site(raw: &[String]) -> CliResult {
         finish_report(&args, &report)?;
     }
     Ok(())
+}
+
+/// `proxy`: a standalone fault-injecting forwarder so shell walkthroughs
+/// and CI can run the server/site fleet through an adversarial link
+/// without writing Rust.
+pub fn cmd_proxy(raw: &[String]) -> CliResult {
+    if wants_help(raw) {
+        println!("{PROXY_USAGE}");
+        return Ok(());
+    }
+    let args = Args::parse(
+        raw,
+        &[
+            "connect",
+            "addr-file",
+            "wait-ms",
+            "proxy-addr-file",
+            "seed",
+            "drop",
+            "delay-p",
+            "delay-ms",
+            "truncate",
+            "bitflip",
+            "duration-ms",
+            "run-id",
+            "trace",
+            "metrics-out",
+        ],
+    )?;
+    no_positionals(&args)?;
+    let upstream = resolve_addr(&args)?;
+    let plan = FaultPlan {
+        seed: args.get_or("seed", 1u64)?,
+        drop: args.get_or("drop", 0.0)?,
+        delay_p: args.get_or("delay-p", 0.0)?,
+        delay: Duration::from_millis(args.get_or("delay-ms", 10u64)?),
+        truncate: args.get_or("truncate", 0.0)?,
+        bitflip: args.get_or("bitflip", 0.0)?,
+    };
+    let wants = wants_report(&args);
+    let rec = RecordingRecorder::new();
+    let t0 = Instant::now();
+    let mut proxy = if wants {
+        FaultProxy::spawn_observed(upstream, plan, &rec)
+    } else {
+        FaultProxy::spawn(upstream, plan)
+    }
+    .map_err(|e| format!("proxy: {e}"))?;
+    println!("dbdc proxy forwarding {} -> {upstream}", proxy.addr());
+    if let Some(path) = args.get("proxy-addr-file") {
+        write_addr_file(path, proxy.addr())?;
+    }
+    std::thread::sleep(Duration::from_millis(
+        args.get_or("duration-ms", 30_000u64)?,
+    ));
+    proxy.shutdown();
+    let wall = t0.elapsed();
+    let stats = proxy.stats();
+    println!(
+        "proxy: forwarded {}, dropped {}, delayed {}, truncated {}, bitflipped {}",
+        stats.forwarded.load(Ordering::Relaxed),
+        stats.dropped.load(Ordering::Relaxed),
+        stats.delayed.load(Ordering::Relaxed),
+        stats.truncated.load(Ordering::Relaxed),
+        stats.bitflipped.load(Ordering::Relaxed),
+    );
+    if wants {
+        let mut report = RunReport::new("proxy")
+            .with_identity("proxy", args.get("run-id").map(String::from), "proxy")
+            .with_param("seed", plan.seed)
+            .with_param("drop", plan.drop)
+            .with_param("forwarded", stats.forwarded.load(Ordering::Relaxed));
+        report.env = Some(env_fingerprint("none".into()));
+        report.spans = vec![Span::new("dbdc_proxy", wall)];
+        report.scopes = rec.scopes();
+        finish_report(&args, &report)?;
+    }
+    Ok(())
+}
+
+/// FNV-1a over the dataset's shape and exact coordinate bit patterns —
+/// the same checksum the bench harness stamps, so merged fleet reports
+/// can confirm every site loaded the identical input.
+fn dataset_checksum(data: &Dataset) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(&(data.dim() as u64).to_le_bytes());
+    eat(&(data.len() as u64).to_le_bytes());
+    for p in data.iter() {
+        for &c in p {
+            eat(&c.to_bits().to_le_bytes());
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// The producing environment, mirroring the bench harness's fingerprint
+/// so `report merge` can cross-check toolchain drift across the fleet.
+/// Undeterminable fields hold `"unknown"` rather than failing the run.
+fn env_fingerprint(dataset_checksum: String) -> EnvFingerprint {
+    let run = |cmd: &str, cmd_args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new(cmd)
+            .args(cmd_args)
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let s = String::from_utf8(out.stdout).ok()?;
+        let s = s.trim();
+        (!s.is_empty()).then(|| s.to_string())
+    };
+    EnvFingerprint {
+        nproc: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        rustc: run("rustc", &["--version"]).unwrap_or_else(|| "unknown".into()),
+        git_rev: run("git", &["rev-parse", "--short=12", "HEAD"])
+            .unwrap_or_else(|| "unknown".into()),
+        dataset_checksum,
+    }
 }
 
 fn wants_help(raw: &[String]) -> bool {

@@ -13,6 +13,7 @@ use dbdc::{run_dbdc, DbdcParams, EpsGlobal, Partitioner};
 use dbdc_cli::csv;
 use dbdc_geom::{Clustering, Dataset, Label};
 use dbdc_net::{FaultPlan, FaultProxy};
+use dbdc_obs::{Counters, Json, RecordingRecorder, RunReport};
 
 const N_SITES: usize = 4;
 const EPS: &str = "1.6";
@@ -132,6 +133,49 @@ fn wait_ok(mut child: Child, what: &str) {
     assert!(status.success(), "{what} failed: {status}");
 }
 
+/// Runs the `dbdc-cli` binary and asserts it exits cleanly.
+fn run_cli(args: &[&str]) {
+    let status = Command::new(env!("CARGO_BIN_EXE_dbdc-cli"))
+        .args(args)
+        .status()
+        .expect("run dbdc-cli");
+    assert!(status.success(), "dbdc-cli {args:?} failed: {status}");
+}
+
+fn load_report(path: &Path) -> RunReport {
+    let text = std::fs::read_to_string(path).expect("read report file");
+    RunReport::parse(&text).expect("parse report JSON")
+}
+
+fn scope<'a>(report: &'a RunReport, name: &str) -> &'a Counters {
+    report
+        .scopes
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, c)| c)
+        .unwrap_or_else(|| panic!("scope {name} missing from report"))
+}
+
+/// Paths for the per-process `--metrics-out` reports plus the merged one.
+fn report_paths(dir: &Path) -> (PathBuf, Vec<PathBuf>, PathBuf) {
+    let server = dir.join("server-report.json");
+    let sites = (0..N_SITES)
+        .map(|s| dir.join(format!("site-report-{s}.json")))
+        .collect();
+    (server, sites, dir.join("merged.json"))
+}
+
+/// Merges the per-process reports through the real CLI and loads the result.
+fn merge_reports_via_cli(server: &Path, sites: &[PathBuf], merged: &Path) -> RunReport {
+    let mut args = vec!["report", "merge", server.to_str().unwrap()];
+    for s in sites {
+        args.push(s.to_str().unwrap());
+    }
+    args.extend(["--out", merged.to_str().unwrap()]);
+    run_cli(&args);
+    load_report(merged)
+}
+
 #[test]
 fn separate_processes_match_in_process_runtime() {
     let dir = scratch("clean");
@@ -143,10 +187,29 @@ fn separate_processes_match_in_process_runtime() {
         N_SITES,
     );
 
-    let (server, addr_file) = spawn_server(&dir, &["--drain-ms", "400"]);
+    let (server_report, site_reports, merged_path) = report_paths(&dir);
+    let (server, addr_file) = spawn_server(
+        &dir,
+        &[
+            "--drain-ms",
+            "400",
+            "--run-id",
+            "e2e-clean",
+            "--metrics-out",
+            server_report.to_str().unwrap(),
+        ],
+    );
     let addr = await_addr(&addr_file);
     let sites: Vec<Child> = (0..N_SITES)
-        .map(|s| spawn_site(&points, &dir, s, &addr, &[]))
+        .map(|s| {
+            let extra = [
+                "--run-id",
+                "e2e-clean",
+                "--metrics-out",
+                site_reports[s].to_str().unwrap(),
+            ];
+            spawn_site(&points, &dir, s, &addr, &extra)
+        })
         .collect();
     for (s, child) in sites.into_iter().enumerate() {
         wait_ok(child, &format!("site {s}"));
@@ -158,6 +221,117 @@ fn separate_processes_match_in_process_runtime() {
         merged, reference.assignment,
         "process-level labels differ from in-process run_dbdc"
     );
+
+    // --- distributed telemetry: merge the five reports via the CLI ---
+    let report = merge_reports_via_cli(&server_report, &site_reports, &merged_path);
+    assert_eq!(report.schema_version, 3, "merged report is schema v3");
+    assert_eq!(report.role.as_deref(), Some("merged"));
+    assert_eq!(report.run_id.as_deref(), Some("e2e-clean"));
+
+    // Wire-byte identity per site: the aggregate byte counter must equal
+    // frame arithmetic over the per-kind counters. A clean session sends
+    // HELLO (10 B payload), LOCAL_MODEL (bytes_up payload) and one or
+    // more GLOBAL_ACKs (empty payload); each frame adds 13 B of framing.
+    const WIRE: u64 = 13;
+    let mut site_sent_total = 0u64;
+    let mut site_recv_total = 0u64;
+    for s in 0..N_SITES {
+        let agg = scope(&report, &format!("net/site[{s}]"));
+        let hello = scope(&report, &format!("net/site[{s}]/HELLO")).frames_sent;
+        let model = scope(&report, &format!("net/site[{s}]/LOCAL_MODEL")).frames_sent;
+        let ack = scope(&report, &format!("net/site[{s}]/GLOBAL_ACK")).frames_sent;
+        let bytes_up = report
+            .sites
+            .iter()
+            .find(|st| st.site == s)
+            .unwrap_or_else(|| panic!("merged report lost site {s} stats"))
+            .bytes_up as u64;
+        assert_eq!(hello, 1, "site {s}: clean run needs exactly one HELLO");
+        assert_eq!(model, 1, "site {s}: clean run uploads its model once");
+        assert!(ack >= 1, "site {s}: at least one GLOBAL_ACK");
+        assert_eq!(
+            agg.wire_bytes_sent,
+            (10 + WIRE) * hello + (bytes_up + WIRE) * model + WIRE * ack,
+            "site {s}: aggregate wire bytes disagree with frame arithmetic"
+        );
+        assert_eq!(agg.frames_sent, hello + model + ack);
+        assert_eq!(agg.retries, 0, "site {s}: clean link must not retry");
+        assert_eq!(agg.checksum_failures, 0);
+        site_sent_total += agg.wire_bytes_sent;
+        site_recv_total += agg.wire_bytes_received;
+    }
+
+    // Conservation across the loopback link: every byte a site put on the
+    // wire is a byte the server took off it, and vice versa.
+    let server_agg = scope(&report, "net/server");
+    assert_eq!(server_agg.wire_bytes_received, site_sent_total);
+    assert_eq!(server_agg.wire_bytes_sent, site_recv_total);
+    assert_eq!(
+        scope(&report, "net/server/HELLO").frames_received,
+        N_SITES as u64
+    );
+
+    // Session histogram: only site attempts record it, one per site.
+    let (_, session_hist) = report
+        .hists
+        .iter()
+        .find(|(n, _)| n == "net/session_ns")
+        .expect("merged report carries net/session_ns");
+    assert_eq!(session_hist.count(), N_SITES as u64);
+
+    // --- and the causal timeline: 5 pids, sites nested in the serve window ---
+    let trace_path = dir.join("trace.json");
+    run_cli(&[
+        "report",
+        "timeline",
+        merged_path.to_str().unwrap(),
+        "--out",
+        trace_path.to_str().unwrap(),
+    ]);
+    let trace = Json::parse(&std::fs::read_to_string(&trace_path).expect("read trace.json"))
+        .expect("trace.json is valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let pid_of = |e: &Json| e.get("pid").and_then(Json::as_u64).expect("pid");
+    let name_of = |e: &Json| {
+        e.get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    let is_x = |e: &Json| e.get("ph").and_then(Json::as_str) == Some("X");
+
+    let mut pids: Vec<u64> = events.iter().filter(|e| is_x(e)).map(pid_of).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(
+        pids,
+        [1, 2, 3, 4, 5],
+        "one pid per process: server + 4 sites"
+    );
+
+    let serve = events
+        .iter()
+        .find(|e| is_x(e) && name_of(e) == "dbdc_serve")
+        .expect("server serve span in trace");
+    let ts = |e: &Json| e.get("ts").and_then(Json::as_u64).expect("ts");
+    let dur = |e: &Json| e.get("dur").and_then(Json::as_u64).expect("dur");
+    let (serve_start, serve_end) = (ts(serve), ts(serve) + dur(serve));
+    for pid in 2..=5u64 {
+        let upload = events
+            .iter()
+            .find(|e| is_x(e) && pid_of(e) == pid && name_of(e) == "upload")
+            .unwrap_or_else(|| panic!("pid {pid}: no upload span in trace"));
+        assert!(
+            ts(upload) >= serve_start && ts(upload) + dur(upload) <= serve_end,
+            "pid {pid}: upload [{}, {}] escapes serve window [{serve_start}, {serve_end}]",
+            ts(upload),
+            ts(upload) + dur(upload),
+        );
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -174,24 +348,44 @@ fn separate_processes_converge_through_fault_proxy() {
 
     // Give the server generous timeouts: with drops and delays in the
     // way, sessions replay until the GOODBYE lands.
-    let (server, addr_file) =
-        spawn_server(&dir, &["--drain-ms", "1200", "--read-timeout-ms", "500"]);
+    let (server_report, site_reports, merged_path) = report_paths(&dir);
+    let (server, addr_file) = spawn_server(
+        &dir,
+        &[
+            "--drain-ms",
+            "1200",
+            "--read-timeout-ms",
+            "500",
+            "--run-id",
+            "e2e-lossy",
+            "--metrics-out",
+            server_report.to_str().unwrap(),
+        ],
+    );
     let server_addr: std::net::SocketAddr = await_addr(&addr_file).parse().expect("server addr");
-    let proxy = FaultProxy::spawn(server_addr, FaultPlan::lossy(0xE2E)).expect("spawn proxy");
+    let rec = RecordingRecorder::new();
+    let proxy = FaultProxy::spawn_observed(server_addr, FaultPlan::lossy(0xE2E), &rec)
+        .expect("spawn proxy");
     let via = proxy.addr().to_string();
 
-    let site_extra = [
-        "--retries",
-        "25",
-        "--retry-base-ms",
-        "25",
-        "--retry-max-ms",
-        "400",
-        "--read-timeout-ms",
-        "800",
-    ];
     let sites: Vec<Child> = (0..N_SITES)
-        .map(|s| spawn_site(&points, &dir, s, &via, &site_extra))
+        .map(|s| {
+            let site_extra = [
+                "--retries",
+                "25",
+                "--retry-base-ms",
+                "25",
+                "--retry-max-ms",
+                "400",
+                "--read-timeout-ms",
+                "800",
+                "--run-id",
+                "e2e-lossy",
+                "--metrics-out",
+                site_reports[s].to_str().unwrap(),
+            ];
+            spawn_site(&points, &dir, s, &via, &site_extra)
+        })
         .collect();
     for (s, child) in sites.into_iter().enumerate() {
         wait_ok(child, &format!("site {s}"));
@@ -203,5 +397,35 @@ fn separate_processes_converge_through_fault_proxy() {
         merged, reference.assignment,
         "labels diverged through the fault proxy"
     );
+
+    // The merged report's retry counters must account for the injected
+    // faults. Drops, truncations and bitflips each stall one session
+    // attempt (delays do not), so whenever the proxy injected any of
+    // them, some site must have retried.
+    let report = merge_reports_via_cli(&server_report, &site_reports, &merged_path);
+    let total_retries: u64 = (0..N_SITES)
+        .map(|s| scope(&report, &format!("net/site[{s}]")).retries)
+        .sum();
+    let c2s = rec.counters("proxy/c2s");
+    let s2c = rec.counters("proxy/s2c");
+    let stalls = c2s.faults_dropped
+        + s2c.faults_dropped
+        + c2s.faults_truncated
+        + s2c.faults_truncated
+        + c2s.faults_bitflipped
+        + s2c.faults_bitflipped;
+    assert!(
+        total_retries >= 1 || stalls == 0,
+        "proxy injected {stalls} stalling fault(s) but no site retried"
+    );
+    // Every attempt — first tries and retries alike — lands one sample
+    // in the shared session histogram.
+    let (_, session_hist) = report
+        .hists
+        .iter()
+        .find(|(n, _)| n == "net/session_ns")
+        .expect("merged report carries net/session_ns");
+    assert_eq!(session_hist.count(), N_SITES as u64 + total_retries);
+
     let _ = std::fs::remove_dir_all(&dir);
 }

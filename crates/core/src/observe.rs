@@ -75,6 +75,10 @@ pub fn span_with_network(measured: &Span, outcome: &DbdcOutcome, link: &NetworkM
 /// `link` selects the preset whose modeled transfer phases are spliced
 /// into the span tree (the `network` section always prices all of
 /// [`LINK_PRESETS`]); pass `None` to keep the measured tree as-is.
+/// `run_id` is the operator's shared run identity (see schema v3): the
+/// report is stamped `role: standalone` — every protocol role lives in
+/// this one process — which also keeps `merge_reports` from quietly
+/// mixing an in-process report into a real server + sites fleet.
 pub fn dbdc_run_report(
     command: &str,
     dim: usize,
@@ -82,9 +86,11 @@ pub fn dbdc_run_report(
     outcome: &DbdcOutcome,
     rec: &RecordingRecorder,
     link: Option<&str>,
+    run_id: Option<String>,
 ) -> RunReport {
     let n_points: usize = outcome.site_sizes.iter().sum();
     let mut report = RunReport::new(command)
+        .with_identity("standalone", run_id, "standalone")
         .with_param("eps_local", params.eps_local)
         .with_param("min_pts_local", params.min_pts_local)
         .with_param("model", params.model.name())
@@ -190,7 +196,7 @@ mod tests {
     fn report_covers_every_protocol_phase() {
         let (outcome, rec) = recorded_outcome();
         let p = DbdcParams::new(1.6, 5);
-        let report = dbdc_run_report("run", 2, &p, &outcome, &rec, Some("wan"));
+        let report = dbdc_run_report("run", 2, &p, &outcome, &rec, Some("wan"), None);
         let root = report.find_span("dbdc").expect("dbdc span recorded");
         for name in [
             "local[0]",
@@ -218,7 +224,7 @@ mod tests {
     fn report_carries_latency_and_phase_histograms() {
         let (outcome, rec) = recorded_outcome();
         let p = DbdcParams::new(1.6, 5);
-        let report = dbdc_run_report("run", 2, &p, &outcome, &rec, None);
+        let report = dbdc_run_report("run", 2, &p, &outcome, &rec, None, None);
         let hist = |name: &str| {
             report
                 .hists
@@ -278,7 +284,7 @@ mod tests {
     fn site_counters_merge_local_and_relabel() {
         let (outcome, rec) = recorded_outcome();
         let p = DbdcParams::new(1.6, 5);
-        let report = dbdc_run_report("run", 2, &p, &outcome, &rec, None);
+        let report = dbdc_run_report("run", 2, &p, &outcome, &rec, None, None);
         for s in &report.sites {
             let local = rec.counters(&format!("local[{}]", s.site));
             let relabel = rec.counters(&format!("relabel[{}]", s.site));

@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use dbdc_obs::{CounterSheet, Recorder};
+
 use crate::frame::FRAME_OVERHEAD;
 
 /// SplitMix64: tiny, seedable, and plenty for fault scheduling.
@@ -165,10 +167,39 @@ pub struct FaultProxy {
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Per-direction counter sheets the proxy mirrors its mischief into:
+/// `proxy/c2s` (site → server) and `proxy/s2c` (server → site).
+type DirectionSheets = [Option<Arc<CounterSheet>>; 2];
+
 impl FaultProxy {
     /// Starts a proxy on an ephemeral loopback port forwarding to
     /// `upstream` with faults from `plan`.
     pub fn spawn(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<Self> {
+        Self::spawn_inner(upstream, plan, [None, None])
+    }
+
+    /// Like [`FaultProxy::spawn`], but every fault decision is also
+    /// mirrored live into `rec` under the `proxy/c2s` and `proxy/s2c`
+    /// scopes (forwarded frames as `frames_sent`, faults as
+    /// `faults_*`), so a run report can carry the injected-fault ledger
+    /// next to the endpoints' retry counters.
+    pub fn spawn_observed(
+        upstream: SocketAddr,
+        plan: FaultPlan,
+        rec: &dyn Recorder,
+    ) -> std::io::Result<Self> {
+        Self::spawn_inner(
+            upstream,
+            plan,
+            [rec.sheet("proxy/c2s"), rec.sheet("proxy/s2c")],
+        )
+    }
+
+    fn spawn_inner(
+        upstream: SocketAddr,
+        plan: FaultPlan,
+        sheets: DirectionSheets,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -185,11 +216,13 @@ impl FaultProxy {
                         let id = conn_id;
                         let stats = Arc::clone(&accept_stats);
                         let stop = Arc::clone(&accept_stop);
+                        let sheets = sheets.clone();
                         std::thread::spawn(move || {
                             // Connection handling is best-effort: a dead
                             // upstream or mid-stream kill is exactly the
                             // failure mode under test.
-                            let _ = relay_connection(client, upstream, plan, id, stats, stop);
+                            let _ =
+                                relay_connection(client, upstream, plan, id, stats, stop, sheets);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -240,20 +273,22 @@ fn relay_connection(
     conn_id: u64,
     stats: Arc<FaultStats>,
     stop: Arc<AtomicBool>,
+    sheets: DirectionSheets,
 ) -> std::io::Result<()> {
     let server = TcpStream::connect(upstream)?;
     client.set_nodelay(true).ok();
     server.set_nodelay(true).ok();
+    let [c2s_sheet, s2c_sheet] = sheets;
     let c2s = {
         let from = client.try_clone()?;
         let to = server.try_clone()?;
         let stats = Arc::clone(&stats);
         let stop = Arc::clone(&stop);
         let mut rng = SplitMix64::new(plan.seed ^ conn_id.wrapping_mul(0x9e37_79b9) ^ 0x5157);
-        std::thread::spawn(move || pump(from, to, plan, &mut rng, stats, stop))
+        std::thread::spawn(move || pump(from, to, plan, &mut rng, stats, stop, c2s_sheet))
     };
     let mut rng = SplitMix64::new(plan.seed ^ conn_id.wrapping_mul(0x9e37_79b9) ^ 0xd0b0);
-    let _ = pump(server, client, plan, &mut rng, stats, stop);
+    let _ = pump(server, client, plan, &mut rng, stats, stop, s2c_sheet);
     let _ = c2s.join();
     Ok(())
 }
@@ -267,6 +302,7 @@ fn pump(
     rng: &mut SplitMix64,
     stats: Arc<FaultStats>,
     stop: Arc<AtomicBool>,
+    sheet: Option<Arc<CounterSheet>>,
 ) -> std::io::Result<()> {
     // Bounded reads so a stuck peer can't pin the pump past shutdown.
     from.set_read_timeout(Some(Duration::from_millis(100))).ok();
@@ -293,10 +329,16 @@ fn pump(
         match pick_fault(rng, &plan) {
             Fault::Drop => {
                 stats.dropped.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = &sheet {
+                    s.add_faults(1, 0, 0, 0);
+                }
                 continue;
             }
             Fault::Truncate => {
                 stats.truncated.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = &sheet {
+                    s.add_faults(0, 0, 1, 0);
+                }
                 // Forward the prefix plus a strict prefix of the body,
                 // then kill the connection: the receiver sees a clean
                 // mid-frame EOF, never a spliced stream.
@@ -310,16 +352,27 @@ fn pump(
             }
             Fault::Bitflip => {
                 stats.bitflipped.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = &sheet {
+                    s.add_faults(0, 0, 0, 1);
+                }
                 let bit = rng.below((len * 8) as u64) as usize;
                 body[bit / 8] ^= 1 << (bit % 8);
             }
             Fault::Delay => {
                 stats.delayed.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = &sheet {
+                    s.add_faults(0, 1, 0, 0);
+                }
                 std::thread::sleep(plan.delay);
             }
             Fault::None => {}
         }
         stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = &sheet {
+            // Forwarded (or merely delayed) frames count as traffic the
+            // proxy put on the wire, in full frame-on-the-wire bytes.
+            s.add_frame_sent(4 + len as u64, (len - FRAME_OVERHEAD) as u64);
+        }
         to.write_all(&prefix)?;
         to.write_all(&body)?;
         to.flush()?;

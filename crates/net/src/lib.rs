@@ -16,6 +16,10 @@
 //!   [`dbdc::wire`] encodings, so message byte counts match the
 //!   in-process runtime's reports.
 //! - [`retry`] — bounded retries with exponential backoff.
+//! - [`metrics`] — wire-level instrumentation ([`WireMetrics`]): frame
+//!   and byte counters per direction and per frame kind, rejection
+//!   classification, and frame/session latency histograms, all through
+//!   the [`dbdc_obs::Recorder`] trait (zero-cost when disabled).
 //! - [`server`] / [`site`] — the two protocol ends. All server-side
 //!   operations are idempotent; sites own recovery by replaying the
 //!   whole session.
@@ -25,6 +29,7 @@
 pub mod error;
 pub mod fault;
 pub mod frame;
+pub mod metrics;
 pub mod retry;
 pub mod server;
 pub mod site;
@@ -35,6 +40,7 @@ pub use frame::{
     decode_frame_body, encode_frame, read_frame, write_frame, Frame, FrameKind, Hello,
     DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+pub use metrics::WireMetrics;
 pub use retry::RetryPolicy;
 pub use server::{serve, ServeOptions, ServerOutcome};
 pub use site::{run_site, SiteOptions, SiteOutcome};

@@ -40,13 +40,23 @@ impl RetryPolicy {
 
     /// The backoff before retry number `retry` (1-based): doubles from
     /// `base_delay`, clamped to `max_delay`.
+    ///
+    /// Computed in u128 nanoseconds so a large `base_delay` combined
+    /// with a deep retry count saturates instead of wrapping; the old
+    /// u32-factor shift capped the exponent but still overflowed the
+    /// multiply for second-scale bases past retry ~17.
     pub fn delay_before(&self, retry: u32) -> Duration {
         if retry == 0 || self.base_delay.is_zero() {
             return Duration::ZERO;
         }
-        let factor = 1u32 << (retry - 1).min(16);
-        let d = self.base_delay.saturating_mul(factor);
-        d.min(self.max_delay)
+        let shift = (retry - 1).min(63);
+        let nanos = self.base_delay.as_nanos().saturating_mul(1u128 << shift);
+        let grown = if nanos > u64::MAX as u128 {
+            Duration::MAX
+        } else {
+            Duration::from_nanos(nanos as u64)
+        };
+        grown.min(self.max_delay)
     }
 }
 
@@ -85,5 +95,37 @@ mod tests {
     fn huge_retry_counts_do_not_overflow() {
         let p = RetryPolicy::standard();
         assert_eq!(p.delay_before(u32::MAX), p.max_delay);
+    }
+
+    #[test]
+    fn second_scale_base_survives_deep_retries() {
+        // base = 10 s ≈ 1e10 ns. At retry 17 the factor is 2^16, so the
+        // grown delay is ~6.5e14 ns — fits in u64 but overflowed the
+        // old u32 factor multiply. At retry 33 the factor alone no
+        // longer fits in u32; at 64+ the shift saturates at 63. All
+        // must clamp cleanly to max_delay.
+        let p = RetryPolicy {
+            attempts: u32::MAX,
+            base_delay: Duration::from_secs(10),
+            max_delay: Duration::from_secs(120),
+        };
+        for retry in [17, 33, 64, 1_000, u32::MAX] {
+            assert_eq!(p.delay_before(retry), p.max_delay, "retry {retry}");
+        }
+        // Below the clamp the doubling is exact.
+        assert_eq!(p.delay_before(1), Duration::from_secs(10));
+        assert_eq!(p.delay_before(4), Duration::from_secs(80));
+    }
+
+    #[test]
+    fn max_delay_beyond_u64_nanos_saturates_to_duration_max() {
+        // A max_delay too large for u64 nanoseconds: the grown delay
+        // saturates to Duration::MAX and the clamp keeps max_delay.
+        let p = RetryPolicy {
+            attempts: u32::MAX,
+            base_delay: Duration::from_secs(1 << 40),
+            max_delay: Duration::MAX,
+        };
+        assert_eq!(p.delay_before(40), Duration::MAX);
     }
 }

@@ -30,9 +30,8 @@ use dbdc::{build_global_model_observed, DbdcParams, GlobalModel, LocalModel};
 use dbdc_obs::Recorder;
 
 use crate::error::NetError;
-use crate::frame::{
-    read_frame, write_frame, Frame, FrameKind, Hello, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
-};
+use crate::frame::{Frame, FrameKind, Hello, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION};
+use crate::metrics::WireMetrics;
 
 /// Configuration of a serving run.
 #[derive(Debug, Clone)]
@@ -101,6 +100,17 @@ pub struct ServerOutcome {
     /// Connections accepted over the run (> `n_sites` means retries
     /// happened).
     pub connections: u64,
+    /// Measured wall time of the whole serve call — bind to return,
+    /// drain window included. Unlike the phase walls it bounds every
+    /// session a site could have run, so a timeline can use it as the
+    /// serve window that all remote spans nest inside.
+    pub serve_wall: Duration,
+    /// Per-site handshake timing on the server's clock: offset from
+    /// serve start and duration of the HELLO → HELLO_ACK exchange of
+    /// the *last* connection each site opened (the one that completed
+    /// its session). `None` only if the site never completed a
+    /// handshake — impossible on a successful run.
+    pub handshakes: Vec<Option<(Duration, Duration)>>,
 }
 
 struct ServerState {
@@ -113,6 +123,7 @@ struct ServerState {
     upload_wall: Duration,
     global_wall: Duration,
     all_acked_at: Option<Instant>,
+    handshakes: Vec<Option<(Duration, Duration)>>,
 }
 
 impl ServerState {
@@ -137,7 +148,9 @@ struct Shared {
 /// Runs a full DBDC serving session on `listener` (which should already
 /// be bound; pass a `127.0.0.1:0` bind for tests). Blocks until all
 /// sites confirm the broadcast or the deadline passes. Counter scopes
-/// land in `rec` under `server` (bytes up/down, representatives).
+/// land in `rec` under `server` (bytes up/down, representatives) and
+/// `net/server` (wire traffic, aggregate + per frame kind), with frame
+/// and per-connection latencies in the `net/*_ns` histograms.
 pub fn serve(
     listener: TcpListener,
     opts: ServeOptions,
@@ -159,6 +172,7 @@ pub fn serve(
             upload_wall: Duration::ZERO,
             global_wall: Duration::ZERO,
             all_acked_at: None,
+            handshakes: vec![None; opts.n_sites],
         }),
         ready: Condvar::new(),
         stop: AtomicBool::new(false),
@@ -167,6 +181,7 @@ pub fn serve(
         opts,
     });
     let sheet = rec.sheet("server");
+    let wire = WireMetrics::new(rec, "net/server");
 
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let outcome = loop {
@@ -184,8 +199,9 @@ pub fn serve(
                 }
                 let shared = Arc::clone(&shared);
                 let sheet = sheet.clone();
+                let wire = wire.clone();
                 handlers.push(std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &shared, sheet.as_ref());
+                    let _ = handle_connection(stream, &shared, sheet.as_ref(), &wire);
                     let mut st = shared.state.lock().expect("server state poisoned");
                     st.active_conns -= 1;
                     st.last_activity = Instant::now();
@@ -242,6 +258,7 @@ pub fn serve(
         .map(|t| (t - shared.started).saturating_sub(global_ready))
         .unwrap_or(Duration::ZERO);
     Ok(ServerOutcome {
+        handshakes: st.handshakes.clone(),
         per_site_bytes_up,
         global_model_bytes: encoded.len(),
         n_representatives,
@@ -249,6 +266,7 @@ pub fn serve(
         global_wall: st.global_wall,
         broadcast_wall,
         connections: shared.connections.load(Ordering::Relaxed),
+        serve_wall: shared.started.elapsed(),
         global,
         models,
     })
@@ -260,13 +278,19 @@ fn handle_connection(
     mut stream: TcpStream,
     shared: &Shared,
     sheet: Option<&std::sync::Arc<dbdc_obs::CounterSheet>>,
+    wire: &WireMetrics,
 ) -> Result<(), NetError> {
     let opts = &shared.opts;
     stream.set_read_timeout(Some(opts.read_timeout))?;
     stream.set_nodelay(true).ok();
+    // The handshake window on the server's clock starts when the
+    // handler picks up the freshly accepted connection — pairs with the
+    // site's connect-to-HELLO_ACK window for clock alignment.
+    let hs_start = shared.started.elapsed();
+    let conn_start = Instant::now();
 
     // --- Handshake. ---
-    let frame = read_frame_interruptible(&mut stream, shared)?;
+    let frame = read_frame_interruptible(&mut stream, shared, wire)?;
     if frame.kind != FrameKind::Hello {
         return Err(NetError::Protocol(format!(
             "expected HELLO, got {}",
@@ -277,17 +301,24 @@ fn handle_connection(
         .ok_or_else(|| NetError::Protocol("malformed HELLO payload".into()))?;
     if let Err(reason) = validate_hello(&hello, opts.n_sites) {
         // Fatal for the site: tell it why so it stops retrying.
-        let _ = write_frame(
+        wire.add_handshake_rejection();
+        let _ = wire.write_frame_observed(
             &mut stream,
             &Frame::new(FrameKind::Error, reason.clone().into_bytes()),
         );
         return Err(NetError::Handshake(reason));
     }
     let site = hello.site as usize;
-    write_frame(&mut stream, &Frame::bare(FrameKind::HelloAck))?;
+    wire.write_frame_observed(&mut stream, &Frame::bare(FrameKind::HelloAck))?;
+    {
+        // Overwrite-last: the connection that completes the session is
+        // the site's final (successful) attempt.
+        let mut st = shared.state.lock().expect("server state poisoned");
+        st.handshakes[site] = Some((hs_start, conn_start.elapsed()));
+    }
 
     // --- Upload. ---
-    let frame = read_frame_interruptible(&mut stream, shared)?;
+    let frame = read_frame_interruptible(&mut stream, shared, wire)?;
     if frame.kind != FrameKind::LocalModel {
         return Err(NetError::Protocol(format!(
             "expected LOCAL_MODEL, got {}",
@@ -327,7 +358,7 @@ fn handle_connection(
         // else: replayed upload from a deterministic site — identical
         // bytes, nothing to store.
     }
-    write_frame(&mut stream, &Frame::bare(FrameKind::ModelAck))?;
+    wire.write_frame_observed(&mut stream, &Frame::bare(FrameKind::ModelAck))?;
 
     // --- Wait for the global model (the last uploader builds it). ---
     let encoded_global = {
@@ -349,14 +380,14 @@ fn handle_connection(
 
     // --- Broadcast until the site acks. ---
     for _ in 0..=opts.resend_attempts {
-        write_frame(
+        wire.write_frame_observed(
             &mut stream,
             &Frame::new(FrameKind::GlobalModel, encoded_global.clone()),
         )?;
         if let Some(s) = sheet {
             s.add_bytes_sent(encoded_global.len() as u64);
         }
-        match read_frame(&mut stream, opts.max_frame_bytes) {
+        match wire.read_frame_observed(&mut stream, opts.max_frame_bytes) {
             Ok(f) if f.kind == FrameKind::GlobalAck => {
                 {
                     let mut st = shared.state.lock().expect("server state poisoned");
@@ -368,7 +399,7 @@ fn handle_connection(
                 shared.ready.notify_all();
                 // Best-effort: if this is lost the site replays the
                 // session and gets another one.
-                let _ = write_frame(&mut stream, &Frame::bare(FrameKind::Goodbye));
+                let _ = wire.write_frame_observed(&mut stream, &Frame::bare(FrameKind::Goodbye));
                 return Ok(());
             }
             Ok(f) => {
@@ -415,9 +446,13 @@ fn validate_hello(hello: &Hello, n_sites: usize) -> Result<(), String> {
 /// A frame read that re-arms on timeout until the server stops, so an
 /// idle connection (a site mid-backoff) doesn't get abandoned while the
 /// run is still live.
-fn read_frame_interruptible(stream: &mut TcpStream, shared: &Shared) -> Result<Frame, NetError> {
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    wire: &WireMetrics,
+) -> Result<Frame, NetError> {
     loop {
-        match read_frame(stream, shared.opts.max_frame_bytes) {
+        match wire.read_frame_observed(stream, shared.opts.max_frame_bytes) {
             Err(e)
                 if e.is_timeout()
                     && !shared.stop.load(Ordering::Relaxed)

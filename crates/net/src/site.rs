@@ -23,7 +23,8 @@ use dbdc_geom::{Clustering, Dataset, Euclidean};
 use dbdc_obs::Recorder;
 
 use crate::error::NetError;
-use crate::frame::{read_frame, write_frame, Frame, FrameKind, Hello, DEFAULT_MAX_FRAME_BYTES};
+use crate::frame::{Frame, FrameKind, Hello, DEFAULT_MAX_FRAME_BYTES};
+use crate::metrics::WireMetrics;
 use crate::retry::RetryPolicy;
 
 /// Configuration of a client site.
@@ -82,11 +83,32 @@ pub struct SiteOutcome {
     pub session_wall: Duration,
     /// Measured wall time of the relabel phase.
     pub relabel_wall: Duration,
+    /// Sub-phase timing of the *successful* session attempt: start
+    /// offsets are measured from that attempt's connect call.
+    pub session_phases: SessionPhases,
+}
+
+/// Start offset and wall time of each sub-phase of one session attempt.
+/// Offsets are relative to the attempt's connect call, so a report can
+/// place these as explicitly-positioned child spans of the session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionPhases {
+    /// Connect + HELLO / HELLO_ACK exchange (offset is always zero).
+    pub handshake_start: Duration,
+    pub handshake: Duration,
+    /// LOCAL_MODEL upload through MODEL_ACK.
+    pub upload_start: Duration,
+    pub upload: Duration,
+    /// GLOBAL_MODEL receive, verify, and GLOBAL_ACK.
+    pub download_start: Duration,
+    pub download: Duration,
 }
 
 /// Runs the full client protocol against `addr`. Counter scopes land in
 /// `rec` under `local[site]` and `relabel[site]`, matching the
-/// in-process runtime's scope names.
+/// in-process runtime's scope names; wire traffic lands under
+/// `net/site[site]` (aggregate + per frame kind) with frame and session
+/// latencies in the `net/frame_*_ns` / `net/session_ns` histograms.
 pub fn run_site(
     addr: SocketAddr,
     site_data: &Dataset,
@@ -99,8 +121,9 @@ pub fn run_site(
     let local_wall = t0.elapsed();
 
     // --- Network session, retried as a whole. ---
+    let metrics = WireMetrics::new(rec, &format!("net/site[{}]", opts.site));
     let t1 = Instant::now();
-    let (encoded_global, attempts) = run_session(addr, &encoded, opts)?;
+    let (encoded_global, attempts, session_phases) = run_session(addr, &encoded, opts, &metrics)?;
     let session_wall = t1.elapsed();
 
     // --- Relabel against the broadcast model. ---
@@ -122,6 +145,7 @@ pub fn run_site(
         local_wall,
         session_wall,
         relabel_wall,
+        session_phases,
         global,
     })
 }
@@ -162,19 +186,34 @@ fn local_phase(
 }
 
 /// The session with retries: returns the received global model's wire
-/// bytes and the attempt count.
+/// bytes, the attempt count, and the successful attempt's sub-phase
+/// timing. Each attempt's wall time lands in `net/session_ns`; retries
+/// and the backoff slept before them land in the site's wire scope.
 fn run_session(
     addr: SocketAddr,
     encoded_model: &[u8],
     opts: &SiteOptions,
-) -> Result<(Vec<u8>, u32), NetError> {
+    metrics: &WireMetrics,
+) -> Result<(Vec<u8>, u32, SessionPhases), NetError> {
     let mut last: Option<NetError> = None;
     for attempt in 1..=opts.retry.attempts {
-        std::thread::sleep(opts.retry.delay_before(attempt - 1));
-        match session_once(addr, encoded_model, opts) {
-            Ok(global) => return Ok((global, attempt)),
+        let backoff = opts.retry.delay_before(attempt - 1);
+        std::thread::sleep(backoff);
+        if attempt > 1 {
+            metrics.add_retry(backoff);
+        }
+        let t = Instant::now();
+        let result = session_once(addr, encoded_model, opts, metrics);
+        metrics.record_session(t.elapsed());
+        match result {
+            Ok((global, phases)) => return Ok((global, attempt, phases)),
             Err(e) if e.is_retryable() => last = Some(e),
-            Err(e) => return Err(e),
+            Err(e) => {
+                if matches!(e, NetError::Handshake(_)) {
+                    metrics.add_handshake_rejection();
+                }
+                return Err(e);
+            }
         }
     }
     Err(NetError::Exhausted {
@@ -189,45 +228,53 @@ fn session_once(
     addr: SocketAddr,
     encoded_model: &[u8],
     opts: &SiteOptions,
-) -> Result<Vec<u8>, NetError> {
+    metrics: &WireMetrics,
+) -> Result<(Vec<u8>, SessionPhases), NetError> {
+    let mut phases = SessionPhases::default();
+    let attempt_start = Instant::now();
     let mut stream = TcpStream::connect_timeout(&addr, opts.connect_timeout)?;
     stream.set_read_timeout(Some(opts.read_timeout))?;
     stream.set_nodelay(true).ok();
 
     // --- Handshake. ---
-    write_frame(
+    metrics.write_frame_observed(
         &mut stream,
         &Frame::new(
             FrameKind::Hello,
             Hello::new(opts.site, opts.n_sites).encode(),
         ),
     )?;
-    expect_frame(&mut stream, opts, FrameKind::HelloAck)?;
+    expect_frame(&mut stream, opts, metrics, FrameKind::HelloAck)?;
+    phases.handshake = attempt_start.elapsed();
 
     // --- Upload. ---
-    write_frame(
+    phases.upload_start = attempt_start.elapsed();
+    metrics.write_frame_observed(
         &mut stream,
         &Frame::new(FrameKind::LocalModel, encoded_model.to_vec()),
     )?;
-    expect_frame(&mut stream, opts, FrameKind::ModelAck)?;
+    expect_frame(&mut stream, opts, metrics, FrameKind::ModelAck)?;
+    phases.upload = attempt_start.elapsed() - phases.upload_start;
 
     // --- Receive the global model. ---
-    let frame = expect_frame(&mut stream, opts, FrameKind::GlobalModel)?;
+    phases.download_start = attempt_start.elapsed();
+    let frame = expect_frame(&mut stream, opts, metrics, FrameKind::GlobalModel)?;
     // Verify end-to-end before acking: a corrupted broadcast must read
     // as "not delivered" so the server resends / the session replays.
     wire::decode_global_model(&frame.payload)?;
     let encoded_global = frame.payload;
 
     // --- Confirm, then linger for the server's confirmation. ---
-    write_frame(&mut stream, &Frame::bare(FrameKind::GlobalAck))?;
+    metrics.write_frame_observed(&mut stream, &Frame::bare(FrameKind::GlobalAck))?;
+    phases.download = attempt_start.elapsed() - phases.download_start;
     // The server resends GLOBAL_MODEL if our ack was lost; re-ack each
     // copy. Only GOODBYE ends the session — anything else replays it.
     for _ in 0..64 {
-        let f = read_frame(&mut stream, opts.max_frame_bytes)?;
+        let f = metrics.read_frame_observed(&mut stream, opts.max_frame_bytes)?;
         match f.kind {
-            FrameKind::Goodbye => return Ok(encoded_global),
+            FrameKind::Goodbye => return Ok((encoded_global, phases)),
             FrameKind::GlobalModel => {
-                write_frame(&mut stream, &Frame::bare(FrameKind::GlobalAck))?;
+                metrics.write_frame_observed(&mut stream, &Frame::bare(FrameKind::GlobalAck))?;
             }
             other => {
                 return Err(NetError::Protocol(format!(
@@ -245,9 +292,10 @@ fn session_once(
 fn expect_frame(
     stream: &mut TcpStream,
     opts: &SiteOptions,
+    metrics: &WireMetrics,
     want: FrameKind,
 ) -> Result<Frame, NetError> {
-    let frame = read_frame(stream, opts.max_frame_bytes)?;
+    let frame = metrics.read_frame_observed(stream, opts.max_frame_bytes)?;
     if frame.kind == want {
         return Ok(frame);
     }
@@ -266,6 +314,8 @@ fn expect_frame(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::{read_frame, write_frame};
+    use dbdc_obs::RecordingRecorder;
     use std::net::TcpListener;
 
     fn opts() -> SiteOptions {
@@ -284,61 +334,75 @@ mod tests {
     fn connect_refused_exhausts_retries() {
         // Bind-then-drop guarantees a dead port.
         let addr = {
-            let l = TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap()
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind throwaway listener");
+            l.local_addr().expect("read bound listener address")
         };
-        let err = run_session(addr, &[], &opts()).unwrap_err();
+        let rec = RecordingRecorder::new();
+        let metrics = WireMetrics::new(&rec, "net/site[0]");
+        let err = run_session(addr, &[], &opts(), &metrics)
+            .expect_err("session against a dead port must fail");
         match err {
             NetError::Exhausted { attempts, .. } => assert_eq!(attempts, 2),
             other => panic!("expected Exhausted, got {other}"),
         }
+        // The second attempt was booked as a retry with its backoff.
+        let c = rec.counters("net/site[0]");
+        assert_eq!(c.retries, 1);
+        assert!(c.backoff_wait_ns >= 1_000_000, "1 ms backoff recorded");
     }
 
     #[test]
     fn error_frame_aborts_without_retrying() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind rejecting server");
+        let addr = listener.local_addr().expect("read server address");
         let server = std::thread::spawn(move || {
             // Reject both potential attempts; the test asserts only one
             // connection ever arrives.
             let mut served = 0u32;
             while served < 1 {
-                let (mut s, _) = listener.accept().unwrap();
-                let _ = read_frame(&mut s, DEFAULT_MAX_FRAME_BYTES).unwrap();
+                let (mut s, _) = listener.accept().expect("accept site connection");
+                let _ = read_frame(&mut s, DEFAULT_MAX_FRAME_BYTES).expect("read HELLO frame");
                 write_frame(
                     &mut s,
                     &Frame::new(FrameKind::Error, b"version mismatch".to_vec()),
                 )
-                .unwrap();
+                .expect("write ERROR frame");
                 served += 1;
             }
             served
         });
-        let err = run_session(addr, &[], &opts()).unwrap_err();
+        let rec = RecordingRecorder::new();
+        let metrics = WireMetrics::new(&rec, "net/site[0]");
+        let err = run_session(addr, &[], &opts(), &metrics)
+            .expect_err("rejected handshake must fail the session");
         assert!(matches!(err, NetError::Handshake(ref m) if m.contains("version")));
         assert_eq!(
-            server.join().unwrap(),
+            server.join().expect("join rejecting server thread"),
             1,
             "no retry after a fatal rejection"
         );
+        let c = rec.counters("net/site[0]");
+        assert_eq!(c.handshake_rejections, 1);
+        assert_eq!(c.retries, 0);
     }
 
     #[test]
     fn unexpected_kind_is_a_retryable_protocol_error() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind nonsense server");
+        let addr = listener.local_addr().expect("read server address");
         let server = std::thread::spawn(move || {
             for _ in 0..2 {
-                let (mut s, _) = listener.accept().unwrap();
-                let _ = read_frame(&mut s, DEFAULT_MAX_FRAME_BYTES).unwrap();
+                let (mut s, _) = listener.accept().expect("accept site connection");
+                let _ = read_frame(&mut s, DEFAULT_MAX_FRAME_BYTES).expect("read HELLO frame");
                 // A GOODBYE during the handshake is nonsense.
-                write_frame(&mut s, &Frame::bare(FrameKind::Goodbye)).unwrap();
+                write_frame(&mut s, &Frame::bare(FrameKind::Goodbye)).expect("write GOODBYE");
             }
         });
-        let err = run_session(addr, &[], &opts()).unwrap_err();
+        let err = run_session(addr, &[], &opts(), &WireMetrics::disabled())
+            .expect_err("protocol nonsense must exhaust retries");
         assert!(
             matches!(err, NetError::Exhausted { attempts: 2, ref last } if last.contains("GOODBYE"))
         );
-        server.join().unwrap();
+        server.join().expect("join nonsense server thread");
     }
 }

@@ -12,9 +12,12 @@ use dbdc_net::{
     run_site, serve, FaultPlan, FaultProxy, NetError, RetryPolicy, ServeOptions, ServerOutcome,
     SiteOptions, SiteOutcome,
 };
-use dbdc_obs::NoopRecorder;
+use dbdc_obs::{NoopRecorder, RecordingRecorder};
 
 const N_SITES: usize = 4;
+
+/// Full frame-on-the-wire overhead: length prefix + kind + checksum.
+const WIRE: u64 = 13;
 
 fn params() -> DbdcParams {
     DbdcParams::new(1.6, 5).with_eps_global(EpsGlobal::MultipleOfLocal(2.0))
@@ -171,6 +174,182 @@ fn lossy_loopback_converges_to_identical_labels() {
     // per-frame event rate over ≥56 frames, two silent runs have
     // probability ~1e-5. Convergence above does not depend on this.
     assert!(total_events > 0, "fault proxy never fired across two runs");
+}
+
+/// A clean instrumented run: every byte the wire counters claim was
+/// sent reconciles with frame-level arithmetic, and both ends agree.
+#[test]
+fn clean_run_wire_counters_reconcile_with_frame_arithmetic() {
+    let g = dataset_c(35);
+    let (parts, _) = split(&g.data);
+
+    let rec = RecordingRecorder::new();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let mut serve_opts = ServeOptions::new(N_SITES, params());
+    serve_opts.drain_window = Duration::from_millis(150);
+
+    let (server, sites) = std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve(listener, serve_opts, &rec));
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(site, part)| {
+                let opts = SiteOptions::new(site as u32, N_SITES as u32, params());
+                let rec = &rec;
+                scope.spawn(move || run_site(addr, part, &opts, rec))
+            })
+            .collect();
+        let sites: Vec<SiteOutcome> = handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("site thread panicked")
+                    .expect("site completes")
+            })
+            .collect();
+        (
+            server
+                .join()
+                .expect("server thread panicked")
+                .expect("server completes"),
+            sites,
+        )
+    });
+
+    let mut sites_wire_sent = 0u64;
+    let mut sites_wire_received = 0u64;
+    for (i, s) in sites.iter().enumerate() {
+        let agg = rec.counters(&format!("net/site[{i}]"));
+        let hello = rec.counters(&format!("net/site[{i}]/HELLO"));
+        let model = rec.counters(&format!("net/site[{i}]/LOCAL_MODEL"));
+        let ack = rec.counters(&format!("net/site[{i}]/GLOBAL_ACK"));
+
+        // One attempt on a clean link: one HELLO, one LOCAL_MODEL.
+        assert_eq!(hello.frames_sent, 1, "site {i}");
+        assert_eq!(model.frames_sent, 1, "site {i}");
+        assert!(ack.frames_sent >= 1, "site {i}");
+        assert_eq!(agg.retries, 0, "no retries on a clean link");
+        assert_eq!(agg.checksum_failures + agg.truncated_rejects, 0);
+
+        // The aggregate wire bytes are exactly the frame arithmetic:
+        // HELLO carries a 10-byte payload, LOCAL_MODEL the encoded
+        // model, GLOBAL_ACK is bare.
+        let expected = (10 + WIRE) * hello.frames_sent
+            + (s.bytes_up as u64 + WIRE) * model.frames_sent
+            + WIRE * ack.frames_sent;
+        assert_eq!(agg.wire_bytes_sent, expected, "site {i} wire identity");
+        assert_eq!(
+            agg.frames_sent,
+            hello.frames_sent + model.frames_sent + ack.frames_sent
+        );
+
+        // Sub-phase timing of the successful attempt is populated and
+        // ordered: handshake, then upload, then download.
+        let p = s.session_phases;
+        assert!(p.handshake > Duration::ZERO, "site {i}");
+        assert!(p.upload_start >= p.handshake, "site {i}");
+        assert!(p.download_start >= p.upload_start + p.upload, "site {i}");
+
+        sites_wire_sent += agg.wire_bytes_sent;
+        sites_wire_received += agg.wire_bytes_received;
+    }
+
+    // No proxy in the middle: the server's receive side is exactly the
+    // sites' send side, and vice versa.
+    let srv = rec.counters("net/server");
+    assert_eq!(srv.wire_bytes_received, sites_wire_sent);
+    assert_eq!(srv.wire_bytes_sent, sites_wire_received);
+    assert_eq!(
+        rec.counters("net/server/HELLO").frames_received,
+        N_SITES as u64
+    );
+
+    // The server paired a handshake window with every site.
+    assert_eq!(server.handshakes.len(), N_SITES);
+    assert!(server.handshakes.iter().all(|h| h.is_some()));
+
+    // The latency histograms saw the traffic.
+    assert!(rec.histogram("net/frame_write_ns").count() > 0);
+    assert!(rec.histogram("net/frame_read_ns").count() > 0);
+    assert_eq!(rec.histogram("net/session_ns").count(), N_SITES as u64);
+}
+
+/// A drop-only adversarial link with server resends disabled: every
+/// dropped frame stalls exactly one session attempt, so the observed
+/// retry counters must cover the proxy's injected-drop ledger.
+#[test]
+fn observed_retries_cover_injected_drops() {
+    let g = dataset_c(36);
+    let (parts, _) = split(&g.data);
+
+    let rec = RecordingRecorder::new();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server_addr = listener.local_addr().expect("local addr");
+    let mut plan = FaultPlan::clean(0xD20D);
+    plan.drop = 0.15;
+    let proxy = FaultProxy::spawn_observed(server_addr, plan, &rec).expect("spawn proxy");
+    let proxy_addr = proxy.addr();
+
+    let mut serve_opts = ServeOptions::new(N_SITES, params());
+    serve_opts.read_timeout = Duration::from_millis(300);
+    // No server-side resends: recovery is purely whole-session replay,
+    // so one drop can never be absorbed silently by a resend.
+    serve_opts.resend_attempts = 0;
+    serve_opts.deadline = Duration::from_secs(45);
+    serve_opts.drain_window = Duration::from_millis(1200);
+
+    let sites: Vec<SiteOutcome> = std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve(listener, serve_opts, &rec));
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(site, part)| {
+                let mut opts = SiteOptions::new(site as u32, N_SITES as u32, params());
+                opts.connect_timeout = Duration::from_secs(1);
+                opts.read_timeout = Duration::from_millis(500);
+                opts.retry = RetryPolicy {
+                    attempts: 40,
+                    base_delay: Duration::from_millis(10),
+                    max_delay: Duration::from_millis(100),
+                };
+                let rec = &rec;
+                scope.spawn(move || run_site(proxy_addr, part, &opts, rec))
+            })
+            .collect();
+        let sites = handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("site thread panicked")
+                    .expect("site converges")
+            })
+            .collect();
+        server
+            .join()
+            .expect("server thread panicked")
+            .expect("server converges");
+        sites
+    });
+
+    let dropped = proxy
+        .stats()
+        .dropped
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let total_retries: u64 = (0..N_SITES)
+        .map(|i| rec.counters(&format!("net/site[{i}]")).retries)
+        .sum();
+    assert!(
+        total_retries >= dropped,
+        "observed {total_retries} retries < {dropped} injected drops"
+    );
+    // The observed counters agree with the outcome-level attempt count.
+    let outcome_retries: u64 = sites.iter().map(|s| (s.attempts - 1) as u64).sum();
+    assert_eq!(total_retries, outcome_retries);
+    // The proxy mirrored its ledger into the report scopes.
+    let proxied =
+        rec.counters("proxy/c2s").faults_dropped + rec.counters("proxy/s2c").faults_dropped;
+    assert_eq!(proxied, dropped);
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! Work counters for the DBDC hot paths.
 //!
-//! Two forms of the same nine numbers:
+//! Two forms of the same numbers:
 //!
 //! * [`Counters`] — a plain value: copyable, addable, serializable.
 //!   This is what reports store and tests assert against.
@@ -43,11 +43,48 @@ pub struct Counters {
     pub bytes_sent: u64,
     /// Wire bytes received by the observed party.
     pub bytes_received: u64,
+    /// Frames written to a TCP stream.
+    pub frames_sent: u64,
+    /// Frames successfully read (and checksum-verified) from a stream.
+    pub frames_received: u64,
+    /// Bytes put on the wire by frame writes: length prefix + kind +
+    /// payload + checksum. Always ≥ the payload bytes in `bytes_sent`.
+    pub wire_bytes_sent: u64,
+    /// Bytes consumed off the wire by successful frame reads.
+    pub wire_bytes_received: u64,
+    /// Frames rejected because their checksum did not verify.
+    pub checksum_failures: u64,
+    /// Frames rejected as truncated: short length prefix, short body,
+    /// or an unknown kind byte (corruption indistinguishable from
+    /// truncation at this layer).
+    pub truncated_rejects: u64,
+    /// Frames rejected for exceeding the configured size limit.
+    pub oversize_rejects: u64,
+    /// Sessions refused during the HELLO exchange (version or topology
+    /// mismatch), counted by whichever side observed the refusal.
+    pub handshake_rejections: u64,
+    /// Whole-session retry attempts beyond the first.
+    pub retries: u64,
+    /// Total nanoseconds slept in retry backoff.
+    pub backoff_wait_ns: u64,
+    /// Frames deliberately dropped by a fault proxy.
+    pub faults_dropped: u64,
+    /// Frames deliberately delayed by a fault proxy.
+    pub faults_delayed: u64,
+    /// Frames deliberately truncated by a fault proxy.
+    pub faults_truncated: u64,
+    /// Frames deliberately bit-flipped by a fault proxy.
+    pub faults_bitflipped: u64,
 }
 
 impl Counters {
+    /// The original nine fields every schema version has carried; the
+    /// wire/fault fields after them were added in schema v3 and parse
+    /// as zero when absent.
+    pub const CORE_FIELDS: usize = 9;
+
     /// Stable field names, in serialization order.
-    pub const FIELDS: [&'static str; 9] = [
+    pub const FIELDS: [&'static str; 23] = [
         "range_queries",
         "knn_queries",
         "distance_evals",
@@ -57,10 +94,24 @@ impl Counters {
         "representatives",
         "bytes_sent",
         "bytes_received",
+        "frames_sent",
+        "frames_received",
+        "wire_bytes_sent",
+        "wire_bytes_received",
+        "checksum_failures",
+        "truncated_rejects",
+        "oversize_rejects",
+        "handshake_rejections",
+        "retries",
+        "backoff_wait_ns",
+        "faults_dropped",
+        "faults_delayed",
+        "faults_truncated",
+        "faults_bitflipped",
     ];
 
     /// Field values in [`Counters::FIELDS`] order.
-    pub fn values(&self) -> [u64; 9] {
+    pub fn values(&self) -> [u64; 23] {
         [
             self.range_queries,
             self.knn_queries,
@@ -71,6 +122,20 @@ impl Counters {
             self.representatives,
             self.bytes_sent,
             self.bytes_received,
+            self.frames_sent,
+            self.frames_received,
+            self.wire_bytes_sent,
+            self.wire_bytes_received,
+            self.checksum_failures,
+            self.truncated_rejects,
+            self.oversize_rejects,
+            self.handshake_rejections,
+            self.retries,
+            self.backoff_wait_ns,
+            self.faults_dropped,
+            self.faults_delayed,
+            self.faults_truncated,
+            self.faults_bitflipped,
         ]
     }
 
@@ -90,6 +155,20 @@ impl Counters {
         self.representatives += other.representatives;
         self.bytes_sent += other.bytes_sent;
         self.bytes_received += other.bytes_received;
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.wire_bytes_received += other.wire_bytes_received;
+        self.checksum_failures += other.checksum_failures;
+        self.truncated_rejects += other.truncated_rejects;
+        self.oversize_rejects += other.oversize_rejects;
+        self.handshake_rejections += other.handshake_rejections;
+        self.retries += other.retries;
+        self.backoff_wait_ns += other.backoff_wait_ns;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_delayed += other.faults_delayed;
+        self.faults_truncated += other.faults_truncated;
+        self.faults_bitflipped += other.faults_bitflipped;
     }
 
     /// Field-wise sum of many snapshots.
@@ -117,6 +196,20 @@ pub struct CounterSheet {
     representatives: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    wire_bytes_sent: AtomicU64,
+    wire_bytes_received: AtomicU64,
+    checksum_failures: AtomicU64,
+    truncated_rejects: AtomicU64,
+    oversize_rejects: AtomicU64,
+    handshake_rejections: AtomicU64,
+    retries: AtomicU64,
+    backoff_wait_ns: AtomicU64,
+    faults_dropped: AtomicU64,
+    faults_delayed: AtomicU64,
+    faults_truncated: AtomicU64,
+    faults_bitflipped: AtomicU64,
 }
 
 impl CounterSheet {
@@ -162,6 +255,61 @@ impl CounterSheet {
         self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records one frame written to the wire: `wire` is the full
+    /// on-the-wire size (prefix + kind + payload + checksum), `payload`
+    /// the payload portion alone.
+    pub fn add_frame_sent(&self, wire: u64, payload: u64) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.wire_bytes_sent.fetch_add(wire, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(payload, Ordering::Relaxed);
+    }
+
+    /// Records one checksum-verified frame read off the wire.
+    pub fn add_frame_received(&self, wire: u64, payload: u64) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.wire_bytes_received.fetch_add(wire, Ordering::Relaxed);
+        self.bytes_received.fetch_add(payload, Ordering::Relaxed);
+    }
+
+    /// Records a frame rejected for a bad checksum.
+    pub fn add_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a frame rejected as truncated or structurally invalid.
+    pub fn add_truncated_reject(&self) {
+        self.truncated_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a frame rejected for exceeding the size limit.
+    pub fn add_oversize_reject(&self) {
+        self.oversize_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a session refused during the HELLO exchange.
+    pub fn add_handshake_rejection(&self) {
+        self.handshake_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retry attempt and the backoff slept before it.
+    pub fn add_retry(&self, backoff: std::time::Duration) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.backoff_wait_ns.fetch_add(
+            backoff.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Records faults injected by an adversarial proxy.
+    pub fn add_faults(&self, dropped: u64, delayed: u64, truncated: u64, bitflipped: u64) {
+        self.faults_dropped.fetch_add(dropped, Ordering::Relaxed);
+        self.faults_delayed.fetch_add(delayed, Ordering::Relaxed);
+        self.faults_truncated
+            .fetch_add(truncated, Ordering::Relaxed);
+        self.faults_bitflipped
+            .fetch_add(bitflipped, Ordering::Relaxed);
+    }
+
     /// Adds a whole snapshot at once.
     pub fn add(&self, c: &Counters) {
         self.range_queries
@@ -177,6 +325,32 @@ impl CounterSheet {
         self.bytes_sent.fetch_add(c.bytes_sent, Ordering::Relaxed);
         self.bytes_received
             .fetch_add(c.bytes_received, Ordering::Relaxed);
+        self.frames_sent.fetch_add(c.frames_sent, Ordering::Relaxed);
+        self.frames_received
+            .fetch_add(c.frames_received, Ordering::Relaxed);
+        self.wire_bytes_sent
+            .fetch_add(c.wire_bytes_sent, Ordering::Relaxed);
+        self.wire_bytes_received
+            .fetch_add(c.wire_bytes_received, Ordering::Relaxed);
+        self.checksum_failures
+            .fetch_add(c.checksum_failures, Ordering::Relaxed);
+        self.truncated_rejects
+            .fetch_add(c.truncated_rejects, Ordering::Relaxed);
+        self.oversize_rejects
+            .fetch_add(c.oversize_rejects, Ordering::Relaxed);
+        self.handshake_rejections
+            .fetch_add(c.handshake_rejections, Ordering::Relaxed);
+        self.retries.fetch_add(c.retries, Ordering::Relaxed);
+        self.backoff_wait_ns
+            .fetch_add(c.backoff_wait_ns, Ordering::Relaxed);
+        self.faults_dropped
+            .fetch_add(c.faults_dropped, Ordering::Relaxed);
+        self.faults_delayed
+            .fetch_add(c.faults_delayed, Ordering::Relaxed);
+        self.faults_truncated
+            .fetch_add(c.faults_truncated, Ordering::Relaxed);
+        self.faults_bitflipped
+            .fetch_add(c.faults_bitflipped, Ordering::Relaxed);
     }
 
     /// The current totals as a plain value.
@@ -191,6 +365,20 @@ impl CounterSheet {
             representatives: self.representatives.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            wire_bytes_sent: self.wire_bytes_sent.load(Ordering::Relaxed),
+            wire_bytes_received: self.wire_bytes_received.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            truncated_rejects: self.truncated_rejects.load(Ordering::Relaxed),
+            oversize_rejects: self.oversize_rejects.load(Ordering::Relaxed),
+            handshake_rejections: self.handshake_rejections.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            backoff_wait_ns: self.backoff_wait_ns.load(Ordering::Relaxed),
+            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
+            faults_delayed: self.faults_delayed.load(Ordering::Relaxed),
+            faults_truncated: self.faults_truncated.load(Ordering::Relaxed),
+            faults_bitflipped: self.faults_bitflipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -275,6 +463,50 @@ mod tests {
         assert_eq!(values[0], 1);
         assert_eq!(values[8], 9);
         assert!(Counters::default().is_zero());
+    }
+
+    #[test]
+    fn wire_and_fault_accessors_land_in_their_fields() {
+        let s = CounterSheet::new();
+        s.add_frame_sent(23, 10);
+        s.add_frame_sent(13, 0);
+        s.add_frame_received(13, 0);
+        s.add_checksum_failure();
+        s.add_truncated_reject();
+        s.add_oversize_reject();
+        s.add_handshake_rejection();
+        s.add_retry(std::time::Duration::from_nanos(1_500));
+        s.add_retry(std::time::Duration::from_nanos(500));
+        s.add_faults(3, 2, 1, 4);
+        let c = s.snapshot();
+        assert_eq!(c.frames_sent, 2);
+        assert_eq!(c.wire_bytes_sent, 36);
+        assert_eq!(c.bytes_sent, 10);
+        assert_eq!(c.frames_received, 1);
+        assert_eq!(c.wire_bytes_received, 13);
+        assert_eq!(c.bytes_received, 0);
+        assert_eq!(c.checksum_failures, 1);
+        assert_eq!(c.truncated_rejects, 1);
+        assert_eq!(c.oversize_rejects, 1);
+        assert_eq!(c.handshake_rejections, 1);
+        assert_eq!(c.retries, 2);
+        assert_eq!(c.backoff_wait_ns, 2_000);
+        assert_eq!(c.faults_dropped, 3);
+        assert_eq!(c.faults_delayed, 2);
+        assert_eq!(c.faults_truncated, 1);
+        assert_eq!(c.faults_bitflipped, 4);
+
+        // add() and sum() carry the new fields too.
+        let mut doubled = c;
+        doubled.add(&c);
+        assert_eq!(doubled.retries, 4);
+        assert_eq!(doubled.faults_bitflipped, 8);
+        assert_eq!(Counters::sum([&c, &c]).wire_bytes_sent, 72);
+
+        // And a sheet absorbs whole snapshots including them.
+        let t = CounterSheet::new();
+        t.add(&c);
+        assert_eq!(t.snapshot(), c);
     }
 
     #[test]

@@ -39,20 +39,24 @@ pub mod counters;
 pub mod diff;
 pub mod hist;
 pub mod json;
+pub mod merge;
 pub mod recorder;
 pub mod report;
 pub mod span;
+pub mod timeline;
 
 pub use counters::{CounterSheet, Counters};
 pub use diff::{diff_reports, DiffOutcome, DiffRow};
 pub use hist::{fmt_sample, HistSheet, Histogram};
 pub use json::{Json, JsonError};
+pub use merge::merge_reports;
 pub use recorder::{NoopRecorder, Recorder, RecordingRecorder};
 pub use report::{
     ClusterStats, DatasetInfo, EnvFingerprint, NetworkCost, RunReport, SiteStats, TransferStats,
     MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use span::Span;
+pub use timeline::chrome_trace;
 
 /// Formats a duration as fractional milliseconds, the workspace's one
 /// human-facing duration format (replaces the hand-rolled

@@ -1,0 +1,390 @@
+//! Cross-process [`RunReport`] merging.
+//!
+//! A distributed run leaves one report per process: the server's and
+//! one per site, each self-contained but blind to the others. This
+//! module joins them into a single schema-v3 report:
+//!
+//! * counters are summed per scope name (scopes are process-prefixed —
+//!   `net/server`, `net/site[2]` — so nothing collides by accident),
+//! * histograms are bucket-merged exactly (the bucket scheme is shared,
+//!   so merging is associative and commutative),
+//! * span trees are grafted under one `dbdc_distributed` root: the
+//!   server's tree first, then one `site[i]` subtree per site, sorted
+//!   by site index so the merged report is independent of the order
+//!   the site reports were given in,
+//! * per-site statistics are concatenated (sorted the same way), and
+//! * environment fingerprints are cross-checked — toolchain or
+//!   revision drift between processes produces warnings, not errors,
+//!   because a heterogeneous fleet is legal but worth flagging.
+//!
+//! Identity rules: every input must carry a `peer` and the expected
+//! `role`; duplicate peers are an error (this is how merging a report
+//! with itself is caught), and disagreeing `run_id`s are an error
+//! (reports from different runs must never silently merge). A missing
+//! `run_id` merges but warns.
+
+use crate::counters::Counters;
+use crate::hist::Histogram;
+use crate::report::{RunReport, SiteStats};
+use crate::span::Span;
+
+/// Joins one server report and N site reports into a single
+/// distributed report. Returns the merged report plus any warnings
+/// (env drift, missing run ids) worth surfacing to the operator.
+pub fn merge_reports(
+    server: &RunReport,
+    sites: &[&RunReport],
+) -> Result<(RunReport, Vec<String>), String> {
+    let mut warnings = Vec::new();
+
+    if server.role.as_deref() != Some("server") {
+        return Err(format!(
+            "first report must have role \"server\", got {:?} (command {:?})",
+            server.role, server.command
+        ));
+    }
+    if sites.is_empty() {
+        return Err("need at least one site report to merge".into());
+    }
+
+    // Every process needs a unique identity; a repeated peer means the
+    // same report (or the same process's report) was passed twice.
+    let server_peer = server
+        .peer
+        .clone()
+        .ok_or("server report carries no \"peer\"")?;
+    let mut seen = vec![server_peer.clone()];
+    for s in sites {
+        if s.role.as_deref() != Some("site") {
+            return Err(format!(
+                "site report must have role \"site\", got {:?} (peer {:?})",
+                s.role, s.peer
+            ));
+        }
+        let peer = s
+            .peer
+            .clone()
+            .ok_or_else(|| format!("site report (command {:?}) carries no \"peer\"", s.command))?;
+        if seen.contains(&peer) {
+            return Err(format!(
+                "duplicate peer {peer:?}: same report passed twice?"
+            ));
+        }
+        seen.push(peer);
+    }
+
+    // All reports must agree on the run they describe. A missing id is
+    // tolerated (the operator may not have passed --run-id) but noted.
+    let run_id = server.run_id.clone();
+    for s in sites {
+        match (&run_id, &s.run_id) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(format!(
+                    "run_id mismatch: server has {a:?}, {} has {b:?}",
+                    s.peer.as_deref().unwrap_or("?")
+                ));
+            }
+            (_, None) | (None, _) => warnings.push(format!(
+                "report {} carries no run_id; cross-run merges cannot be detected",
+                s.peer.as_deref().unwrap_or("?")
+            )),
+            _ => {}
+        }
+    }
+    if run_id.is_none() {
+        warnings.push("server report carries no run_id".into());
+    }
+
+    // Order-insensitivity: everything per-site is laid out by site
+    // index, not argument order.
+    let mut ordered: Vec<&RunReport> = sites.to_vec();
+    ordered.sort_by_key(|s| peer_index(s.peer.as_deref().unwrap_or("")));
+
+    // Counters: sum per scope name, first-appearance order.
+    let mut scopes: Vec<(String, Counters)> = Vec::new();
+    for report in std::iter::once(&server).chain(ordered.iter()) {
+        for (name, c) in &report.scopes {
+            match scopes.iter_mut().find(|(n, _)| n == name) {
+                Some((_, acc)) => acc.add(c),
+                None => scopes.push((name.clone(), *c)),
+            }
+        }
+    }
+
+    // Histograms: exact bucket merge per scope name.
+    let mut hists: Vec<(String, Histogram)> = Vec::new();
+    for report in std::iter::once(&server).chain(ordered.iter()) {
+        for (name, h) in &report.hists {
+            match hists.iter_mut().find(|(n, _)| n == name) {
+                Some((_, acc)) => acc.merge(h),
+                None => hists.push((name.clone(), h.clone())),
+            }
+        }
+    }
+
+    // Spans: one synthetic root holding the server's tree and one
+    // wrapper subtree per site, so the timeline exporter (and human
+    // readers) can tell the processes apart.
+    let server_wall = server
+        .spans
+        .iter()
+        .map(|s| s.wall)
+        .max()
+        .unwrap_or_default();
+    let mut root = Span::new("dbdc_distributed", server_wall);
+    for span in &server.spans {
+        root.push(span.clone());
+    }
+    for s in &ordered {
+        let peer = s.peer.clone().unwrap_or_else(|| "site[?]".into());
+        let wall = s.spans.iter().map(|sp| sp.wall).max().unwrap_or_default();
+        let mut wrapper = Span::new(peer, wall);
+        for span in &s.spans {
+            wrapper.push(span.clone());
+        }
+        root.push(wrapper);
+    }
+
+    // Env fingerprints: the merged report keeps the server's, but any
+    // drift across the fleet is called out. Dataset checksums are
+    // expected to differ (each site holds its own partition).
+    if let Some(se) = &server.env {
+        for s in &ordered {
+            let peer = s.peer.as_deref().unwrap_or("?");
+            match &s.env {
+                None => warnings.push(format!("{peer} carries no env fingerprint")),
+                Some(e) => {
+                    if e.rustc != se.rustc {
+                        warnings.push(format!(
+                            "{peer} built with {:?}, server with {:?}",
+                            e.rustc, se.rustc
+                        ));
+                    }
+                    if e.git_rev != se.git_rev {
+                        warnings.push(format!(
+                            "{peer} at revision {:?}, server at {:?}",
+                            e.git_rev, se.git_rev
+                        ));
+                    }
+                }
+            }
+        }
+    } else {
+        warnings.push("server carries no env fingerprint; fleet drift unchecked".into());
+    }
+
+    // Per-site statistics: one entry per site report, sorted.
+    let mut site_stats: Vec<SiteStats> = Vec::new();
+    for s in &ordered {
+        site_stats.extend(s.sites.iter().cloned());
+    }
+    site_stats.sort_by_key(|s| s.site);
+
+    let mut merged = RunReport::new("merge");
+    merged.role = Some("merged".into());
+    merged.run_id = run_id;
+    merged.peer = None;
+    merged.params = server.params.clone();
+    merged.env = server.env.clone();
+    merged.dataset = server.dataset;
+    merged.spans = vec![root];
+    merged.scopes = scopes;
+    merged.hists = hists;
+    merged.sites = site_stats;
+    merged.transfer = server.transfer.clone();
+    merged.network = server.network.clone();
+    merged.clusters = server.clusters;
+    Ok((merged, warnings))
+}
+
+/// The numeric index inside a `site[i]` peer name, for sorting;
+/// unparsable peers sort last in name order.
+fn peer_index(peer: &str) -> (u64, String) {
+    let idx = peer
+        .strip_prefix("site[")
+        .and_then(|rest| rest.strip_suffix(']'))
+        .and_then(|n| n.parse::<u64>().ok());
+    match idx {
+        Some(i) => (i, String::new()),
+        None => (u64::MAX, peer.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn env(checksum: &str) -> crate::report::EnvFingerprint {
+        crate::report::EnvFingerprint {
+            nproc: 8,
+            rustc: "rustc 1.75.0".into(),
+            git_rev: "aaa".into(),
+            dataset_checksum: checksum.into(),
+        }
+    }
+
+    fn server() -> RunReport {
+        let mut r = RunReport::new("serve").with_identity("server", Some("r1".into()), "server");
+        r.env = Some(env("srv"));
+        let mut root = Span::new("dbdc_serve", Duration::from_micros(10_000));
+        root.push(Span::new("upload", Duration::from_micros(4_000)));
+        r.spans = vec![root];
+        r.scopes = vec![(
+            "net/server".into(),
+            Counters {
+                frames_received: 8,
+                ..Counters::default()
+            },
+        )];
+        r.hists = vec![(
+            "net/frame_read_ns".into(),
+            Histogram::from_values([100, 200]),
+        )];
+        r
+    }
+
+    fn site(i: usize) -> RunReport {
+        let mut r =
+            RunReport::new("site").with_identity("site", Some("r1".into()), format!("site[{i}]"));
+        r.env = Some(env("part"));
+        let mut root = Span::new("dbdc_site", Duration::from_micros(8_000));
+        root.push(Span::new(
+            format!("local[{i}]"),
+            Duration::from_micros(3_000),
+        ));
+        r.spans = vec![root];
+        r.scopes = vec![
+            (
+                format!("net/site[{i}]"),
+                Counters {
+                    frames_sent: 4,
+                    retries: i as u64,
+                    ..Counters::default()
+                },
+            ),
+            (
+                "shared".into(),
+                Counters {
+                    range_queries: 10,
+                    ..Counters::default()
+                },
+            ),
+        ];
+        r.hists = vec![(
+            "net/frame_write_ns".into(),
+            Histogram::from_values([50 * (i as u64 + 1)]),
+        )];
+        r.sites = vec![SiteStats {
+            site: i,
+            points: 100,
+            representatives: 5,
+            bytes_up: 40,
+            local: Duration::from_micros(3_000),
+            relabel: Duration::from_micros(1_000),
+            counters: Counters::default(),
+        }];
+        r
+    }
+
+    #[test]
+    fn merges_scopes_hists_spans_and_sites() {
+        let sv = server();
+        let (s0, s1) = (site(0), site(1));
+        let (m, warnings) = merge_reports(&sv, &[&s1, &s0]).expect("merge");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(m.role.as_deref(), Some("merged"));
+        assert_eq!(m.run_id.as_deref(), Some("r1"));
+
+        // Shared scopes summed, per-process scopes kept distinct.
+        let shared = m.scopes.iter().find(|(n, _)| n == "shared").unwrap();
+        assert_eq!(shared.1.range_queries, 20);
+        assert!(m.scopes.iter().any(|(n, _)| n == "net/server"));
+        assert!(m.scopes.iter().any(|(n, _)| n == "net/site[0]"));
+
+        // Histograms bucket-merged.
+        let h = m
+            .hists
+            .iter()
+            .find(|(n, _)| n == "net/frame_write_ns")
+            .unwrap();
+        assert_eq!(h.1.count(), 2);
+
+        // Span forest: server tree then site[0], site[1] — sorted by
+        // index even though the arguments came reversed.
+        let root = &m.spans[0];
+        assert_eq!(root.name, "dbdc_distributed");
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["dbdc_serve", "site[0]", "site[1]"]);
+        assert!(root.find("local[1]").is_some());
+
+        // SiteStats concatenated in site order.
+        let idx: Vec<usize> = m.sites.iter().map(|s| s.site).collect();
+        assert_eq!(idx, [0, 1]);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let sv = server();
+        let (s0, s1, s2) = (site(0), site(1), site(2));
+        let (a, _) = merge_reports(&sv, &[&s0, &s1, &s2]).expect("merge");
+        let (b, _) = merge_reports(&sv, &[&s2, &s0, &s1]).expect("merge");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_peer_is_rejected() {
+        let sv = server();
+        let s0 = site(0);
+        let err = merge_reports(&sv, &[&s0, &s0]).unwrap_err();
+        assert!(err.contains("duplicate peer"), "{err}");
+        // Self-merge via the server slot is a role error.
+        let err = merge_reports(&s0, &[&s0]).unwrap_err();
+        assert!(err.contains("role"), "{err}");
+    }
+
+    #[test]
+    fn run_id_mismatch_is_rejected_and_missing_id_warns() {
+        let sv = server();
+        let mut other = site(0);
+        other.run_id = Some("r2".into());
+        let err = merge_reports(&sv, &[&other]).unwrap_err();
+        assert!(err.contains("run_id mismatch"), "{err}");
+
+        let mut anon = site(0);
+        anon.run_id = None;
+        let (_, warnings) = merge_reports(&sv, &[&anon]).expect("merges with warning");
+        assert!(
+            warnings.iter().any(|w| w.contains("no run_id")),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn env_drift_warns_but_merges() {
+        let mut sv = server();
+        sv.env = Some(crate::report::EnvFingerprint {
+            nproc: 8,
+            rustc: "rustc 1.75.0".into(),
+            git_rev: "aaa".into(),
+            dataset_checksum: "x".into(),
+        });
+        let mut s0 = site(0);
+        s0.env = Some(crate::report::EnvFingerprint {
+            nproc: 4,
+            rustc: "rustc 1.80.0".into(),
+            git_rev: "bbb".into(),
+            dataset_checksum: "y".into(),
+        });
+        let (m, warnings) = merge_reports(&sv, &[&s0]).expect("merge");
+        assert_eq!(m.env.as_ref().unwrap().git_rev, "aaa");
+        assert!(
+            warnings.iter().any(|w| w.contains("1.80.0")),
+            "{warnings:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.contains("revision")),
+            "{warnings:?}"
+        );
+    }
+}

@@ -16,6 +16,10 @@
 //! this build.
 //!
 //! Version history: v1 had no `env` and no `hists`; v2 added both.
+//! v3 added distributed-run identity (`role`/`run_id`/`peer`), the
+//! optional per-span `start_us` offset, and the wire/fault counter
+//! fields — all of which parse as absent/zero from older reports, so
+//! v1 and v2 files remain readable.
 
 use std::time::Duration;
 
@@ -26,7 +30,7 @@ use crate::json::Json;
 use crate::span::Span;
 
 /// Version of the JSON shape. Bump on any schema change.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Oldest schema version [`RunReport::from_json`] still reads.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -121,6 +125,17 @@ pub struct RunReport {
     pub schema_version: u32,
     /// CLI subcommand or harness name that produced the report.
     pub command: String,
+    /// Which side of a distributed run produced this: `"server"`,
+    /// `"site"`, or `"merged"`. `None` for single-process commands.
+    pub role: Option<String>,
+    /// Operator-chosen identifier shared by every process of one
+    /// distributed run; `report merge` refuses to join reports whose
+    /// run ids disagree.
+    pub run_id: Option<String>,
+    /// This process's identity within the run (`"server"`,
+    /// `"site[3]"`), unique per run — duplicate peers are how merging
+    /// a report with itself is detected.
+    pub peer: Option<String>,
     /// Echoed parameters, in display order.
     pub params: Vec<(String, String)>,
     /// Environment fingerprint, when the producer captured one.
@@ -150,6 +165,9 @@ impl RunReport {
         RunReport {
             schema_version: SCHEMA_VERSION,
             command: command.into(),
+            role: None,
+            run_id: None,
+            peer: None,
             params: Vec::new(),
             env: None,
             dataset: None,
@@ -169,11 +187,32 @@ impl RunReport {
         self
     }
 
+    /// Sets the distributed-run identity, builder-style. `run_id` may
+    /// be `None` when the operator did not pass `--run-id`.
+    pub fn with_identity(
+        mut self,
+        role: impl Into<String>,
+        run_id: Option<String>,
+        peer: impl Into<String>,
+    ) -> RunReport {
+        self.role = Some(role.into());
+        self.run_id = run_id;
+        self.peer = Some(peer.into());
+        self
+    }
+
     /// The report as a JSON tree.
     pub fn to_json(&self) -> Json {
+        let opt_str = |s: &Option<String>| match s {
+            Some(s) => Json::str(s),
+            None => Json::Null,
+        };
         Json::obj([
             ("schema_version", Json::num_u64(self.schema_version as u64)),
             ("command", Json::str(&self.command)),
+            ("role", opt_str(&self.role)),
+            ("run_id", opt_str(&self.run_id)),
+            ("peer", opt_str(&self.peer)),
             (
                 "params",
                 Json::Obj(
@@ -328,6 +367,12 @@ impl RunReport {
             .and_then(Json::as_str)
             .ok_or("report missing \"command\"")?
             .to_string();
+        // Distributed identity arrived in v3; missing or null in older
+        // reports simply means "not a distributed process".
+        let opt_str = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+        let role = opt_str("role");
+        let run_id = opt_str("run_id");
+        let peer = opt_str("peer");
         let params = match v.get("params") {
             Some(Json::Obj(pairs)) => pairs
                 .iter()
@@ -449,6 +494,9 @@ impl RunReport {
         Ok(RunReport {
             schema_version,
             command,
+            role,
+            run_id,
+            peer,
             params,
             env,
             dataset,
@@ -480,6 +528,15 @@ impl RunReport {
             "== {} report (schema v{}) ==\n",
             self.command, self.schema_version
         ));
+        if self.role.is_some() || self.run_id.is_some() || self.peer.is_some() {
+            let unset = "-".to_string();
+            out.push_str(&format!(
+                "identity: role {}, run {}, peer {}\n",
+                self.role.as_ref().unwrap_or(&unset),
+                self.run_id.as_ref().unwrap_or(&unset),
+                self.peer.as_ref().unwrap_or(&unset),
+            ));
+        }
         if !self.params.is_empty() {
             let echoed: Vec<String> = self
                 .params
@@ -591,7 +648,7 @@ pub fn render_hists(hists: &[(String, Histogram)]) -> String {
     out
 }
 
-/// Counters as a JSON object, all nine fields in [`Counters::FIELDS`]
+/// Counters as a JSON object, all fields in [`Counters::FIELDS`]
 /// order.
 pub fn counters_to_json(c: &Counters) -> Json {
     Json::Obj(
@@ -603,13 +660,17 @@ pub fn counters_to_json(c: &Counters) -> Json {
     )
 }
 
-/// Rebuilds counters from [`counters_to_json`] output.
+/// Rebuilds counters from [`counters_to_json`] output. The nine
+/// original fields are required; the wire/fault fields (added in
+/// schema v3) default to zero when absent, so v1/v2 counter objects
+/// still parse.
 pub fn counters_from_json(v: &Json) -> Result<Counters, String> {
     let field = |name: &str| {
         v.get(name)
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("counters missing {name:?}"))
     };
+    let opt = |name: &str| v.get(name).and_then(Json::as_u64).unwrap_or(0);
     Ok(Counters {
         range_queries: field("range_queries")?,
         knn_queries: field("knn_queries")?,
@@ -620,6 +681,20 @@ pub fn counters_from_json(v: &Json) -> Result<Counters, String> {
         representatives: field("representatives")?,
         bytes_sent: field("bytes_sent")?,
         bytes_received: field("bytes_received")?,
+        frames_sent: opt("frames_sent"),
+        frames_received: opt("frames_received"),
+        wire_bytes_sent: opt("wire_bytes_sent"),
+        wire_bytes_received: opt("wire_bytes_received"),
+        checksum_failures: opt("checksum_failures"),
+        truncated_rejects: opt("truncated_rejects"),
+        oversize_rejects: opt("oversize_rejects"),
+        handshake_rejections: opt("handshake_rejections"),
+        retries: opt("retries"),
+        backoff_wait_ns: opt("backoff_wait_ns"),
+        faults_dropped: opt("faults_dropped"),
+        faults_delayed: opt("faults_delayed"),
+        faults_truncated: opt("faults_truncated"),
+        faults_bitflipped: opt("faults_bitflipped"),
     })
 }
 
@@ -670,6 +745,9 @@ mod tests {
         RunReport {
             schema_version: SCHEMA_VERSION,
             command: "run".into(),
+            role: Some("server".into()),
+            run_id: Some("run-7".into()),
+            peer: Some("server".into()),
             params: vec![("eps".into(), "1.2".into()), ("sites".into(), "1".into())],
             env: Some(EnvFingerprint {
                 nproc: 8,
@@ -760,15 +838,45 @@ mod tests {
         let mut v = sample().to_json();
         if let Json::Obj(pairs) = &mut v {
             pairs[0].1 = Json::num_u64(1);
-            pairs.retain(|(k, _)| k != "env" && k != "hists");
+            pairs.retain(|(k, _)| {
+                k != "env" && k != "hists" && k != "role" && k != "run_id" && k != "peer"
+            });
         }
         let back = RunReport::from_json(&v).expect("v1 still parses");
         assert_eq!(back.schema_version, 1);
         assert!(back.env.is_none());
         assert!(back.hists.is_empty());
+        assert!(back.role.is_none() && back.run_id.is_none() && back.peer.is_none());
         // Everything a v1 report did carry survives.
         assert_eq!(back.scopes.len(), 2);
         assert_eq!(back.sites.len(), 1);
+    }
+
+    #[test]
+    fn reads_v2_reports_without_identity_or_wire_counters() {
+        // A v2 report: no role/run_id/peer, nine-field counter
+        // objects, five-key spans.
+        let mut v = sample().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs[0].1 = Json::num_u64(2);
+            pairs.retain(|(k, _)| k != "role" && k != "run_id" && k != "peer");
+            for (k, val) in pairs.iter_mut() {
+                if k == "counters" {
+                    if let Json::Obj(scopes) = val {
+                        for (_, c) in scopes.iter_mut() {
+                            if let Json::Obj(fields) = c {
+                                fields.truncate(Counters::CORE_FIELDS);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let back = RunReport::from_json(&v).expect("v2 still parses");
+        assert_eq!(back.schema_version, 2);
+        assert!(back.role.is_none());
+        assert_eq!(back.scopes[0].1.range_queries, 40);
+        assert_eq!(back.scopes[0].1.frames_sent, 0);
     }
 
     #[test]
@@ -793,7 +901,8 @@ mod tests {
     fn render_mentions_every_section() {
         let text = sample().render();
         for needle in [
-            "== run report (schema v2) ==",
+            "== run report (schema v3) ==",
+            "identity: role server, run run-7, peer server",
             "eps=1.2",
             "env: nproc 8, rustc 1.75.0, rev abc1234, data 11deadbeef",
             "dataset: 40 points, dim 2",

@@ -30,6 +30,13 @@ pub struct Span {
     /// `true` when the duration comes from the network cost model
     /// rather than a measurement.
     pub modeled: bool,
+    /// When this phase began, as an offset from the start of its
+    /// *parent* span. `None` (the common case) means "sequential":
+    /// the phase is laid out after its previous sibling. Concurrent
+    /// phases — per-connection handshakes on the server, the session
+    /// sub-phases on a site — carry explicit offsets so the timeline
+    /// exporter can place them truthfully.
+    pub start: Option<Duration>,
     /// Nested sub-phases, in execution order.
     pub children: Vec<Span>,
 }
@@ -42,6 +49,7 @@ impl Span {
             wall,
             threads: 1,
             modeled: false,
+            start: None,
             children: Vec::new(),
         }
     }
@@ -57,6 +65,13 @@ impl Span {
     /// Sets the thread count, builder-style.
     pub fn with_threads(mut self, threads: usize) -> Span {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the explicit start offset (relative to the parent span),
+    /// builder-style.
+    pub fn with_start(mut self, start: Duration) -> Span {
+        self.start = Some(start);
         self
     }
 
@@ -116,14 +131,21 @@ impl Span {
     }
 
     /// The span as a JSON object: `name`, `wall_us`, `threads`,
-    /// `modeled`, `children` — always all five keys, for a stable
-    /// schema.
+    /// `modeled`, `start_us`, `children` — always all six keys, for a
+    /// stable schema. `start_us` is `null` for sequential spans.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("name", Json::str(&self.name)),
             ("wall_us", Json::num_u64(self.wall.as_micros() as u64)),
             ("threads", Json::num_u64(self.threads as u64)),
             ("modeled", Json::Bool(self.modeled)),
+            (
+                "start_us",
+                match self.start {
+                    Some(s) => Json::num_u64(s.as_micros() as u64),
+                    None => Json::Null,
+                },
+            ),
             (
                 "children",
                 Json::Arr(self.children.iter().map(Span::to_json).collect()),
@@ -150,6 +172,11 @@ impl Span {
             .get("modeled")
             .and_then(Json::as_bool)
             .ok_or_else(|| format!("span {name:?} missing \"modeled\""))?;
+        // Absent or null in pre-v3 reports: sequential layout.
+        let start = v
+            .get("start_us")
+            .and_then(Json::as_u64)
+            .map(Duration::from_micros);
         let children = v
             .get("children")
             .and_then(Json::as_arr)
@@ -162,6 +189,7 @@ impl Span {
             wall: Duration::from_micros(wall_us),
             threads,
             modeled,
+            start,
             children,
         })
     }
@@ -178,7 +206,10 @@ mod tests {
         local.push(Span::new("encode", Duration::from_micros(200)));
         root.push(local);
         root.push(Span::modeled("upload", Duration::from_micros(400)));
-        root.push(Span::new("global", Duration::from_micros(900)));
+        root.push(
+            Span::new("global", Duration::from_micros(900))
+                .with_start(Duration::from_micros(4_400)),
+        );
         root
     }
 
@@ -213,6 +244,27 @@ mod tests {
         let root = sample();
         let back = Span::from_json(&root.to_json()).expect("round trip");
         assert_eq!(back, root);
+    }
+
+    #[test]
+    fn missing_or_null_start_parses_as_sequential() {
+        // Pre-v3 span objects have no start_us key at all.
+        let mut v = sample().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "start_us");
+        }
+        let span = Span::from_json(&v).expect("five-key span parses");
+        assert_eq!(span.start, None);
+        // And v3 serializes sequential spans with an explicit null.
+        let seq = Span::new("x", Duration::from_micros(1));
+        assert!(seq
+            .to_json()
+            .to_string_pretty()
+            .contains("\"start_us\": null"));
+        assert_eq!(
+            Span::from_json(&seq.to_json()).expect("round trip").start,
+            None
+        );
     }
 
     #[test]

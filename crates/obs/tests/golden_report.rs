@@ -22,6 +22,10 @@ fn golden_v1_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_report_v1.json")
 }
 
+fn golden_v2_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_report_v2.json")
+}
+
 /// A fully populated report with fixed, hand-picked values — every
 /// section present, so the golden file exercises the whole schema.
 fn sample_report() -> RunReport {
@@ -43,6 +47,7 @@ fn sample_report() -> RunReport {
             representatives: 3,
             bytes_sent: 152,
             bytes_received: 6,
+            ..Counters::default()
         },
     ];
 
@@ -198,15 +203,35 @@ fn v1_golden_file_still_parses() {
     assert_eq!(parsed.schema_version, 1);
     assert!(parsed.env.is_none());
     assert!(parsed.hists.is_empty());
-    // The sections v1 did carry match the v2 sample (which reuses the
-    // same handpicked values).
-    let v2 = sample_report();
-    assert_eq!(parsed.scopes, v2.scopes);
-    assert_eq!(parsed.sites, v2.sites);
-    assert_eq!(parsed.transfer, v2.transfer);
-    assert_eq!(parsed.network, v2.network);
-    assert_eq!(parsed.clusters, v2.clusters);
-    assert_eq!(parsed.spans, v2.spans);
+    // The sections v1 did carry match the current sample (which reuses
+    // the same handpicked values).
+    let now = sample_report();
+    assert_eq!(parsed.scopes, now.scopes);
+    assert_eq!(parsed.sites, now.sites);
+    assert_eq!(parsed.transfer, now.transfer);
+    assert_eq!(parsed.network, now.network);
+    assert_eq!(parsed.clusters, now.clusters);
+    assert_eq!(parsed.spans, now.spans);
+}
+
+/// The checked-in v2 golden file (pre-identity, pre-wire-counter,
+/// five-key spans) must keep parsing. Frozen history — never re-bless.
+#[test]
+fn v2_golden_file_still_parses() {
+    let golden = std::fs::read_to_string(golden_v2_path()).expect("read v2 golden file");
+    let parsed = RunReport::parse(&golden).expect("v2 golden validates");
+    assert_eq!(parsed.schema_version, 2);
+    assert!(parsed.role.is_none() && parsed.run_id.is_none() && parsed.peer.is_none());
+    // Everything v2 carried matches the current sample, which keeps the
+    // same handpicked values (the v3 additions default to None/zero).
+    let now = sample_report();
+    assert_eq!(parsed.env, now.env);
+    assert_eq!(parsed.hists, now.hists);
+    assert_eq!(parsed.scopes, now.scopes);
+    assert_eq!(parsed.sites, now.sites);
+    assert_eq!(parsed.spans, now.spans);
+    assert_eq!(parsed.transfer, now.transfer);
+    assert_eq!(parsed.clusters, now.clusters);
 }
 
 #[test]

@@ -1,0 +1,156 @@
+//! Properties of `report merge`: the merged report is a function of the
+//! *set* of site reports (argument order never matters), and identity
+//! validation catches the classic operator mistakes — passing the same
+//! report twice, or mixing reports from different runs.
+
+use std::time::Duration;
+
+use dbdc_obs::merge::merge_reports;
+use dbdc_obs::{Counters, Histogram, RunReport, SiteStats, Span};
+use proptest::prelude::*;
+
+/// A deterministic server report for run `run_id`.
+fn server_report(run_id: &str) -> RunReport {
+    let mut r = RunReport::new("serve").with_identity("server", Some(run_id.to_string()), "server");
+    let mut root = Span::new("dbdc_serve", Duration::from_micros(50_000));
+    root.push(Span::new("upload", Duration::from_micros(20_000)));
+    root.push(Span::new("global", Duration::from_micros(5_000)));
+    r.spans = vec![root];
+    r.scopes = vec![(
+        "net/server".into(),
+        Counters {
+            frames_received: 12,
+            wire_bytes_received: 900,
+            ..Counters::default()
+        },
+    )];
+    r.hists = vec![(
+        "net/frame_read_ns".into(),
+        Histogram::from_values([1_000, 2_000, 3_000]),
+    )];
+    r
+}
+
+/// A site report whose every section is derived from `(i, salt)`, so
+/// different generated sites carry genuinely different numbers.
+fn site_report(i: u64, salt: u64) -> RunReport {
+    let mut r =
+        RunReport::new("site").with_identity("site", Some("run".into()), format!("site[{i}]"));
+    let mut root = Span::new("dbdc_site", Duration::from_micros(10_000 + salt % 5_000));
+    root.push(Span::new(
+        format!("local[{i}]"),
+        Duration::from_micros(4_000 + salt % 1_000),
+    ));
+    r.spans = vec![root];
+    r.scopes = vec![
+        (
+            format!("net/site[{i}]"),
+            Counters {
+                frames_sent: 3 + salt % 7,
+                wire_bytes_sent: 100 + salt % 997,
+                retries: salt % 3,
+                ..Counters::default()
+            },
+        ),
+        (
+            // A scope shared by every site, so merging must *sum*.
+            "shared".into(),
+            Counters {
+                range_queries: 1 + salt % 11,
+                ..Counters::default()
+            },
+        ),
+    ];
+    r.hists = vec![
+        (
+            "net/frame_write_ns".into(),
+            Histogram::from_values([500 + salt % 10_000, 700 + (salt / 3) % 10_000]),
+        ),
+        (
+            "net/session_ns".into(),
+            Histogram::from_values([1_000_000 + salt % 1_000_000]),
+        ),
+    ];
+    r.sites = vec![SiteStats {
+        site: i as usize,
+        points: 50 + (salt % 50) as usize,
+        representatives: 4,
+        bytes_up: 200 + (salt % 100) as usize,
+        local: Duration::from_micros(4_000),
+        relabel: Duration::from_micros(900),
+        counters: Counters::default(),
+    }];
+    r
+}
+
+proptest! {
+    /// Merging is order-insensitive: any permutation of the site
+    /// reports yields the identical merged report (counters, hists,
+    /// spans, site stats — everything).
+    #[test]
+    fn merge_is_order_insensitive(
+        salts in prop::collection::vec(0u64..1_000_000, 2..6),
+        swaps in prop::collection::vec((0usize..6, 0usize..6), 0..8),
+    ) {
+        let server = server_report("run");
+        let sites: Vec<RunReport> = salts
+            .iter()
+            .enumerate()
+            .map(|(i, &salt)| site_report(i as u64, salt))
+            .collect();
+
+        let sorted: Vec<&RunReport> = sites.iter().collect();
+        let mut shuffled = sorted.clone();
+        for &(a, b) in &swaps {
+            let (a, b) = (a % shuffled.len(), b % shuffled.len());
+            shuffled.swap(a, b);
+        }
+
+        let (merged_a, warn_a) = merge_reports(&server, &sorted).expect("sorted order merges");
+        let (merged_b, warn_b) = merge_reports(&server, &shuffled).expect("shuffled order merges");
+        prop_assert_eq!(&merged_a, &merged_b);
+        prop_assert_eq!(warn_a, warn_b);
+
+        // Shared scopes really did sum across all sites.
+        let shared = merged_a.scopes.iter().find(|(n, _)| n == "shared").expect("shared scope");
+        let expected: u64 = salts.iter().map(|s| 1 + s % 11).sum();
+        prop_assert_eq!(shared.1.range_queries, expected);
+    }
+
+    /// Merging a report with itself is rejected: duplicated site
+    /// reports trip the duplicate-peer check no matter where the copy
+    /// sits in the argument list.
+    #[test]
+    fn self_merge_is_rejected(
+        n in 1usize..5,
+        dup in 0usize..5,
+        insert_at in 0usize..6,
+    ) {
+        let server = server_report("run");
+        let sites: Vec<RunReport> = (0..n as u64).map(|i| site_report(i, i * 31)).collect();
+        let mut refs: Vec<&RunReport> = sites.iter().collect();
+        let copy = &sites[dup % n];
+        refs.insert(insert_at % (refs.len() + 1), copy);
+
+        let err = merge_reports(&server, &refs).expect_err("duplicate must be rejected");
+        prop_assert!(err.contains("duplicate peer"), "unexpected error: {}", err);
+    }
+}
+
+/// Passing a *server* report in a site slot (the literal "merge a
+/// report with itself" CLI mistake) is rejected by role validation.
+#[test]
+fn server_report_in_site_slot_is_rejected() {
+    let server = server_report("run");
+    let err = merge_reports(&server, &[&server]).expect_err("must reject");
+    assert!(err.contains("role"), "unexpected error: {err}");
+}
+
+/// Reports from different runs never merge silently.
+#[test]
+fn cross_run_merge_is_rejected() {
+    let server = server_report("tuesday");
+    let site = site_report(0, 17); // run id "run"
+    let err = merge_reports(&server, &[&site]).expect_err("must reject");
+    assert!(err.contains("run_id mismatch"), "unexpected error: {err}");
+}
