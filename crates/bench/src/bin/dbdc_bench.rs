@@ -2,8 +2,8 @@
 //!
 //! Runs the declarative matrix — datasets A/B/C × every index backend ×
 //! thread counts 1/2/8 — through the full DBDC protocol and writes a
-//! schema-v2 `RunReport` (`BENCH_dbdc.json` by default) whose `hists`
-//! section holds two histograms per matrix cell, with one sample per
+//! `RunReport` (`BENCH_dbdc.json` by default) whose `hists` section
+//! holds two histograms per matrix cell, with one sample per
 //! repetition:
 //!
 //! * `…/total_ns` — protocol wall time (min over [`RUNS_PER_SAMPLE`]
@@ -14,6 +14,13 @@
 //!   median is already robust over thousands of queries, so one
 //!   observed run per repetition suffices, and the across-rep spread
 //!   stays tight enough for `report diff` to gate on.
+//!
+//! The report also carries a `quality` block: one DBCV score of the
+//! distributed clustering per dataset (stored in `per_site` as
+//! `a`/`b`/`c`, with their mean as the global value). The protocol is
+//! fully seeded, so these are bit-identical across runs of the same
+//! build — `report diff`'s directional quality gate catches any
+//! clustering-quality regression with zero noise floor.
 //!
 //! `dbdc-cli report diff BENCH_baseline.json BENCH_dbdc.json` then
 //! compares two such files cell by cell.
@@ -38,10 +45,11 @@ use std::time::{Duration, Instant};
 
 use dbdc::{run_dbdc, run_dbdc_recorded, DbdcParams, Partitioner};
 use dbdc_bench::report::{dataset_checksum, env_fingerprint};
+use dbdc_cluster::dbcv::dbcv;
 use dbdc_datagen::{dataset_a, dataset_b, dataset_c, GeneratedData};
-use dbdc_geom::Dataset;
+use dbdc_geom::{Dataset, Euclidean};
 use dbdc_index::IndexKind;
-use dbdc_obs::{DatasetInfo, Histogram, RecordingRecorder, RunReport};
+use dbdc_obs::{DatasetInfo, Histogram, NoopRecorder, QualityStats, RecordingRecorder, RunReport};
 
 /// Thread counts each (dataset, index) pair is swept over.
 const THREADS: [usize; 3] = [1, 2, 8];
@@ -222,6 +230,30 @@ fn main() {
         }
     }
 
+    // One DBCV score per dataset (rstar, single-threaded — the index
+    // and thread count cannot change the clustering, so one cell per
+    // dataset suffices). Deterministic: same build + seed → same bits.
+    let mut per_set = Vec::with_capacity(sets.len());
+    let mut q_clusters = 0usize;
+    let mut q_noise = 0usize;
+    for set in &sets {
+        let params = DbdcParams::new(set.eps, set.min_pts).with_index(IndexKind::RStar);
+        let outcome = run_dbdc(
+            &set.data,
+            &params,
+            Partitioner::RandomEqual { seed: 11 },
+            SITES,
+        );
+        let q = dbcv(&set.data, &outcome.assignment, Euclidean, &NoopRecorder);
+        eprintln!("dbdc-bench: dataset {} DBCV {:+.4}", set.name, q.value);
+        q_clusters += q.n_clusters;
+        q_noise += q.n_noise;
+        per_set.push((set.name.to_string(), q.value));
+    }
+    let mean_dbcv = per_set.iter().map(|(_, v)| v).sum::<f64>() / per_set.len() as f64;
+    let mut quality = QualityStats::from_dbcv(mean_dbcv, q_clusters, q_noise, Vec::new());
+    quality.per_site = per_set;
+
     let mut report = RunReport::new("dbdc-bench")
         .with_param("reps", cli.reps)
         .with_param("mode", if cli.full { "full" } else { "quick" })
@@ -233,6 +265,7 @@ fn main() {
         dim: 2,
     });
     report.hists = cells.into_iter().collect();
+    report.quality = Some(quality);
 
     std::fs::write(&cli.out, report.to_json_string()).unwrap_or_else(|e| {
         eprintln!("dbdc-bench: write {}: {e}", cli.out);

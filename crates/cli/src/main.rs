@@ -15,8 +15,8 @@ use dbdc::{
 };
 use dbdc_cli::args::Args;
 use dbdc_cli::opts::{
-    build_params, finish_report, no_positionals, parse_link, parse_partitioner, read_input,
-    wants_report, CliResult,
+    build_params, finish_report, no_positionals, parse_link, parse_partitioner, quality_stats,
+    read_input, wants_report, CliResult,
 };
 use dbdc_cli::{csv, netcmd};
 use dbdc_geom::Dataset;
@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "central" => cmd_central(rest),
         "run" => cmd_run(rest),
         "compare" => cmd_compare(rest),
+        "tune" => cmd_tune(rest),
         "plot" => cmd_plot(rest),
         "suggest" => cmd_suggest(rest),
         "stream" => cmd_stream(rest),
@@ -75,6 +76,11 @@ commands:
   compare --input FILE --eps E --min-pts M --sites K [--model scor|kmeans]
       [--eps-global MULT|max] [--seed N] [--threads T]
       run both and report the paper's quality measures
+  tune --input FILE --eps E --min-pts M --sites K [--model scor|kmeans]
+      [--candidates LIST] [--partitioner ...] [--seed N] [--threads T]
+      sweep Eps_global candidates (multipliers or \"max\", default
+      1.0,1.5,2.0,2.5,3.0,4.0,max), score each distributed run by its
+      ground-truth-free DBCV, print the sweep table, select the argmax
   plot --input FILE --out FILE.svg [--eps E --min-pts M] [--title T]
       render a CSV point file as an SVG scatter plot, clustered with
       DBSCAN when --eps/--min-pts are given
@@ -93,15 +99,22 @@ commands:
       a fault-injecting TCP forwarder between sites and server; run
       `dbdc-cli proxy --help` for its flags
   report --input FILE [--require NAME,NAME,...]
-      [--require-counter NAME,NAME,...] [--hist]
+      [--require-counter NAME,NAME,...] [--require-quality SCOPE,...]
+      [--hist]
       render a --metrics-out JSON report; fail unless every --require'd
-      name is present as a phase span or histogram scope and every
-      --require-counter'd counter is nonzero in some scope; --hist
-      prints only the histogram table
-  report diff OLD NEW [--threshold FRACTION] [--only SUBSTR]
-      compare two reports cell-by-cell (per-histogram p50/p99) and exit
-      nonzero on regression; tolerance is max(FRACTION, baseline cell
-      spread), FRACTION defaulting to 0.25; --only gates just the cells
+      name is present as a phase span or histogram scope, every
+      --require-counter'd counter is nonzero in some scope, and every
+      --require-quality'd scope (global, or a per-site name like
+      site[0]) carries a finite DBCV; --hist prints only the histogram
+      table
+  report diff OLD NEW [--threshold FRACTION]
+      [--quality-threshold DROP] [--only SUBSTR]
+      compare two reports cell-by-cell (per-histogram p50/p99, plus
+      quality/* cells) and exit nonzero on regression; histogram
+      tolerance is max(FRACTION, baseline cell spread), FRACTION
+      defaulting to 0.25; quality cells gate directionally — rises
+      pass, drops beyond the absolute DROP (default 0.10) fail, and
+      --threshold never loosens them; --only gates just the cells
       whose name contains SUBSTR
   report merge SERVER SITE... --out FILE
       join one server report with its site reports (matched by
@@ -322,7 +335,15 @@ fn cmd_run(raw: &[String]) -> CliResult {
         fmt_ms(outcome.timings.dbdc_total())
     );
     if wants {
-        let report = dbdc_run_report(
+        // DBCV is the ground-truth-free validity of the final labeling;
+        // computed only when a report is requested (it reads the whole
+        // dataset again).
+        let quality = quality_stats(&data, &outcome.assignment, params.index, recorder);
+        println!(
+            "quality: DBCV {:+.4} over {} cluster(s), {} noise",
+            quality.dbcv, quality.clusters, quality.noise
+        );
+        let mut report = dbdc_run_report(
             "run",
             data.dim(),
             &params,
@@ -331,6 +352,7 @@ fn cmd_run(raw: &[String]) -> CliResult {
             Some(link),
             args.get("run-id").map(String::from),
         );
+        report.quality = Some(quality);
         finish_report(&args, &report)?;
     }
     write_output(&args, &data, &outcome.assignment)
@@ -401,6 +423,22 @@ fn cmd_compare(raw: &[String]) -> CliResult {
         outcome.per_site_bytes_up, outcome.global_model_bytes
     );
     if wants {
+        // The paper's reference-based breakdown becomes counters so
+        // `--metrics-out` captures what the stdout line above prints;
+        // P^II is the finer measure, so its per-object breakdown is the
+        // one recorded (the noise splits are identical under both).
+        if let Some(sheet) = rec.sheet("quality") {
+            sheet.add_quality_breakdown(
+                p2.perfect as u64,
+                p2.zero as u64,
+                p2.noise_both as u64,
+                p2.noise_distr_only as u64,
+                p2.noise_central_only as u64,
+            );
+        }
+        let mut quality = quality_stats(&data, &outcome.assignment, params.index, recorder);
+        quality.q_dbdc_p1 = Some(p1.q);
+        quality.q_dbdc_p2 = Some(p2.q);
         let mut report = dbdc_run_report(
             "compare",
             data.dim(),
@@ -412,6 +450,131 @@ fn cmd_compare(raw: &[String]) -> CliResult {
         );
         report.params.push(("p_i".into(), format!("{:.4}", p1.q)));
         report.params.push(("p_ii".into(), format!("{:.4}", p2.q)));
+        report.quality = Some(quality);
+        finish_report(&args, &report)?;
+    }
+    Ok(())
+}
+
+/// Default `tune` sweep grid. Includes the CLI's default Eps_global
+/// (`x2.0`) so the selection can never score below the out-of-the-box
+/// setting, plus the paper-motivated extreme (`max`).
+const TUNE_CANDIDATES: &str = "1.0,1.5,2.0,2.5,3.0,4.0,max";
+
+fn cmd_tune(raw: &[String]) -> CliResult {
+    let args = Args::parse(
+        raw,
+        &[
+            "input",
+            "eps",
+            "min-pts",
+            "sites",
+            "model",
+            "candidates",
+            "partitioner",
+            "seed",
+            "threads",
+            "index",
+            "trace",
+            "metrics-out",
+            "run-id",
+        ],
+    )?;
+    no_positionals(&args)?;
+    let data = read_input(&args)?;
+    let base = build_params(&args)?;
+    let sites: usize = args.require_as("sites")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let part = parse_partitioner(&args, seed)?;
+    let spec = args.get("candidates").unwrap_or(TUNE_CANDIDATES);
+    let mut candidates: Vec<(String, EpsGlobal)> = Vec::new();
+    for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let eg =
+            match tok {
+                "max" => EpsGlobal::MaxEpsRange,
+                v => EpsGlobal::MultipleOfLocal(v.parse().map_err(|_| {
+                    format!("--candidates expects multipliers or \"max\", got {v:?}")
+                })?),
+            };
+        candidates.push((tok.to_string(), eg));
+    }
+    if candidates.is_empty() {
+        return Err("--candidates is empty".into());
+    }
+
+    let wants = wants_report(&args);
+    let rec = RecordingRecorder::new();
+    let recorder: &dyn Recorder = if wants { &rec } else { &NoopRecorder };
+    let t0 = Instant::now();
+    let mut rows = Vec::with_capacity(candidates.len());
+    let mut spans = Vec::with_capacity(candidates.len());
+    println!(
+        "{:<12} {:>8} {:>7} {:>7} {:>10} {:>8}",
+        "eps_global", "clusters", "noise", "reps%", "bytes_up", "DBCV"
+    );
+    for (name, eg) in &candidates {
+        let params = base.with_eps_global(*eg);
+        let c0 = Instant::now();
+        let outcome = run_dbdc_recorded(&data, &params, part, sites, &NoopRecorder);
+        // The sweep is scored by DBCV alone: ground-truth-free, so the
+        // same procedure works on unlabeled production data.
+        let quality = quality_stats(&data, &outcome.assignment, params.index, recorder);
+        spans.push(Span::new(format!("candidate[{name}]"), c0.elapsed()));
+        println!(
+            "{:<12} {:>8} {:>7} {:>6.1}% {:>10} {:>+8.4}",
+            name,
+            quality.clusters,
+            quality.noise,
+            100.0 * outcome.representative_fraction(),
+            outcome.bytes_up,
+            quality.dbcv
+        );
+        rows.push((name.clone(), quality));
+    }
+    // Argmax by DBCV; ties keep the earliest (smallest) candidate, so a
+    // flat curve still picks the cheapest Eps_global.
+    let best = rows
+        .iter()
+        .enumerate()
+        .max_by(|(ia, (_, a)), (ib, (_, b))| {
+            a.dbcv
+                .partial_cmp(&b.dbcv)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ib.cmp(ia))
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let (best_name, best_quality) = &rows[best];
+    println!(
+        "selected --eps-global {best_name} (DBCV {:+.4})",
+        best_quality.dbcv
+    );
+
+    if wants {
+        let mut root = Span::new("tune", t0.elapsed());
+        for s in spans {
+            root.push(s);
+        }
+        let mut report = RunReport::new("tune")
+            .with_identity("tune", args.get("run-id").map(String::from), "tune")
+            .with_param("eps_local", base.eps_local)
+            .with_param("min_pts_local", base.min_pts_local)
+            .with_param("sites", sites)
+            .with_param("candidates", spec)
+            .with_param("selected_eps_global", best_name.as_str());
+        report.dataset = Some(DatasetInfo {
+            points: data.len(),
+            dim: data.dim(),
+        });
+        for (name, q) in &rows {
+            report
+                .params
+                .push((format!("dbcv[{name}]"), format!("{:.6}", q.dbcv)));
+        }
+        report.spans = vec![root];
+        report.scopes = rec.scopes();
+        report.hists = rec.hist_scopes();
+        report.quality = Some(best_quality.clone());
         finish_report(&args, &report)?;
     }
     Ok(())
@@ -620,8 +783,10 @@ fn cmd_report(raw: &[String]) -> CliResult {
             "input",
             "require",
             "require-counter",
+            "require-quality",
             "hist",
             "threshold",
+            "quality-threshold",
             "only",
             "out",
         ],
@@ -676,6 +841,24 @@ fn cmd_report(raw: &[String]) -> CliResult {
             .into());
         }
     }
+    if let Some(required) = args.get("require-quality") {
+        // `global` demands the report's own quality block; any other
+        // name demands a per-site quality entry (as `report merge`
+        // repopulates them). Either way the DBCV must be finite — a NaN
+        // from a broken scorer must not pass a quality gate.
+        let missing: Vec<&str> = required
+            .split(',')
+            .map(str::trim)
+            .filter(|name| !name.is_empty() && !report_quality_present(&report, name))
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "{path}: report is missing finite quality for scope(s): {}",
+                missing.join(", ")
+            )
+            .into());
+        }
+    }
     if args.switch("hist") {
         // Distributions only; the full render below would repeat them.
         print!("{}", dbdc_obs::report::render_hists(&report.hists));
@@ -683,6 +866,19 @@ fn cmd_report(raw: &[String]) -> CliResult {
     }
     print!("{}", report.render());
     Ok(())
+}
+
+/// Whether the report carries a finite DBCV for the given quality
+/// scope: `global` is the report's own quality block, anything else is
+/// a per-site entry name.
+fn report_quality_present(report: &RunReport, name: &str) -> bool {
+    let Some(q) = &report.quality else {
+        return false;
+    };
+    match name {
+        "global" => q.dbcv.is_finite(),
+        peer => q.per_site.iter().any(|(p, v)| p == peer && v.is_finite()),
+    }
 }
 
 /// Whether `name` is a known counter field with a nonzero total across
@@ -748,25 +944,38 @@ fn cmd_report_timeline(args: &Args) -> CliResult {
 
 fn cmd_report_diff(args: &Args) -> CliResult {
     let [_, old_path, new_path] = args.positional() else {
-        return Err("usage: report diff OLD NEW [--threshold FRACTION] [--only SUBSTR]".into());
+        return Err("usage: report diff OLD NEW [--threshold FRACTION] \
+             [--quality-threshold DROP] [--only SUBSTR]"
+            .into());
     };
     let threshold: f64 = args.get_or("threshold", dbdc_obs::diff::DEFAULT_THRESHOLD)?;
     if !(0.0..10.0).contains(&threshold) {
         return Err(format!("--threshold expects a fraction like 0.25, got {threshold}").into());
     }
+    // Quality is gated separately and directionally: a rise always
+    // passes, a drop beyond this absolute tolerance fails, and the
+    // latency --threshold never loosens it.
+    let quality_tolerance: f64 =
+        args.get_or("quality-threshold", dbdc_obs::QUALITY_DROP_TOLERANCE)?;
+    if !(0.0..=2.0).contains(&quality_tolerance) {
+        return Err(format!(
+            "--quality-threshold expects an absolute DBCV drop in 0..=2, got {quality_tolerance}"
+        )
+        .into());
+    }
     let old = load_report(old_path)?;
     let new = load_report(new_path)?;
-    let mut rows = dbdc_obs::diff_reports(&old, &new, threshold);
+    let mut rows = dbdc_obs::diff_reports_with(&old, &new, threshold, quality_tolerance);
     // `--only SUBSTR` narrows the gate to matching cells (e.g. CI fails
     // on `eps_range_ns` regressions while the full diff stays advisory).
     if let Some(only) = args.get("only") {
         rows.retain(|r| r.cell.contains(only));
         if rows.is_empty() {
-            return Err(format!("--only {only}: no histogram cell matches").into());
+            return Err(format!("--only {only}: no cell matches").into());
         }
     }
     if rows.is_empty() {
-        println!("no histogram cells to compare (baseline has no hists)");
+        println!("no cells to compare (baseline has no hists or quality)");
         return Ok(());
     }
     for row in &rows {

@@ -18,10 +18,10 @@
 
 use crate::args::Args;
 use crate::opts::{
-    build_params, finish_report, no_positionals, parse_partitioner, read_input, wants_report,
-    CliResult,
+    build_params, finish_report, no_positionals, parse_partitioner, quality_stats, read_input,
+    wants_report, CliResult,
 };
-use dbdc_geom::{Dataset, Label};
+use dbdc_geom::{Clustering, Dataset, Label};
 use dbdc_net::{run_site, serve, FaultPlan, FaultProxy, RetryPolicy, ServeOptions, SiteOptions};
 use dbdc_obs::{
     fmt_ms, DatasetInfo, EnvFingerprint, NoopRecorder, Recorder, RecordingRecorder, RunReport,
@@ -199,6 +199,34 @@ pub fn cmd_serve(raw: &[String]) -> CliResult {
             global_model_bytes: outcome.global_model_bytes,
             representatives: outcome.n_representatives,
         });
+        // The server never sees raw points, so its quality signal is
+        // the DBCV of the global model itself: the representatives,
+        // labeled by their global cluster. `report merge` keeps this as
+        // the fleet's global quality next to the sites' local scores.
+        if !outcome.global.reps.is_empty() {
+            let points: Vec<dbdc_geom::Point> = outcome
+                .global
+                .reps
+                .iter()
+                .map(|r| r.point.clone())
+                .collect();
+            let rep_data = Dataset::from_points(&points);
+            let labels = Clustering::from_labels(
+                outcome
+                    .global
+                    .reps
+                    .iter()
+                    .map(|r| Label::Cluster(r.global_cluster))
+                    .collect(),
+            );
+            let quality = quality_stats(&rep_data, &labels, params.index, recorder);
+            println!(
+                "quality: global-model DBCV {:+.4} over {} cluster(s)",
+                quality.dbcv, quality.clusters
+            );
+            report.scopes = rec.scopes();
+            report.quality = Some(quality);
+        }
         finish_report(&args, &report)?;
     }
     Ok(())
@@ -344,6 +372,16 @@ pub fn cmd_site(raw: &[String]) -> CliResult {
             global_model_bytes: outcome.bytes_down,
             representatives: outcome.global.reps.len(),
         });
+        // Local DBCV of this site's final (relabeled) clustering over
+        // its own partition — the per-site quality `report merge`
+        // collects into the fleet report's per_site list.
+        let quality = quality_stats(&site_data, &outcome.labels, params.index, recorder);
+        println!(
+            "quality: local DBCV {:+.4} over {} cluster(s), {} noise",
+            quality.dbcv, quality.clusters, quality.noise
+        );
+        report.scopes = rec.scopes();
+        report.quality = Some(quality);
         finish_report(&args, &report)?;
     }
     Ok(())

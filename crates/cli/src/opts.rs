@@ -4,10 +4,42 @@
 use crate::args::Args;
 use crate::csv;
 use dbdc::{DbdcParams, EpsGlobal, LocalModelKind, Partitioner};
-use dbdc_geom::Dataset;
-use dbdc_obs::RunReport;
+use dbdc_cluster::dbcv::{dbcv_with, CorePath};
+use dbdc_geom::{Clustering, Dataset, Euclidean};
+use dbdc_obs::{QualityStats, Recorder, RunReport};
 use std::fs::File;
 use std::io::BufReader;
+
+/// Past this many points the exact `O(nᵢ²)` core-distance sum gives way
+/// to the index-accelerated truncated path (still exact for clusters of
+/// up to [`QUALITY_KNN_K`] objects).
+const QUALITY_EXACT_LIMIT: usize = 4_096;
+
+/// Within-cluster neighbours the truncated core-distance sum keeps.
+const QUALITY_KNN_K: usize = 64;
+
+/// Scores a clustering with the ground-truth-free DBCV index and packs
+/// the result as the report's `quality` block. Every emitter (run,
+/// compare, site, serve, tune) funnels through here so they all use the
+/// same core-distance policy; the DBCV hot-loop counters land in the
+/// recorder's `quality` scope.
+pub fn quality_stats(
+    data: &Dataset,
+    labels: &Clustering,
+    index: dbdc_index::IndexKind,
+    rec: &dyn Recorder,
+) -> QualityStats {
+    let path = if data.len() <= QUALITY_EXACT_LIMIT {
+        CorePath::Exact
+    } else {
+        CorePath::Knn {
+            k: QUALITY_KNN_K,
+            index,
+        }
+    };
+    let out = dbcv_with(data, labels, Euclidean, path, rec);
+    QualityStats::from_dbcv(out.value, out.n_clusters, out.n_noise, out.cluster_validity)
+}
 
 /// Every subcommand's result type.
 pub type CliResult = Result<(), Box<dyn std::error::Error>>;

@@ -474,3 +474,134 @@ fn stream_command_reports_transmissions() {
     assert!(stdout.contains("drift gating sent"), "{stdout}");
     let _ = std::fs::remove_file(&csv);
 }
+
+#[test]
+fn quality_block_gates_end_to_end() {
+    let csv = tmp("quality.csv");
+    let json = tmp("quality.json");
+    assert!(bin()
+        .args(["generate", "--set", "c", "--seed", "8", "--out"])
+        .arg(&csv)
+        .status()
+        .expect("binary runs")
+        .success());
+
+    // `run --metrics-out` emits a schema-v4 report with a finite DBCV.
+    let out = bin()
+        .args(["run", "--input"])
+        .arg(&csv)
+        .args(["--eps", "1.2", "--min-pts", "5", "--sites", "3"])
+        .args(["--metrics-out"])
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "run failed: {out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("quality: DBCV"),
+        "run must print its DBCV"
+    );
+    let report = dbdc_obs::RunReport::parse(&std::fs::read_to_string(&json).expect("json written"))
+        .expect("report parses");
+    assert_eq!(report.schema_version, 4);
+    let quality = report.quality.clone().expect("run report carries quality");
+    assert!(
+        quality.dbcv.is_finite() && (-1.0..=1.0).contains(&quality.dbcv),
+        "DBCV out of range: {}",
+        quality.dbcv
+    );
+
+    // `--require-quality global` passes; an absent per-site scope fails.
+    assert!(bin()
+        .args(["report", "--input"])
+        .arg(&json)
+        .args(["--require-quality", "global"])
+        .status()
+        .expect("binary runs")
+        .success());
+    let out = bin()
+        .args(["report", "--input"])
+        .arg(&json)
+        .args(["--require-quality", "site[9]"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("site[9]"));
+
+    // A doctored DBCV drop beyond tolerance fails the directional diff;
+    // the identical report passes it.
+    let mut doctored = report.clone();
+    doctored.quality.as_mut().unwrap().dbcv -= 0.2;
+    let bad = write_report("quality_bad.json", &doctored);
+    let out = bin()
+        .args(["report", "diff"])
+        .arg(&json)
+        .arg(&bad)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "0.2 DBCV drop must fail the diff");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("quality/dbcv"));
+    assert!(bin()
+        .args(["report", "diff"])
+        .arg(&json)
+        .arg(&json)
+        .status()
+        .expect("binary runs")
+        .success());
+    // A rise never fails, however large.
+    let mut improved = report.clone();
+    improved.quality.as_mut().unwrap().dbcv += 0.5;
+    let good = write_report("quality_good.json", &improved);
+    assert!(bin()
+        .args(["report", "diff"])
+        .arg(&json)
+        .arg(&good)
+        .status()
+        .expect("binary runs")
+        .success());
+
+    let _ = std::fs::remove_file(&csv);
+    let _ = std::fs::remove_file(&json);
+    let _ = std::fs::remove_file(&bad);
+    let _ = std::fs::remove_file(&good);
+}
+
+#[test]
+fn tune_selects_at_least_the_default_eps_global() {
+    let csv = tmp("tune.csv");
+    assert!(bin()
+        .args(["generate", "--set", "c", "--seed", "4", "--out"])
+        .arg(&csv)
+        .status()
+        .expect("binary runs")
+        .success());
+    let out = bin()
+        .args(["tune", "--input"])
+        .arg(&csv)
+        .args(["--eps", "1.2", "--min-pts", "5", "--sites", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "tune failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("selected --eps-global"), "{stdout}");
+
+    // The default grid contains the CLI default (x2.0), so the argmax's
+    // DBCV can never fall below the default setting's score.
+    let row_dbcv = |name: &str| -> f64 {
+        stdout
+            .lines()
+            .find(|l| l.split_whitespace().next() == Some(name))
+            .and_then(|l| l.split_whitespace().last())
+            .unwrap_or_else(|| panic!("no sweep row for {name} in {stdout}"))
+            .parse()
+            .expect("DBCV column parses")
+    };
+    let selected = stdout
+        .lines()
+        .find(|l| l.contains("selected --eps-global"))
+        .and_then(|l| l.split_whitespace().nth(2))
+        .expect("selection line names a candidate")
+        .to_string();
+    assert!(row_dbcv(&selected) >= row_dbcv("2.0"));
+
+    let _ = std::fs::remove_file(&csv);
+}

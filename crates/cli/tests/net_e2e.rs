@@ -224,9 +224,33 @@ fn separate_processes_match_in_process_runtime() {
 
     // --- distributed telemetry: merge the five reports via the CLI ---
     let report = merge_reports_via_cli(&server_report, &site_reports, &merged_path);
-    assert_eq!(report.schema_version, 3, "merged report is schema v3");
+    assert_eq!(report.schema_version, 4, "merged report is schema v4");
     assert_eq!(report.role.as_deref(), Some("merged"));
     assert_eq!(report.run_id.as_deref(), Some("e2e-clean"));
+
+    // Fleet quality: the server's global-model DBCV wins the global
+    // slot, and every site's local DBCV survives the merge by peer name.
+    let quality = report
+        .quality
+        .as_ref()
+        .expect("merged fleet report carries a quality block");
+    assert!(
+        quality.dbcv.is_finite() && (-1.0..=1.0).contains(&quality.dbcv),
+        "global DBCV out of range: {}",
+        quality.dbcv
+    );
+    for s in 0..N_SITES {
+        let peer = format!("site[{s}]");
+        let (_, local) = quality
+            .per_site
+            .iter()
+            .find(|(p, _)| *p == peer)
+            .unwrap_or_else(|| panic!("merged quality lost {peer}"));
+        assert!(
+            local.is_finite() && (-1.0..=1.0).contains(local),
+            "{peer}: local DBCV out of range: {local}"
+        );
+    }
 
     // Wire-byte identity per site: the aggregate byte counter must equal
     // frame arithmetic over the per-kind counters. A clean session sends

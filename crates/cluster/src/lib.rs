@@ -18,7 +18,10 @@
 //! * [`mod@par_dbscan`] — deterministic parallel DBSCAN: concurrent
 //!   ε-range queries on a scoped worker pool, core merging through a
 //!   [`union_find::UnionFind`], output bit-identical to [`dbscan::dbscan`].
+//! * [`mod@dbcv`] — the DBCV relative validity index \[Moulavi et al. 14\],
+//!   the ground-truth-free quality signal for unlabeled workloads.
 
+pub mod dbcv;
 pub mod dbscan;
 pub mod incremental;
 pub mod kdist;
@@ -30,6 +33,7 @@ pub mod scp;
 pub mod singlelink;
 pub mod union_find;
 
+pub use dbcv::{dbcv, dbcv_with, CorePath, DbcvOutcome};
 pub use dbscan::{dbscan, dbscan_euclidean, DbscanParams, DbscanResult};
 pub use incremental::IncrementalDbscan;
 pub use kdist::{k_distance, KDistance};

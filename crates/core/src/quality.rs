@@ -340,6 +340,36 @@ mod tests {
         }
 
         #[test]
+        fn quality_is_invariant_under_label_permutation(
+            (a, b) in (arb_clustering(30), arb_clustering(30)),
+            shift in 1u32..7,
+        ) {
+            // Cluster ids are names, not positions: bijectively renaming
+            // the ids of either clustering must not move Q_DBDC. The
+            // renaming `id -> (id + shift) mod 7` is a cyclic permutation
+            // of the id space used by `arb_clustering` (ids 0..4 fit in
+            // 0..7 for every shift).
+            let rename = |cl: &Clustering| {
+                Clustering::from_labels(
+                    cl.labels()
+                        .iter()
+                        .map(|l| match l.cluster() {
+                            Some(id) => Label::Cluster((id + shift) % 7),
+                            None => Label::Noise,
+                        })
+                        .collect(),
+                )
+            };
+            let (ra, rb) = (rename(&a), rename(&b));
+            for p in [ObjectQuality::PI { qp: 2 }, ObjectQuality::PII] {
+                let orig = q_dbdc(&a, &b, p);
+                prop_assert_eq!(q_dbdc(&ra, &b, p), orig);
+                prop_assert_eq!(q_dbdc(&a, &rb, p), orig);
+                prop_assert_eq!(q_dbdc(&ra, &rb, p), orig);
+            }
+        }
+
+        #[test]
         fn p1_dominates_p2_when_qp_is_one((a, b) in (arb_clustering(30), arb_clustering(30))) {
             // With qp = 1, P^I(x) = 1 whenever the clusters intersect at
             // all, so it upper-bounds P^II pointwise.

@@ -75,6 +75,18 @@ pub struct Counters {
     pub faults_truncated: u64,
     /// Frames deliberately bit-flipped by a fault proxy.
     pub faults_bitflipped: u64,
+    /// MST edges accepted while computing the DBCV validity index.
+    pub mst_edges: u64,
+    /// Objects with perfect quality (P = 1) in a Q_DBDC comparison.
+    pub quality_perfect: u64,
+    /// Objects with zero quality (P = 0) in a Q_DBDC comparison.
+    pub quality_zero: u64,
+    /// Objects flagged noise by both clusterings under comparison.
+    pub quality_noise_both: u64,
+    /// Objects flagged noise only by the distributed clustering.
+    pub quality_noise_distr_only: u64,
+    /// Objects flagged noise only by the central reference clustering.
+    pub quality_noise_central_only: u64,
 }
 
 impl Counters {
@@ -84,7 +96,7 @@ impl Counters {
     pub const CORE_FIELDS: usize = 9;
 
     /// Stable field names, in serialization order.
-    pub const FIELDS: [&'static str; 23] = [
+    pub const FIELDS: [&'static str; 29] = [
         "range_queries",
         "knn_queries",
         "distance_evals",
@@ -108,10 +120,16 @@ impl Counters {
         "faults_delayed",
         "faults_truncated",
         "faults_bitflipped",
+        "mst_edges",
+        "quality_perfect",
+        "quality_zero",
+        "quality_noise_both",
+        "quality_noise_distr_only",
+        "quality_noise_central_only",
     ];
 
     /// Field values in [`Counters::FIELDS`] order.
-    pub fn values(&self) -> [u64; 23] {
+    pub fn values(&self) -> [u64; 29] {
         [
             self.range_queries,
             self.knn_queries,
@@ -136,6 +154,12 @@ impl Counters {
             self.faults_delayed,
             self.faults_truncated,
             self.faults_bitflipped,
+            self.mst_edges,
+            self.quality_perfect,
+            self.quality_zero,
+            self.quality_noise_both,
+            self.quality_noise_distr_only,
+            self.quality_noise_central_only,
         ]
     }
 
@@ -169,6 +193,12 @@ impl Counters {
         self.faults_delayed += other.faults_delayed;
         self.faults_truncated += other.faults_truncated;
         self.faults_bitflipped += other.faults_bitflipped;
+        self.mst_edges += other.mst_edges;
+        self.quality_perfect += other.quality_perfect;
+        self.quality_zero += other.quality_zero;
+        self.quality_noise_both += other.quality_noise_both;
+        self.quality_noise_distr_only += other.quality_noise_distr_only;
+        self.quality_noise_central_only += other.quality_noise_central_only;
     }
 
     /// Field-wise sum of many snapshots.
@@ -210,6 +240,12 @@ pub struct CounterSheet {
     faults_delayed: AtomicU64,
     faults_truncated: AtomicU64,
     faults_bitflipped: AtomicU64,
+    mst_edges: AtomicU64,
+    quality_perfect: AtomicU64,
+    quality_zero: AtomicU64,
+    quality_noise_both: AtomicU64,
+    quality_noise_distr_only: AtomicU64,
+    quality_noise_central_only: AtomicU64,
 }
 
 impl CounterSheet {
@@ -310,6 +346,36 @@ impl CounterSheet {
             .fetch_add(bitflipped, Ordering::Relaxed);
     }
 
+    /// Records MST edges accepted by a DBCV computation.
+    pub fn add_mst_edges(&self, n: u64) {
+        self.mst_edges.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records distance evaluations performed outside an index query
+    /// (e.g. the DBCV mutual-reachability loops).
+    pub fn add_distance_evals(&self, n: u64) {
+        self.distance_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records the object breakdown of one Q_DBDC comparison.
+    pub fn add_quality_breakdown(
+        &self,
+        perfect: u64,
+        zero: u64,
+        noise_both: u64,
+        noise_distr_only: u64,
+        noise_central_only: u64,
+    ) {
+        self.quality_perfect.fetch_add(perfect, Ordering::Relaxed);
+        self.quality_zero.fetch_add(zero, Ordering::Relaxed);
+        self.quality_noise_both
+            .fetch_add(noise_both, Ordering::Relaxed);
+        self.quality_noise_distr_only
+            .fetch_add(noise_distr_only, Ordering::Relaxed);
+        self.quality_noise_central_only
+            .fetch_add(noise_central_only, Ordering::Relaxed);
+    }
+
     /// Adds a whole snapshot at once.
     pub fn add(&self, c: &Counters) {
         self.range_queries
@@ -351,6 +417,17 @@ impl CounterSheet {
             .fetch_add(c.faults_truncated, Ordering::Relaxed);
         self.faults_bitflipped
             .fetch_add(c.faults_bitflipped, Ordering::Relaxed);
+        self.mst_edges.fetch_add(c.mst_edges, Ordering::Relaxed);
+        self.quality_perfect
+            .fetch_add(c.quality_perfect, Ordering::Relaxed);
+        self.quality_zero
+            .fetch_add(c.quality_zero, Ordering::Relaxed);
+        self.quality_noise_both
+            .fetch_add(c.quality_noise_both, Ordering::Relaxed);
+        self.quality_noise_distr_only
+            .fetch_add(c.quality_noise_distr_only, Ordering::Relaxed);
+        self.quality_noise_central_only
+            .fetch_add(c.quality_noise_central_only, Ordering::Relaxed);
     }
 
     /// The current totals as a plain value.
@@ -379,6 +456,12 @@ impl CounterSheet {
             faults_delayed: self.faults_delayed.load(Ordering::Relaxed),
             faults_truncated: self.faults_truncated.load(Ordering::Relaxed),
             faults_bitflipped: self.faults_bitflipped.load(Ordering::Relaxed),
+            mst_edges: self.mst_edges.load(Ordering::Relaxed),
+            quality_perfect: self.quality_perfect.load(Ordering::Relaxed),
+            quality_zero: self.quality_zero.load(Ordering::Relaxed),
+            quality_noise_both: self.quality_noise_both.load(Ordering::Relaxed),
+            quality_noise_distr_only: self.quality_noise_distr_only.load(Ordering::Relaxed),
+            quality_noise_central_only: self.quality_noise_central_only.load(Ordering::Relaxed),
         }
     }
 }
@@ -504,6 +587,32 @@ mod tests {
         assert_eq!(Counters::sum([&c, &c]).wire_bytes_sent, 72);
 
         // And a sheet absorbs whole snapshots including them.
+        let t = CounterSheet::new();
+        t.add(&c);
+        assert_eq!(t.snapshot(), c);
+    }
+
+    #[test]
+    fn quality_accessors_land_in_their_fields() {
+        let s = CounterSheet::new();
+        s.add_mst_edges(17);
+        s.add_distance_evals(42);
+        s.add_quality_breakdown(100, 3, 5, 2, 1);
+        let c = s.snapshot();
+        assert_eq!(c.mst_edges, 17);
+        assert_eq!(c.distance_evals, 42);
+        assert_eq!(c.quality_perfect, 100);
+        assert_eq!(c.quality_zero, 3);
+        assert_eq!(c.quality_noise_both, 5);
+        assert_eq!(c.quality_noise_distr_only, 2);
+        assert_eq!(c.quality_noise_central_only, 1);
+
+        // add(), sum() and sheet absorption carry the new fields.
+        let mut doubled = c;
+        doubled.add(&c);
+        assert_eq!(doubled.mst_edges, 34);
+        assert_eq!(doubled.quality_perfect, 200);
+        assert_eq!(Counters::sum([&c, &c]).quality_noise_both, 10);
         let t = CounterSheet::new();
         t.add(&c);
         assert_eq!(t.snapshot(), c);

@@ -26,9 +26,16 @@
 //! failure (the matrix shrank); new cells absent from the baseline are
 //! reported as informational rows and do not fail the diff (the matrix
 //! grew, which the next baseline refresh picks up).
+//!
+//! Reports carrying a `quality` section additionally contribute
+//! *quality cells* (`quality/dbcv`, `quality/q_dbdc_p1`, …) with
+//! **directional** tolerance: quality may rise freely, but a drop of
+//! more than the quality tolerance (absolute, the indices are already
+//! bounded) fails the diff. Latency noise windows never apply to
+//! quality — a doctored slow report cannot buy itself quality headroom.
 
 use crate::hist::fmt_sample;
-use crate::report::RunReport;
+use crate::report::{QualityStats, RunReport};
 
 /// Default noise floor for the per-cell tolerance: a cell regresses
 /// only when it is at least this fraction slower than the baseline,
@@ -41,6 +48,11 @@ pub const DEFAULT_THRESHOLD: f64 = 0.25;
 /// multiple-of-the-limit p99 means the tail itself moved (or the report
 /// was doctored).
 pub const TAIL_HARD_FACTOR: f64 = 4.0;
+
+/// Default directional tolerance for quality cells: the new report's
+/// quality may drop at most this much (absolute, on indices bounded by
+/// 1) below the baseline before the diff fails. Rises never fail.
+pub const QUALITY_DROP_TOLERANCE: f64 = 0.1;
 
 /// Verdict for one compared quantile of one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,10 +92,14 @@ pub struct DiffRow {
     pub old: u64,
     /// New value (0 for `Missing` rows).
     pub new: u64,
-    /// Relative tolerance applied to this cell.
+    /// Relative tolerance applied to this cell (absolute drop
+    /// tolerance for quality cells).
     pub tolerance: f64,
     /// Verdict.
     pub outcome: DiffOutcome,
+    /// For quality cells, the raw `(old, new)` values — quality is
+    /// compared directionally on floats, not on histogram quantiles.
+    pub quality: Option<(f64, f64)>,
 }
 
 impl DiffRow {
@@ -92,6 +108,19 @@ impl DiffRow {
         match self.outcome {
             DiffOutcome::Missing => format!("MISSING  {} (cell absent from new report)", self.cell),
             DiffOutcome::New => format!("new      {} (no baseline; informational)", self.cell),
+            _ if self.quality.is_some() => {
+                let (old, new) = self.quality.unwrap();
+                let tag = match self.outcome {
+                    DiffOutcome::Regression => "REGRESS",
+                    _ => "ok",
+                };
+                format!(
+                    "{tag:<8} {}: {old:+.4} -> {new:+.4} ({:+.4}, drop tol {:.2})",
+                    self.cell,
+                    new - old,
+                    self.tolerance,
+                )
+            }
             _ => {
                 let tag = match self.outcome {
                     DiffOutcome::Regression => "REGRESS",
@@ -127,6 +156,19 @@ impl DiffRow {
 /// (see module docs). Returns rows in baseline order, then
 /// informational rows for cells only the new report has.
 pub fn diff_reports(old: &RunReport, new: &RunReport, threshold: f64) -> Vec<DiffRow> {
+    diff_reports_with(old, new, threshold, QUALITY_DROP_TOLERANCE)
+}
+
+/// [`diff_reports`] with an explicit quality-drop tolerance (the CLI's
+/// `--quality-threshold`). The latency `threshold` never loosens the
+/// quality gate: widening the timing window for a noisy host must not
+/// buy a clustering-quality regression a pass.
+pub fn diff_reports_with(
+    old: &RunReport,
+    new: &RunReport,
+    threshold: f64,
+    quality_tolerance: f64,
+) -> Vec<DiffRow> {
     let mut rows = Vec::new();
     for (cell, old_hist) in &old.hists {
         let Some((_, new_hist)) = new.hists.iter().find(|(name, _)| name == cell) else {
@@ -137,6 +179,7 @@ pub fn diff_reports(old: &RunReport, new: &RunReport, threshold: f64) -> Vec<Dif
                 new: 0,
                 tolerance: threshold,
                 outcome: DiffOutcome::Missing,
+                quality: None,
             });
             continue;
         };
@@ -162,6 +205,7 @@ pub fn diff_reports(old: &RunReport, new: &RunReport, threshold: f64) -> Vec<Dif
                 new: new_v,
                 tolerance,
                 outcome,
+                quality: None,
             });
         }
     }
@@ -174,10 +218,82 @@ pub fn diff_reports(old: &RunReport, new: &RunReport, threshold: f64) -> Vec<Dif
                 new: 0,
                 tolerance: threshold,
                 outcome: DiffOutcome::New,
+                quality: None,
+            });
+        }
+    }
+    let old_q = quality_cells(old);
+    let new_q = quality_cells(new);
+    for (cell, old_v) in &old_q {
+        let Some((_, new_v)) = new_q.iter().find(|(name, _)| name == cell) else {
+            rows.push(DiffRow {
+                cell: cell.clone(),
+                stat: "",
+                old: 0,
+                new: 0,
+                tolerance: quality_tolerance,
+                outcome: DiffOutcome::Missing,
+                quality: None,
+            });
+            continue;
+        };
+        // Directional: rises are free, drops gate on the absolute
+        // tolerance (the indices are bounded by 1, so relative windows
+        // would explode near zero).
+        let outcome = if *new_v >= old_v - quality_tolerance {
+            DiffOutcome::Ok
+        } else {
+            DiffOutcome::Regression
+        };
+        rows.push(DiffRow {
+            cell: cell.clone(),
+            stat: "value",
+            old: 0,
+            new: 0,
+            tolerance: quality_tolerance,
+            outcome,
+            quality: Some((*old_v, *new_v)),
+        });
+    }
+    for (cell, _) in &new_q {
+        if !old_q.iter().any(|(name, _)| name == cell) {
+            rows.push(DiffRow {
+                cell: cell.clone(),
+                stat: "",
+                old: 0,
+                new: 0,
+                tolerance: quality_tolerance,
+                outcome: DiffOutcome::New,
+                quality: None,
             });
         }
     }
     rows
+}
+
+/// Flattens a report's quality section into named diff cells.
+fn quality_cells(report: &RunReport) -> Vec<(String, f64)> {
+    let Some(QualityStats {
+        dbcv,
+        q_dbdc_p1,
+        q_dbdc_p2,
+        per_site,
+        ..
+    }) = &report.quality
+    else {
+        return Vec::new();
+    };
+    let mut cells = vec![("quality/dbcv".to_string(), *dbcv)];
+    if let Some(p1) = q_dbdc_p1 {
+        cells.push(("quality/q_dbdc_p1".to_string(), *p1));
+    }
+    if let Some(p2) = q_dbdc_p2 {
+        cells.push(("quality/q_dbdc_p2".to_string(), *p2));
+    }
+    for (peer, v) in per_site {
+        cells.push((format!("quality/{peer}/dbcv"), *v));
+    }
+    cells
 }
 
 #[cfg(test)]
@@ -289,6 +405,91 @@ mod tests {
         let new = report_with(vec![("c_ns", cell([100, 110]))]);
         let rows = diff_reports(&old, &new, DEFAULT_THRESHOLD);
         assert!(rows.iter().all(|r| r.outcome == DiffOutcome::Ok));
+    }
+
+    fn quality_report(dbcv: f64, p1: Option<f64>) -> RunReport {
+        let mut r = RunReport::new("run");
+        r.quality = Some(crate::report::QualityStats {
+            dbcv,
+            clusters: 3,
+            noise: 2,
+            cluster_validity: vec![],
+            q_dbdc_p1: p1,
+            q_dbdc_p2: None,
+            per_site: vec![("site[0]".into(), dbcv - 0.05)],
+        });
+        r
+    }
+
+    #[test]
+    fn quality_drop_beyond_tolerance_fails() {
+        let old = quality_report(0.85, Some(0.95));
+        let new = quality_report(0.65, Some(0.95)); // DBCV doctored down 0.2
+        let rows = diff_reports(&old, &new, DEFAULT_THRESHOLD);
+        let dbcv = rows.iter().find(|r| r.cell == "quality/dbcv").unwrap();
+        assert_eq!(dbcv.outcome, DiffOutcome::Regression);
+        assert!(dbcv.outcome.is_failure());
+        assert!(dbcv.render().starts_with("REGRESS"), "{}", dbcv.render());
+        // The per-site cell dropped by the same 0.2 and fails too.
+        let site = rows
+            .iter()
+            .find(|r| r.cell == "quality/site[0]/dbcv")
+            .unwrap();
+        assert_eq!(site.outcome, DiffOutcome::Regression);
+    }
+
+    #[test]
+    fn quality_may_rise_freely_and_small_drops_pass() {
+        let old = quality_report(0.70, Some(0.90));
+        // A large rise and a sub-tolerance dip both pass.
+        for new_v in [0.99, 0.65] {
+            let rows = diff_reports(&old, &quality_report(new_v, Some(0.90)), DEFAULT_THRESHOLD);
+            let dbcv = rows.iter().find(|r| r.cell == "quality/dbcv").unwrap();
+            assert_eq!(dbcv.outcome, DiffOutcome::Ok, "new dbcv {new_v}");
+            assert!(
+                !rows.iter().any(|r| r.outcome.is_failure()),
+                "new dbcv {new_v}"
+            );
+        }
+        // Identical reports are always clean.
+        let rows = diff_reports(&old, &old.clone(), DEFAULT_THRESHOLD);
+        assert!(!rows.iter().any(|r| r.outcome.is_failure()));
+    }
+
+    #[test]
+    fn latency_threshold_does_not_loosen_the_quality_gate() {
+        let old = quality_report(0.85, None);
+        let new = quality_report(0.65, None);
+        // Even a sky-high latency threshold keeps the 0.1 quality gate.
+        assert!(diff_reports(&old, &new, 5.0)
+            .iter()
+            .any(|r| r.outcome.is_failure()));
+        // But the explicit quality tolerance can widen it.
+        assert!(!diff_reports_with(&old, &new, 5.0, 0.3)
+            .iter()
+            .any(|r| r.outcome.is_failure()));
+    }
+
+    #[test]
+    fn vanished_quality_cell_fails_and_new_one_informs() {
+        let old = quality_report(0.85, Some(0.95));
+        let new = quality_report(0.85, None); // q_dbdc_p1 vanished
+        let rows = diff_reports(&old, &new, DEFAULT_THRESHOLD);
+        let gone = rows.iter().find(|r| r.cell == "quality/q_dbdc_p1").unwrap();
+        assert_eq!(gone.outcome, DiffOutcome::Missing);
+        assert!(gone.outcome.is_failure());
+
+        let rows = diff_reports(&new, &old, DEFAULT_THRESHOLD);
+        let added = rows.iter().find(|r| r.cell == "quality/q_dbdc_p1").unwrap();
+        assert_eq!(added.outcome, DiffOutcome::New);
+        assert!(!added.outcome.is_failure());
+
+        // A baseline with no quality section at all contributes no
+        // quality rows against itself.
+        let bare = report_with(vec![("c_ns", cell([100]))]);
+        assert!(diff_reports(&bare, &bare.clone(), DEFAULT_THRESHOLD)
+            .iter()
+            .all(|r| r.quality.is_none()));
     }
 
     #[test]

@@ -46,14 +46,14 @@ pub mod span;
 pub mod timeline;
 
 pub use counters::{CounterSheet, Counters};
-pub use diff::{diff_reports, DiffOutcome, DiffRow};
+pub use diff::{diff_reports, diff_reports_with, DiffOutcome, DiffRow, QUALITY_DROP_TOLERANCE};
 pub use hist::{fmt_sample, HistSheet, Histogram};
 pub use json::{Json, JsonError};
 pub use merge::merge_reports;
 pub use recorder::{NoopRecorder, Recorder, RecordingRecorder};
 pub use report::{
-    ClusterStats, DatasetInfo, EnvFingerprint, NetworkCost, RunReport, SiteStats, TransferStats,
-    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    ClusterStats, DatasetInfo, EnvFingerprint, NetworkCost, QualityStats, RunReport, SiteStats,
+    TransferStats, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use span::Span;
 pub use timeline::chrome_trace;

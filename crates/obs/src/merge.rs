@@ -194,6 +194,41 @@ pub fn merge_reports(
     merged.transfer = server.transfer.clone();
     merged.network = server.network.clone();
     merged.clusters = server.clusters;
+
+    // Quality: the server's global view, annotated with every site's
+    // local DBCV so the fleet's quality spread survives the merge. A
+    // server report without a quality block (an older binary, say)
+    // falls back to the mean of the site values so the section still
+    // exists whenever any process measured quality.
+    let site_quality: Vec<(String, &crate::report::QualityStats)> = ordered
+        .iter()
+        .filter_map(|s| {
+            s.quality
+                .as_ref()
+                .map(|q| (s.peer.clone().unwrap_or_else(|| "site[?]".into()), q))
+        })
+        .collect();
+    let mut quality = server.quality.clone();
+    if quality.is_none() && !site_quality.is_empty() {
+        let mean =
+            site_quality.iter().map(|(_, q)| q.dbcv).sum::<f64>() / site_quality.len() as f64;
+        let clusters = site_quality.iter().map(|(_, q)| q.clusters).sum();
+        let noise = site_quality.iter().map(|(_, q)| q.noise).sum();
+        quality = Some(crate::report::QualityStats::from_dbcv(
+            mean,
+            clusters,
+            noise,
+            vec![],
+        ));
+        warnings.push("server report carries no quality; merged DBCV is the site mean".into());
+    }
+    if let Some(q) = &mut quality {
+        q.per_site = site_quality
+            .into_iter()
+            .map(|(peer, sq)| (peer, sq.dbcv))
+            .collect();
+    }
+    merged.quality = quality;
     Ok((merged, warnings))
 }
 
@@ -285,6 +320,43 @@ mod tests {
             counters: Counters::default(),
         }];
         r
+    }
+
+    #[test]
+    fn merge_carries_per_site_and_global_quality() {
+        let mut sv = server();
+        sv.quality = Some(crate::report::QualityStats::from_dbcv(0.75, 3, 5, vec![]));
+        let mut s0 = site(0);
+        s0.quality = Some(crate::report::QualityStats::from_dbcv(0.5, 2, 1, vec![]));
+        let mut s1 = site(1);
+        s1.quality = Some(crate::report::QualityStats::from_dbcv(0.25, 1, 2, vec![]));
+        let (m, warnings) = merge_reports(&sv, &[&s1, &s0]).expect("merge");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let q = m.quality.expect("merged quality");
+        assert_eq!(q.dbcv, 0.75); // the server's global view wins
+        assert_eq!(
+            q.per_site,
+            vec![("site[0]".to_string(), 0.5), ("site[1]".to_string(), 0.25)]
+        );
+    }
+
+    #[test]
+    fn merge_without_server_quality_falls_back_to_site_mean() {
+        let sv = server();
+        let mut s0 = site(0);
+        s0.quality = Some(crate::report::QualityStats::from_dbcv(0.5, 2, 1, vec![]));
+        let mut s1 = site(1);
+        s1.quality = Some(crate::report::QualityStats::from_dbcv(0.25, 1, 2, vec![]));
+        let (m, warnings) = merge_reports(&sv, &[&s0, &s1]).expect("merge");
+        assert!(
+            warnings.iter().any(|w| w.contains("site mean")),
+            "{warnings:?}"
+        );
+        let q = m.quality.expect("merged quality");
+        assert_eq!(q.dbcv, 0.375);
+        assert_eq!(q.clusters, 3);
+        assert_eq!(q.noise, 3);
+        assert_eq!(q.per_site.len(), 2);
     }
 
     #[test]

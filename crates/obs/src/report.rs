@@ -18,8 +18,10 @@
 //! Version history: v1 had no `env` and no `hists`; v2 added both.
 //! v3 added distributed-run identity (`role`/`run_id`/`peer`), the
 //! optional per-span `start_us` offset, and the wire/fault counter
-//! fields — all of which parse as absent/zero from older reports, so
-//! v1 and v2 files remain readable.
+//! fields. v4 added the optional `quality` section (DBCV, Q_DBDC,
+//! per-cluster validity) and the quality counter fields — all of which
+//! parse as absent/zero from older reports, so v1-v3 files remain
+//! readable.
 
 use std::time::Duration;
 
@@ -30,7 +32,7 @@ use crate::json::Json;
 use crate::span::Span;
 
 /// Version of the JSON shape. Bump on any schema change.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest schema version [`RunReport::from_json`] still reads.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -117,6 +119,46 @@ pub struct ClusterStats {
     pub noise: usize,
 }
 
+/// Clustering quality, measured rather than printed (schema v4).
+///
+/// DBCV (Moulavi et al., SDM 2014) is always present — it needs no
+/// ground truth — while the paper's `Q_DBDC` fields are filled only
+/// when a central reference clustering was available to compare
+/// against. Merged fleet reports additionally carry each site's local
+/// DBCV keyed by peer name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityStats {
+    /// DBCV validity index of the reported clustering, in `[-1, 1]`.
+    pub dbcv: f64,
+    /// Clusters DBCV scored (size ≥ 2 after singleton demotion).
+    pub clusters: usize,
+    /// Objects DBCV counted as noise (including singleton clusters).
+    pub noise: usize,
+    /// Per-cluster DBCV validity, indexed by cluster id.
+    pub cluster_validity: Vec<f64>,
+    /// `Q_DBDC` under `P^I`, when a central reference exists.
+    pub q_dbdc_p1: Option<f64>,
+    /// `Q_DBDC` under `P^II`, when a central reference exists.
+    pub q_dbdc_p2: Option<f64>,
+    /// Local DBCV per site (`peer name → value`), for merged reports.
+    pub per_site: Vec<(String, f64)>,
+}
+
+impl QualityStats {
+    /// A quality block carrying only a DBCV evaluation.
+    pub fn from_dbcv(dbcv: f64, clusters: usize, noise: usize, validity: Vec<f64>) -> QualityStats {
+        QualityStats {
+            dbcv,
+            clusters,
+            noise,
+            cluster_validity: validity,
+            q_dbdc_p1: None,
+            q_dbdc_p2: None,
+            per_site: Vec::new(),
+        }
+    }
+}
+
 /// Everything one run reports. See the module docs for the schema
 /// rules.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,6 +199,8 @@ pub struct RunReport {
     pub network: Vec<NetworkCost>,
     /// Clustering outcome, when the command clusters.
     pub clusters: Option<ClusterStats>,
+    /// Measured clustering quality, when the command evaluates it.
+    pub quality: Option<QualityStats>,
 }
 
 impl RunReport {
@@ -178,6 +222,7 @@ impl RunReport {
             transfer: None,
             network: Vec::new(),
             clusters: None,
+            quality: None,
         }
     }
 
@@ -338,6 +383,40 @@ impl RunReport {
                     None => Json::Null,
                 },
             ),
+            (
+                "quality",
+                match &self.quality {
+                    Some(q) => {
+                        let opt_num = |v: &Option<f64>| match v {
+                            Some(v) => Json::Num(*v),
+                            None => Json::Null,
+                        };
+                        Json::obj([
+                            ("dbcv", Json::Num(q.dbcv)),
+                            ("clusters", Json::num_u64(q.clusters as u64)),
+                            ("noise", Json::num_u64(q.noise as u64)),
+                            (
+                                "cluster_validity",
+                                Json::Arr(
+                                    q.cluster_validity.iter().map(|&v| Json::Num(v)).collect(),
+                                ),
+                            ),
+                            ("q_dbdc_p1", opt_num(&q.q_dbdc_p1)),
+                            ("q_dbdc_p2", opt_num(&q.q_dbdc_p2)),
+                            (
+                                "per_site",
+                                Json::Obj(
+                                    q.per_site
+                                        .iter()
+                                        .map(|(peer, v)| (peer.clone(), Json::Num(*v)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    }
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -491,6 +570,52 @@ impl RunReport {
                 noise: req_usize(c, "noise", "clusters")?,
             }),
         };
+        // The quality section arrived in v4; missing or null in older
+        // reports means "quality was not measured".
+        let quality = match v.get("quality") {
+            Some(Json::Null) | None => None,
+            Some(q) => {
+                let opt_num = |key: &str| match q.get(key) {
+                    Some(Json::Null) | None => Ok(None),
+                    Some(v) => v
+                        .as_f64()
+                        .map(Some)
+                        .ok_or_else(|| format!("quality {key:?} is not a number")),
+                };
+                Some(QualityStats {
+                    dbcv: q
+                        .get("dbcv")
+                        .and_then(Json::as_f64)
+                        .ok_or("quality missing \"dbcv\"")?,
+                    clusters: req_usize(q, "clusters", "quality")?,
+                    noise: req_usize(q, "noise", "quality")?,
+                    cluster_validity: q
+                        .get("cluster_validity")
+                        .and_then(Json::as_arr)
+                        .ok_or("quality missing \"cluster_validity\"")?
+                        .iter()
+                        .map(|v| {
+                            v.as_f64()
+                                .ok_or_else(|| "cluster_validity entry not a number".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    q_dbdc_p1: opt_num("q_dbdc_p1")?,
+                    q_dbdc_p2: opt_num("q_dbdc_p2")?,
+                    per_site: match q.get("per_site") {
+                        Some(Json::Obj(pairs)) => pairs
+                            .iter()
+                            .map(|(peer, v)| {
+                                v.as_f64().map(|v| (peer.clone(), v)).ok_or_else(|| {
+                                    format!("per_site quality {peer:?} is not a number")
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                        Some(Json::Null) | None => Vec::new(),
+                        Some(_) => return Err("quality \"per_site\" is not an object".into()),
+                    },
+                })
+            }
+        };
         Ok(RunReport {
             schema_version,
             command,
@@ -507,6 +632,7 @@ impl RunReport {
             transfer,
             network,
             clusters,
+            quality,
         })
     }
 
@@ -624,6 +750,19 @@ impl RunReport {
                 c.clusters, c.noise
             ));
         }
+        if let Some(q) = &self.quality {
+            out.push_str(&format!(
+                "quality: DBCV {:+.4} over {} clusters, {} noise",
+                q.dbcv, q.clusters, q.noise
+            ));
+            if let (Some(p1), Some(p2)) = (q.q_dbdc_p1, q.q_dbdc_p2) {
+                out.push_str(&format!(", Q_DBDC P^I {p1:.4} P^II {p2:.4}"));
+            }
+            out.push('\n');
+            for (peer, v) in &q.per_site {
+                out.push_str(&format!("  {peer}: local DBCV {v:+.4}\n"));
+            }
+        }
         out
     }
 }
@@ -695,6 +834,12 @@ pub fn counters_from_json(v: &Json) -> Result<Counters, String> {
         faults_delayed: opt("faults_delayed"),
         faults_truncated: opt("faults_truncated"),
         faults_bitflipped: opt("faults_bitflipped"),
+        mst_edges: opt("mst_edges"),
+        quality_perfect: opt("quality_perfect"),
+        quality_zero: opt("quality_zero"),
+        quality_noise_both: opt("quality_noise_both"),
+        quality_noise_distr_only: opt("quality_noise_distr_only"),
+        quality_noise_central_only: opt("quality_noise_central_only"),
     })
 }
 
@@ -800,6 +945,15 @@ mod tests {
                 clusters: 2,
                 noise: 3,
             }),
+            quality: Some(QualityStats {
+                dbcv: 0.8125,
+                clusters: 2,
+                noise: 3,
+                cluster_validity: vec![0.875, 0.75],
+                q_dbdc_p1: Some(0.96875),
+                q_dbdc_p2: Some(0.9375),
+                per_site: vec![("site[0]".into(), 0.78125)],
+            }),
         }
     }
 
@@ -820,6 +974,7 @@ mod tests {
         assert!(back.dataset.is_none());
         assert!(back.transfer.is_none());
         assert!(back.clusters.is_none());
+        assert!(back.quality.is_none());
     }
 
     #[test]
@@ -839,7 +994,12 @@ mod tests {
         if let Json::Obj(pairs) = &mut v {
             pairs[0].1 = Json::num_u64(1);
             pairs.retain(|(k, _)| {
-                k != "env" && k != "hists" && k != "role" && k != "run_id" && k != "peer"
+                k != "env"
+                    && k != "hists"
+                    && k != "role"
+                    && k != "run_id"
+                    && k != "peer"
+                    && k != "quality"
             });
         }
         let back = RunReport::from_json(&v).expect("v1 still parses");
@@ -859,7 +1019,7 @@ mod tests {
         let mut v = sample().to_json();
         if let Json::Obj(pairs) = &mut v {
             pairs[0].1 = Json::num_u64(2);
-            pairs.retain(|(k, _)| k != "role" && k != "run_id" && k != "peer");
+            pairs.retain(|(k, _)| k != "role" && k != "run_id" && k != "peer" && k != "quality");
             for (k, val) in pairs.iter_mut() {
                 if k == "counters" {
                     if let Json::Obj(scopes) = val {
@@ -877,6 +1037,35 @@ mod tests {
         assert!(back.role.is_none());
         assert_eq!(back.scopes[0].1.range_queries, 40);
         assert_eq!(back.scopes[0].1.frames_sent, 0);
+        assert!(back.quality.is_none());
+    }
+
+    #[test]
+    fn reads_v3_reports_without_quality() {
+        // A v3 report: no "quality" key, 23-field counter objects.
+        let mut v = sample().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs[0].1 = Json::num_u64(3);
+            pairs.retain(|(k, _)| k != "quality");
+            for (k, val) in pairs.iter_mut() {
+                if k == "counters" {
+                    if let Json::Obj(scopes) = val {
+                        for (_, c) in scopes.iter_mut() {
+                            if let Json::Obj(fields) = c {
+                                fields.retain(|(f, _)| {
+                                    !f.starts_with("quality_") && f != "mst_edges"
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let back = RunReport::from_json(&v).expect("v3 still parses");
+        assert_eq!(back.schema_version, 3);
+        assert!(back.quality.is_none());
+        assert_eq!(back.scopes[0].1.range_queries, 40);
+        assert_eq!(back.scopes[0].1.quality_perfect, 0);
     }
 
     #[test]
@@ -901,7 +1090,7 @@ mod tests {
     fn render_mentions_every_section() {
         let text = sample().render();
         for needle in [
-            "== run report (schema v3) ==",
+            "== run report (schema v4) ==",
             "identity: role server, run run-7, peer server",
             "eps=1.2",
             "env: nproc 8, rustc 1.75.0, rev abc1234, data 11deadbeef",
@@ -918,6 +1107,8 @@ mod tests {
             "network (modeled):",
             "lan",
             "clusters: 2 clusters, 3 noise points",
+            "quality: DBCV +0.8125 over 2 clusters, 3 noise, Q_DBDC P^I 0.9688 P^II 0.9375",
+            "site[0]: local DBCV +0.7812",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

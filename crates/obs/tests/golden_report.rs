@@ -10,8 +10,8 @@
 use std::time::Duration;
 
 use dbdc_obs::{
-    ClusterStats, Counters, DatasetInfo, EnvFingerprint, Histogram, NetworkCost, RunReport,
-    SiteStats, Span, TransferStats,
+    ClusterStats, Counters, DatasetInfo, EnvFingerprint, Histogram, NetworkCost, QualityStats,
+    RunReport, SiteStats, Span, TransferStats,
 };
 
 fn golden_path() -> std::path::PathBuf {
@@ -24,6 +24,10 @@ fn golden_v1_path() -> std::path::PathBuf {
 
 fn golden_v2_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_report_v2.json")
+}
+
+fn golden_v3_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/run_report_v3.json")
 }
 
 /// A fully populated report with fixed, hand-picked values — every
@@ -162,6 +166,17 @@ fn sample_report() -> RunReport {
             clusters: 3,
             noise: 5,
         });
+        // Hand-picked dyadic fractions so the JSON floats round-trip
+        // with short decimal forms.
+        r.quality = Some(QualityStats {
+            dbcv: 0.8125,
+            clusters: 3,
+            noise: 5,
+            cluster_validity: vec![0.875, 0.8125, 0.75],
+            q_dbdc_p1: Some(0.96875),
+            q_dbdc_p2: Some(0.9375),
+            per_site: vec![("site[0]".into(), 0.78125), ("site[1]".into(), 0.84375)],
+        });
     }
     r
 }
@@ -224,6 +239,26 @@ fn v2_golden_file_still_parses() {
     assert!(parsed.role.is_none() && parsed.run_id.is_none() && parsed.peer.is_none());
     // Everything v2 carried matches the current sample, which keeps the
     // same handpicked values (the v3 additions default to None/zero).
+    let now = sample_report();
+    assert_eq!(parsed.env, now.env);
+    assert_eq!(parsed.hists, now.hists);
+    assert_eq!(parsed.scopes, now.scopes);
+    assert_eq!(parsed.sites, now.sites);
+    assert_eq!(parsed.spans, now.spans);
+    assert_eq!(parsed.transfer, now.transfer);
+    assert_eq!(parsed.clusters, now.clusters);
+}
+
+/// The checked-in v3 golden file (pre-quality, 23-field counter
+/// objects) must keep parsing. Frozen history — never re-bless.
+#[test]
+fn v3_golden_file_still_parses() {
+    let golden = std::fs::read_to_string(golden_v3_path()).expect("read v3 golden file");
+    let parsed = RunReport::parse(&golden).expect("v3 golden validates");
+    assert_eq!(parsed.schema_version, 3);
+    assert!(parsed.quality.is_none());
+    // Everything v3 carried matches the current sample, which keeps the
+    // same handpicked values (the v4 additions default to None/zero).
     let now = sample_report();
     assert_eq!(parsed.env, now.env);
     assert_eq!(parsed.hists, now.hists);
