@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "serve" => netcmd::cmd_serve(rest),
         "site" => netcmd::cmd_site(rest),
         "proxy" => netcmd::cmd_proxy(rest),
+        "watch" => netcmd::cmd_watch(rest),
         "report" => cmd_report(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -98,6 +99,10 @@ commands:
   proxy ...
       a fault-injecting TCP forwarder between sites and server; run
       `dbdc-cli proxy --help` for its flags
+  watch ADDR [ADDR...] [--interval MS] [--once]
+      poll the fleet's --admin-addr /metrics endpoints and render a live
+      table of frame/byte rates, retries, per-phase percentiles, and
+      session state; run `dbdc-cli watch --help` for details
   report --input FILE [--require NAME,NAME,...]
       [--require-counter NAME,NAME,...] [--require-quality SCOPE,...]
       [--hist]
@@ -116,10 +121,12 @@ commands:
       pass, drops beyond the absolute DROP (default 0.10) fail, and
       --threshold never loosens them; --only gates just the cells
       whose name contains SUBSTR
-  report merge SERVER SITE... --out FILE
+  report merge SERVER [SITE...] --out FILE
       join one server report with its site reports (matched by
       --run-id) into a single fleet report: counters summed, histograms
-      bucket-merged, spans grafted under per-site subtrees
+      bucket-merged, spans grafted under per-site subtrees; a lone
+      server report merges into a degenerate fleet report (with a
+      warning), which is what a killed fleet leaves behind
   report timeline REPORT --out trace.json
       render a (merged) report's span forest as Chrome trace_event
       JSON — one pid per process, clocks aligned via the handshake
@@ -817,9 +824,22 @@ fn cmd_report(raw: &[String]) -> CliResult {
             })
             .collect();
         if !missing.is_empty() {
+            // Name what IS there: a failed gate is usually a typo or a
+            // scope that moved, and the fix is picking from this list.
+            let mut present: Vec<String> = Vec::new();
+            for root in &report.spans {
+                collect_span_names(root, &mut present);
+            }
+            present.extend(report.hists.iter().map(|(n, _)| n.clone()));
             return Err(format!(
-                "{path}: report is missing required span(s)/histogram(s): {}",
-                missing.join(", ")
+                "{path}: report is missing required span(s)/histogram(s): {}\n\
+                 present spans/histograms: {}",
+                missing.join(", "),
+                if present.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    present.join(", ")
+                }
             )
             .into());
         }
@@ -868,6 +888,15 @@ fn cmd_report(raw: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Every span name in the tree, depth-first — the "what is actually in
+/// this report" list a failed `--require` prints.
+fn collect_span_names(span: &Span, out: &mut Vec<String>) {
+    out.push(span.name.clone());
+    for child in &span.children {
+        collect_span_names(child, out);
+    }
+}
+
 /// Whether the report carries a finite DBCV for the given quality
 /// scope: `global` is the report's own quality block, anything else is
 /// a per-site entry name.
@@ -890,12 +919,14 @@ fn report_counter_nonzero(report: &RunReport, name: &str) -> bool {
     report.scopes.iter().any(|(_, c)| c.values()[idx] != 0)
 }
 
-/// `report merge SERVER SITE... --out FILE`: join one server report
-/// with its site reports into a single fleet report.
+/// `report merge SERVER [SITE...] --out FILE`: join one server report
+/// with its site reports into a single fleet report. A server report
+/// alone is accepted — the degenerate fleet a killed run leaves behind
+/// — and merges with a warning.
 fn cmd_report_merge(args: &Args) -> CliResult {
     let positional = args.positional();
-    if positional.len() < 3 {
-        return Err("usage: report merge SERVER SITE... --out FILE".into());
+    if positional.len() < 2 {
+        return Err("usage: report merge SERVER [SITE...] --out FILE".into());
     }
     let out = args.require("out")?;
     let server = load_report(&positional[1])?;

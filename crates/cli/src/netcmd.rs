@@ -22,14 +22,20 @@ use crate::opts::{
     wants_report, CliResult,
 };
 use dbdc_geom::{Clustering, Dataset, Label};
-use dbdc_net::{run_site, serve, FaultPlan, FaultProxy, RetryPolicy, ServeOptions, SiteOptions};
+use dbdc_net::http_get;
+use dbdc_net::{
+    run_site, serve, AdminServer, AdminState, FaultPlan, FaultProxy, RetryPolicy, ServeOptions,
+    SiteOptions,
+};
 use dbdc_obs::{
-    fmt_ms, DatasetInfo, EnvFingerprint, NoopRecorder, Recorder, RecordingRecorder, RunReport,
-    SiteStats, Span, TransferStats,
+    delta, fmt_ms, fmt_sample, DatasetInfo, EnvFingerprint, NoopRecorder, Recorder,
+    RecordingRecorder, RunReport, SiteStats, SnapshotEngine, Span, TelemetrySnapshot,
+    TransferStats,
 };
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Usage text of the `serve` subcommand / `dbdc-server` binary.
@@ -49,9 +55,15 @@ usage: dbdc-server --sites K --eps E --min-pts M
                            1000; keep above the sites' backoff ceiling)
     [--run-id ID]          stamp the report with a shared run identity so
                            `report merge` can join it with site reports
+    [--admin-addr ADDR]    serve live telemetry over HTTP while running:
+                           /metrics (Prometheus), /healthz, /readyz,
+                           /report (partial RunReport JSON); implies
+                           recording even without --trace/--metrics-out
     [--trace] [--metrics-out FILE]
       the report's upload/global/broadcast spans are measured socket
-      walls, not cost-model output; wire traffic lands under net/server";
+      walls, not cost-model output; wire traffic lands under net/server.
+      On a deadline or protocol error the partial report is still
+      written, marked with param clean=false";
 
 /// Usage text of the `site` subcommand / `dbdc-site` binary.
 pub const SITE_USAGE: &str = "\
@@ -73,6 +85,8 @@ usage: dbdc-site --input FILE --site I --sites K --eps E --min-pts M
                            `original_index,label` lines (-1 = noise)
     [--run-id ID]          stamp the report with a shared run identity so
                            `report merge` can join it with the server's
+    [--admin-addr ADDR]    live telemetry endpoints (/readyz turns 200
+                           once the session handshake has completed)
     [--trace] [--metrics-out FILE]";
 
 /// Usage text of the `proxy` subcommand.
@@ -91,8 +105,27 @@ usage: dbdc-cli proxy (--connect ADDR | --addr-file FILE)
     [--duration-ms N]        how long to forward before shutting down
                              (default 30000)
     [--run-id ID] [--trace] [--metrics-out FILE]
+    [--admin-addr ADDR]      expose the injected-fault ledger live on
+                             /metrics while the proxy forwards
       the report carries the injected-fault ledger under proxy/c2s
       (site->server) and proxy/s2c (server->site)";
+
+/// Usage text of the `watch` subcommand.
+pub const WATCH_USAGE: &str = "\
+dbdc-cli watch — live fleet telemetry from --admin-addr endpoints
+
+usage: dbdc-cli watch ADDR [ADDR...]
+    [--interval MS]   poll period (default 1000)
+    [--once]          scrape once, print the table, exit (no screen
+                      clearing — for scripts and CI)
+
+Each ADDR is a process's --admin-addr. Every tick polls /metrics and
+/readyz, computes deltas against the previous scrape, and renders
+frame/byte rates, retry and fault totals, per-phase latency
+percentiles, and session state for the whole fleet. The first tick
+(and --once) shows process-lifetime averages. Continuous mode exits on
+its own once every peer has been unreachable for three ticks (the
+fleet exited).";
 
 /// `serve` / `dbdc-server`: accept `--sites` connections, build and
 /// broadcast the global model, report measured transfer walls.
@@ -118,6 +151,7 @@ pub fn cmd_serve(raw: &[String]) -> CliResult {
             "deadline-ms",
             "drain-ms",
             "run-id",
+            "admin-addr",
             "trace",
             "metrics-out",
         ],
@@ -143,9 +177,39 @@ pub fn cmd_serve(raw: &[String]) -> CliResult {
     opts.drain_window = Duration::from_millis(args.get_or("drain-ms", 1000u64)?);
 
     let wants = wants_report(&args);
-    let rec = RecordingRecorder::new();
-    let recorder: &dyn Recorder = if wants { &rec } else { &NoopRecorder };
-    let outcome = serve(listener, opts, recorder).map_err(|e| format!("serve: {e}"))?;
+    let run_id = args.get("run-id").map(String::from);
+    let rec = Arc::new(RecordingRecorder::new());
+    let recording = wants || args.get("admin-addr").is_some();
+    let recorder: &dyn Recorder = if recording { &*rec } else { &NoopRecorder };
+    // The protocol listener is already accepting by the time the admin
+    // plane comes up, so the server's readiness predicate is constant.
+    let _admin = spawn_admin(
+        &args,
+        "serve",
+        "server",
+        run_id.clone(),
+        "server".into(),
+        Arc::clone(&rec),
+        Box::new(|| true),
+    )?;
+
+    let t0 = Instant::now();
+    let outcome = match serve(listener, opts, recorder) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            // A deadline or protocol failure loses the run, not the
+            // telemetry: flush everything the recorder holds as a
+            // partial report marked clean=false before surfacing the
+            // error, so post-mortems of killed fleets have data.
+            if wants {
+                let mut report =
+                    partial_report("serve", "server", run_id.clone(), "server".into(), &rec);
+                report.spans = vec![Span::new("dbdc_serve", t0.elapsed())];
+                finish_report(&args, &report)?;
+            }
+            return Err(format!("serve: {e}").into());
+        }
+    };
 
     let bytes_up: usize = outcome.per_site_bytes_up.iter().sum();
     println!(
@@ -166,9 +230,10 @@ pub fn cmd_serve(raw: &[String]) -> CliResult {
 
     if wants {
         let mut report = RunReport::new("serve")
-            .with_identity("server", args.get("run-id").map(String::from), "server")
+            .with_identity("server", run_id, "server")
             .with_param("sites", n_sites)
-            .with_param("connections", outcome.connections);
+            .with_param("connections", outcome.connections)
+            .with_param("clean", true);
         // The server holds no dataset; the checksum slot says so rather
         // than aliasing some site's input.
         report.env = Some(env_fingerprint("none".into()));
@@ -263,6 +328,7 @@ pub fn cmd_site(raw: &[String]) -> CliResult {
             "read-timeout-ms",
             "out",
             "run-id",
+            "admin-addr",
             "trace",
             "metrics-out",
         ],
@@ -295,10 +361,44 @@ pub fn cmd_site(raw: &[String]) -> CliResult {
     };
 
     let wants = wants_report(&args);
-    let rec = RecordingRecorder::new();
-    let recorder: &dyn Recorder = if wants { &rec } else { &NoopRecorder };
-    let outcome =
-        run_site(addr, &site_data, &opts, recorder).map_err(|e| format!("site {site}: {e}"))?;
+    let run_id = args.get("run-id").map(String::from);
+    let rec = Arc::new(RecordingRecorder::new());
+    let recording = wants || args.get("admin-addr").is_some();
+    let recorder: &dyn Recorder = if recording { &*rec } else { &NoopRecorder };
+    // A site is ready once its handshake has completed: the wire
+    // metrics count the HELLO_ACK under its own per-kind subscope, so
+    // readiness is a plain counter probe against the live recorder.
+    let ready_rec = Arc::clone(&rec);
+    let hello_ack_scope = format!("net/site[{site}]/HELLO_ACK");
+    let _admin = spawn_admin(
+        &args,
+        "site",
+        "site",
+        run_id.clone(),
+        format!("site[{site}]"),
+        Arc::clone(&rec),
+        Box::new(move || ready_rec.counters(&hello_ack_scope).frames_received >= 1),
+    )?;
+
+    let outcome = match run_site(addr, &site_data, &opts, recorder) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            // Mirror the server: a failed session still flushes the
+            // partial report (local-phase counters, attempted wire
+            // traffic) marked clean=false.
+            if wants {
+                let report = partial_report(
+                    "site",
+                    "site",
+                    run_id.clone(),
+                    format!("site[{site}]"),
+                    &rec,
+                );
+                finish_report(&args, &report)?;
+            }
+            return Err(format!("site {site}: {e}").into());
+        }
+    };
 
     println!(
         "site {site}/{n_sites}: {} points, {} B up, {} B down, {} attempt(s)",
@@ -321,14 +421,11 @@ pub fn cmd_site(raw: &[String]) -> CliResult {
 
     if wants {
         let mut report = RunReport::new("site")
-            .with_identity(
-                "site",
-                args.get("run-id").map(String::from),
-                format!("site[{site}]"),
-            )
+            .with_identity("site", run_id, format!("site[{site}]"))
             .with_param("site", site)
             .with_param("sites", n_sites)
-            .with_param("attempts", outcome.attempts);
+            .with_param("attempts", outcome.attempts)
+            .with_param("clean", true);
         report.env = Some(env_fingerprint(dataset_checksum(&data)));
         report.dataset = Some(DatasetInfo {
             points: site_data.len(),
@@ -410,6 +507,7 @@ pub fn cmd_proxy(raw: &[String]) -> CliResult {
             "bitflip",
             "duration-ms",
             "run-id",
+            "admin-addr",
             "trace",
             "metrics-out",
         ],
@@ -425,14 +523,27 @@ pub fn cmd_proxy(raw: &[String]) -> CliResult {
         bitflip: args.get_or("bitflip", 0.0)?,
     };
     let wants = wants_report(&args);
-    let rec = RecordingRecorder::new();
+    let run_id = args.get("run-id").map(String::from);
+    let rec = Arc::new(RecordingRecorder::new());
+    let recording = wants || args.get("admin-addr").is_some();
     let t0 = Instant::now();
-    let mut proxy = if wants {
-        FaultProxy::spawn_observed(upstream, plan, &rec)
+    let mut proxy = if recording {
+        FaultProxy::spawn_observed(upstream, plan, &*rec)
     } else {
         FaultProxy::spawn(upstream, plan)
     }
     .map_err(|e| format!("proxy: {e}"))?;
+    // The proxy is forwarding as soon as spawn returns; the admin plane
+    // exposes the injected-fault ledger (proxy/c2s, proxy/s2c) live.
+    let _admin = spawn_admin(
+        &args,
+        "proxy",
+        "proxy",
+        run_id.clone(),
+        "proxy".into(),
+        Arc::clone(&rec),
+        Box::new(|| true),
+    )?;
     println!("dbdc proxy forwarding {} -> {upstream}", proxy.addr());
     if let Some(path) = args.get("proxy-addr-file") {
         write_addr_file(path, proxy.addr())?;
@@ -453,7 +564,7 @@ pub fn cmd_proxy(raw: &[String]) -> CliResult {
     );
     if wants {
         let mut report = RunReport::new("proxy")
-            .with_identity("proxy", args.get("run-id").map(String::from), "proxy")
+            .with_identity("proxy", run_id, "proxy")
             .with_param("seed", plan.seed)
             .with_param("drop", plan.drop)
             .with_param("forwarded", stats.forwarded.load(Ordering::Relaxed));
@@ -463,6 +574,187 @@ pub fn cmd_proxy(raw: &[String]) -> CliResult {
         finish_report(&args, &report)?;
     }
     Ok(())
+}
+
+/// `watch`: poll the fleet's `--admin-addr` endpoints, diff consecutive
+/// snapshots, and render a live rates table.
+pub fn cmd_watch(raw: &[String]) -> CliResult {
+    if wants_help(raw) {
+        println!("{WATCH_USAGE}");
+        return Ok(());
+    }
+    let args = Args::parse(raw, &["interval", "once"])?;
+    let addrs: Vec<String> = args.positional().to_vec();
+    if addrs.is_empty() {
+        return Err("usage: dbdc-cli watch ADDR [ADDR...] [--interval MS] [--once]".into());
+    }
+    let interval = Duration::from_millis(args.get_or("interval", 1000u64)?);
+    let once = args.switch("once");
+    let timeout = Duration::from_secs(2);
+
+    let mut prev: Vec<Option<TelemetrySnapshot>> = (0..addrs.len()).map(|_| None).collect();
+    let mut all_down_ticks = 0u32;
+    loop {
+        let mut frame = String::new();
+        let mut up = 0usize;
+        for (i, addr) in addrs.iter().enumerate() {
+            match scrape(addr, timeout) {
+                Ok((snap, ready)) => {
+                    up += 1;
+                    frame.push_str(&render_peer(addr, &snap, prev[i].as_ref(), ready));
+                    prev[i] = Some(snap);
+                }
+                Err(e) => {
+                    frame.push_str(&format!("{addr}  DOWN ({e})\n"));
+                    prev[i] = None;
+                }
+            }
+        }
+        if once {
+            print!("{frame}");
+            if up == 0 {
+                return Err("watch: no admin endpoint reachable".into());
+            }
+            return Ok(());
+        }
+        // Continuous mode repaints in place (clear screen, home cursor).
+        print!(
+            "\x1b[2J\x1b[Hdbdc watch — {up}/{} peer(s) up, every {:?}\n\n{frame}",
+            addrs.len(),
+            interval
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if up == 0 {
+            all_down_ticks += 1;
+            if all_down_ticks >= 3 {
+                println!("all peers unreachable for {all_down_ticks} ticks; fleet has exited");
+                return Ok(());
+            }
+        } else {
+            all_down_ticks = 0;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One poll of a peer: `/metrics` parsed into a snapshot, plus its
+/// `/readyz` verdict.
+fn scrape(addr: &str, timeout: Duration) -> Result<(TelemetrySnapshot, bool), String> {
+    let (status, body) = http_get(addr, "/metrics", timeout).map_err(|e| format!("{e}"))?;
+    if status != 200 {
+        return Err(format!("/metrics returned {status}"));
+    }
+    let snap = TelemetrySnapshot::from_prometheus(&body)?;
+    let ready = matches!(http_get(addr, "/readyz", timeout), Ok((200, _)));
+    Ok((snap, ready))
+}
+
+/// Renders one peer's block: an identity/rates line from the delta
+/// window, then per-phase percentile lines from the cumulative
+/// histograms. With no previous scrape the window is the whole process
+/// lifetime, so the "rates" are lifetime averages — exactly right for
+/// `--once`.
+fn render_peer(
+    addr: &str,
+    snap: &TelemetrySnapshot,
+    prev: Option<&TelemetrySnapshot>,
+    ready: bool,
+) -> String {
+    let window = match prev {
+        Some(p) => delta(p, snap),
+        None => delta(&TelemetrySnapshot::default(), snap),
+    };
+    let secs = (window.uptime_us as f64 / 1e6).max(1e-9);
+    let d = window.total();
+    let totals = snap.total();
+    let peer = snap.identity.peer.as_deref().unwrap_or("?");
+    let role = snap.identity.role.as_deref().unwrap_or("?");
+    let state = if ready { "ready" } else { "wait" };
+    let mut out = format!(
+        "{addr}  {peer} ({role})  {state}  up {:.1}s\n  \
+         tx {:.1} fr/s {:.0} B/s   rx {:.1} fr/s {:.0} B/s   \
+         retries {}   faults {}   rejects {}\n",
+        snap.uptime_us as f64 / 1e6,
+        d.frames_sent as f64 / secs,
+        d.wire_bytes_sent as f64 / secs,
+        d.frames_received as f64 / secs,
+        d.wire_bytes_received as f64 / secs,
+        totals.retries,
+        totals.faults_dropped
+            + totals.faults_delayed
+            + totals.faults_truncated
+            + totals.faults_bitflipped,
+        totals.checksum_failures
+            + totals.truncated_rejects
+            + totals.oversize_rejects
+            + totals.handshake_rejections,
+    );
+    for (scope, h) in &snap.hists {
+        if h.count() == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {scope}: n={} p50 {} p90 {}\n",
+            h.count(),
+            fmt_sample(scope, h.percentile(50.0)),
+            fmt_sample(scope, h.percentile(90.0)),
+        ));
+    }
+    out
+}
+
+/// The partial report a live `/report` scrape or an abnormal exit can
+/// assemble: identity plus everything the recorder holds right now.
+/// Outcome-derived sections (transfer, quality, measured phase spans)
+/// don't exist until the run completes, so they are absent; the
+/// `clean=false` param marks the report as a mid-run or failed-run view
+/// (the normal exit path stamps `clean=true`).
+fn partial_report(
+    command: &str,
+    role: &str,
+    run_id: Option<String>,
+    peer: String,
+    rec: &RecordingRecorder,
+) -> RunReport {
+    let mut report = RunReport::new(command)
+        .with_identity(role, run_id, peer)
+        .with_param("clean", false);
+    report.env = Some(env_fingerprint("none".into()));
+    report.scopes = rec.scopes();
+    report.hists = rec.hist_scopes();
+    report
+}
+
+/// Binds the `--admin-addr` telemetry plane when requested: `/metrics`
+/// snapshots the recorder, `/readyz` answers from the role-specific
+/// predicate, `/report` serves the current partial report. Returns the
+/// handle to keep alive for the duration of the run (`None` when the
+/// flag is absent — the admin plane then costs nothing at all).
+fn spawn_admin(
+    args: &Args,
+    command: &'static str,
+    role: &'static str,
+    run_id: Option<String>,
+    peer: String,
+    rec: Arc<RecordingRecorder>,
+    ready: Box<dyn Fn() -> bool + Send + Sync>,
+) -> Result<Option<AdminServer>, Box<dyn std::error::Error>> {
+    let Some(addr) = args.get("admin-addr") else {
+        return Ok(None);
+    };
+    let engine = SnapshotEngine::new(Arc::clone(&rec)).with_identity(role, run_id.clone(), &peer);
+    let state = AdminState {
+        engine,
+        ready,
+        report: Box::new(move || {
+            partial_report(command, role, run_id.clone(), peer.clone(), &rec).to_json_string()
+        }),
+    };
+    let admin = AdminServer::spawn(addr, state)
+        .map_err(|e| format!("cannot bind admin address {addr}: {e}"))?;
+    println!("admin telemetry on http://{}/metrics", admin.addr());
+    Ok(Some(admin))
 }
 
 /// FNV-1a over the dataset's shape and exact coordinate bit patterns —

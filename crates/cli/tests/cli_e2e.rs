@@ -197,7 +197,15 @@ fn metrics_out_report_round_trip() {
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("relabel[99]"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("relabel[99]"));
+    // The error names what IS in the report, so a typo'd gate is
+    // fixable from the message alone.
+    assert!(
+        stderr.contains("present spans/histograms:"),
+        "error must list present scopes: {stderr}"
+    );
+    assert!(stderr.contains("local[0]"), "{stderr}");
 
     let _ = std::fs::remove_file(&csv);
     let _ = std::fs::remove_file(&json);

@@ -359,6 +359,96 @@ fn separate_processes_match_in_process_runtime() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A fleet that dies mid-run must not die silently: the server's
+/// deadline exit still flushes its partial `--metrics-out` report
+/// (marked `clean=false`), and while it waits the admin plane serves
+/// live telemetry that `dbdc-cli watch --once` can render.
+#[test]
+fn killed_fleet_still_leaves_server_report() {
+    let dir = scratch("killed");
+    let server_report = dir.join("server-report.json");
+    let addr_file = dir.join("addr.txt");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_dbdc-server"))
+        .args([
+            "--sites",
+            &N_SITES.to_string(),
+            "--eps",
+            EPS,
+            "--min-pts",
+            MIN_PTS,
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--deadline-ms",
+            "2500",
+            "--run-id",
+            "e2e-killed",
+            "--metrics-out",
+            server_report.to_str().unwrap(),
+            "--admin-addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn dbdc-server");
+
+    // The ephemeral admin port is announced on stdout before serving
+    // starts; read lines until it appears.
+    let stdout = server.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufRead::lines(BufReader::new(stdout));
+    let admin_addr = loop {
+        let line = lines
+            .next()
+            .expect("server stdout closed before admin line")
+            .expect("read server stdout");
+        if let Some(rest) = line.strip_prefix("admin telemetry on http://") {
+            break rest.trim_end_matches("/metrics").to_string();
+        }
+    };
+    await_addr(&addr_file);
+
+    // No sites ever connect. While the server waits out its deadline,
+    // watch a single scrape through the real CLI.
+    let watch = Command::new(env!("CARGO_BIN_EXE_dbdc-cli"))
+        .args(["watch", &admin_addr, "--once"])
+        .output()
+        .expect("run dbdc-cli watch");
+    assert!(watch.status.success(), "watch --once failed: {watch:?}");
+    let table = String::from_utf8_lossy(&watch.stdout);
+    assert!(
+        table.contains("server (server)"),
+        "watch table lacks the server identity line: {table}"
+    );
+
+    // Deadline expiry: nonzero exit, but the partial report is on disk.
+    let status = server.wait().expect("wait for server");
+    assert!(
+        !status.success(),
+        "server should fail its deadline with no sites"
+    );
+    let report = load_report(&server_report);
+    assert_eq!(report.role.as_deref(), Some("server"));
+    assert_eq!(report.run_id.as_deref(), Some("e2e-killed"));
+    assert_eq!(
+        report.params.iter().find(|(k, _)| k == "clean"),
+        Some(&("clean".to_string(), "false".to_string())),
+        "partial report must be marked clean=false"
+    );
+
+    // The degenerate fleet still merges: server report alone.
+    let merged_path = dir.join("merged.json");
+    run_cli(&[
+        "report",
+        "merge",
+        server_report.to_str().unwrap(),
+        "--out",
+        merged_path.to_str().unwrap(),
+    ]);
+    let merged = load_report(&merged_path);
+    assert_eq!(merged.role.as_deref(), Some("merged"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn separate_processes_converge_through_fault_proxy() {
     let dir = scratch("lossy");

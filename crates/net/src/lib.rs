@@ -25,7 +25,11 @@
 //!   whole session.
 //! - [`fault`] — a deterministic fault-injecting TCP proxy (drop,
 //!   delay, truncate, bit-flip) for loopback torture tests.
+//! - [`admin`] — an optional HTTP/1.0 admin plane on `--admin-addr`
+//!   serving live telemetry (`/metrics`, `/healthz`, `/readyz`,
+//!   `/report`) from snapshots of the run's recorder.
 
+pub mod admin;
 pub mod error;
 pub mod fault;
 pub mod frame;
@@ -34,6 +38,7 @@ pub mod retry;
 pub mod server;
 pub mod site;
 
+pub use admin::{http_get, AdminServer, AdminState};
 pub use error::{FrameError, NetError};
 pub use fault::{FaultPlan, FaultProxy, FaultStats, SplitMix64};
 pub use frame::{

@@ -163,6 +163,43 @@ impl Counters {
         ]
     }
 
+    /// Rebuilds a snapshot from values in [`Counters::FIELDS`] order —
+    /// the inverse of [`Counters::values`]. Used by the telemetry
+    /// snapshot delta and the exposition parser.
+    pub fn from_values(v: [u64; 29]) -> Counters {
+        Counters {
+            range_queries: v[0],
+            knn_queries: v[1],
+            distance_evals: v[2],
+            node_visits: v[3],
+            dsu_unions: v[4],
+            dsu_finds: v[5],
+            representatives: v[6],
+            bytes_sent: v[7],
+            bytes_received: v[8],
+            frames_sent: v[9],
+            frames_received: v[10],
+            wire_bytes_sent: v[11],
+            wire_bytes_received: v[12],
+            checksum_failures: v[13],
+            truncated_rejects: v[14],
+            oversize_rejects: v[15],
+            handshake_rejections: v[16],
+            retries: v[17],
+            backoff_wait_ns: v[18],
+            faults_dropped: v[19],
+            faults_delayed: v[20],
+            faults_truncated: v[21],
+            faults_bitflipped: v[22],
+            mst_edges: v[23],
+            quality_perfect: v[24],
+            quality_zero: v[25],
+            quality_noise_both: v[26],
+            quality_noise_distr_only: v[27],
+            quality_noise_central_only: v[28],
+        }
+    }
+
     /// Whether every counter is zero.
     pub fn is_zero(&self) -> bool {
         self.values().iter().all(|&v| v == 0)

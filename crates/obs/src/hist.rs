@@ -219,6 +219,28 @@ impl Histogram {
         }
     }
 
+    /// The distribution recorded between `prev` and `self`, assuming
+    /// both are snapshots of the **same live sheet** taken in that
+    /// order: bucket-wise saturating subtraction, with `count`/`sum`
+    /// subtracted the same way. Because the sheet's atomics are relaxed
+    /// and loaded independently, a concurrent recorder can leave the
+    /// difference's bucket total one ahead of (or behind) its `count`;
+    /// the result therefore bypasses the `from_parts` invariant check
+    /// and is meant for rate display, not for re-merging. `min`/`max`
+    /// are not tracked per window — the result carries `self`'s exact
+    /// extremes as bounds for the window's.
+    pub fn diff_from(&self, prev: &Histogram) -> Histogram {
+        let mut d = Histogram::new();
+        for ((b, cur), old) in d.buckets.iter_mut().zip(&self.buckets).zip(&prev.buckets) {
+            *b = cur.saturating_sub(*old);
+        }
+        d.count = self.count.saturating_sub(prev.count);
+        d.sum = self.sum.saturating_sub(prev.sum);
+        d.min = if d.count == 0 { 0 } else { self.min };
+        d.max = if d.count == 0 { 0 } else { self.max };
+        d
+    }
+
     /// Occupied buckets as `(index, count)` pairs, ascending.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
         self.buckets
@@ -248,6 +270,40 @@ impl Histogram {
         ])
     }
 
+    /// Reassembles a histogram from its exact parts: the side-tracked
+    /// `count`/`sum`/`min`/`max` plus sparse `(index, count)` bucket
+    /// pairs. Validates that the bucket counts sum to `count` — the one
+    /// internal invariant a deserializer could otherwise violate. Shared
+    /// by [`Histogram::from_json`] and the Prometheus exposition parser.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+    ) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        let mut total = 0u64;
+        for (i, c) in buckets {
+            if i >= N_BUCKETS {
+                return Err("histogram bucket index out of range".into());
+            }
+            h.buckets[i] += c;
+            total += c;
+        }
+        if total != h.count {
+            return Err(format!(
+                "histogram bucket counts sum to {total}, \"count\" says {}",
+                h.count
+            ));
+        }
+        Ok(h)
+    }
+
     /// Rebuilds a histogram from [`Histogram::to_json`] output.
     pub fn from_json(v: &Json) -> Result<Histogram, String> {
         let field = |name: &str| {
@@ -255,16 +311,11 @@ impl Histogram {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("histogram missing {name:?}"))
         };
-        let mut h = Histogram::new();
-        h.count = field("count")?;
-        h.sum = field("sum")?;
-        h.min = field("min")?;
-        h.max = field("max")?;
         let buckets = v
             .get("buckets")
             .and_then(Json::as_arr)
             .ok_or("histogram missing \"buckets\"")?;
-        let mut total = 0u64;
+        let mut pairs = Vec::with_capacity(buckets.len());
         for pair in buckets {
             let pair = pair
                 .as_arr()
@@ -277,16 +328,15 @@ impl Histogram {
             let c = pair[1]
                 .as_u64()
                 .ok_or("histogram bucket count not an integer")?;
-            h.buckets[i] += c;
-            total += c;
+            pairs.push((i, c));
         }
-        if total != h.count {
-            return Err(format!(
-                "histogram bucket counts sum to {total}, \"count\" says {}",
-                h.count
-            ));
-        }
-        Ok(h)
+        Histogram::from_parts(
+            field("count")?,
+            field("sum")?,
+            field("min")?,
+            field("max")?,
+            pairs,
+        )
     }
 }
 

@@ -42,6 +42,7 @@ pub mod json;
 pub mod merge;
 pub mod recorder;
 pub mod report;
+pub mod snapshot;
 pub mod span;
 pub mod timeline;
 
@@ -55,6 +56,7 @@ pub use report::{
     ClusterStats, DatasetInfo, EnvFingerprint, NetworkCost, QualityStats, RunReport, SiteStats,
     TransferStats, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
+pub use snapshot::{delta, SnapshotEngine, SnapshotIdentity, TelemetrySnapshot};
 pub use span::Span;
 pub use timeline::chrome_trace;
 

@@ -1,0 +1,128 @@
+//! Properties of the live telemetry plane: the Prometheus exposition
+//! encoder is exactly invertible, and snapshot deltas taken in order
+//! from one live recorder are non-negative in every cell.
+
+use std::sync::Arc;
+
+use dbdc_obs::snapshot::{delta, SnapshotEngine, TelemetrySnapshot};
+use dbdc_obs::{Recorder, RecordingRecorder};
+use proptest::prelude::*;
+
+/// A small fixed pool of scope names shaped like the real ones,
+/// including characters the label escaper must handle.
+const SCOPES: [&str; 5] = [
+    "net/server",
+    "net/site[0]/LOCAL_MODEL",
+    "local[3]",
+    "shared",
+    "odd\"name\\with/escapes",
+];
+
+const HIST_SCOPES: [&str; 3] = ["net/frame_write_ns", "net/session_ns", "dsu_batch_ops"];
+
+/// One recorded operation: which scope, and what to add where.
+type Op = (usize, usize, u64, u64);
+
+/// Applies `ops` to a live recorder the way instrumented code would:
+/// counter adds spread over several accessor kinds, plus histogram
+/// samples.
+fn apply_ops(rec: &dyn Recorder, ops: &[Op]) {
+    for &(scope, kind, a, b) in ops {
+        let sheet = rec.sheet(SCOPES[scope % SCOPES.len()]).unwrap();
+        match kind % 4 {
+            0 => sheet.add_frame_sent(a, b.min(a)),
+            1 => sheet.record_range(a, b),
+            2 => sheet.add_retry(std::time::Duration::from_nanos(a)),
+            _ => sheet.add_faults(a % 3, b % 3, a % 2, b % 2),
+        }
+        if kind % 3 == 0 {
+            rec.hist(HIST_SCOPES[scope % HIST_SCOPES.len()])
+                .unwrap()
+                .record(a.wrapping_mul(31) % 1_000_000);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rendering a snapshot to Prometheus text and parsing it back
+    /// reproduces the snapshot exactly: every counter cell, the scope
+    /// order, every histogram bucket, identity, and uptime.
+    #[test]
+    fn exposition_round_trip_is_exact(
+        ops in prop::collection::vec((0usize..8, 0usize..8, 0u64..100_000, 0u64..1_000), 0..60),
+        with_identity in prop::bool::ANY,
+    ) {
+        let rec = Arc::new(RecordingRecorder::new());
+        apply_ops(&*rec, &ops);
+        let engine = if with_identity {
+            SnapshotEngine::new(rec).with_identity("server", Some("run-7".into()), "server")
+        } else {
+            SnapshotEngine::new(rec)
+        };
+        let snap = engine.snapshot();
+        let text = snap.to_prometheus();
+        let back = TelemetrySnapshot::from_prometheus(&text).expect("parse own output");
+        prop_assert_eq!(&back.counters, &snap.counters);
+        prop_assert_eq!(&back.hists, &snap.hists);
+        prop_assert_eq!(&back.identity, &snap.identity);
+        prop_assert_eq!(back.uptime_us, snap.uptime_us);
+    }
+
+    /// Snapshots of one live engine taken in order only ever grow:
+    /// `delta(a, b)` is non-negative per cell for ANY ordered pair from
+    /// the sequence, not just adjacent ones — the per-location
+    /// monotonicity guarantee the watch renderer's rates rely on.
+    #[test]
+    fn delta_is_non_negative_per_cell(
+        batches in prop::collection::vec(
+            prop::collection::vec((0usize..8, 0usize..8, 0u64..100_000, 0u64..1_000), 0..10),
+            1..8,
+        ),
+        pick in (0usize..64, 0usize..64),
+    ) {
+        let rec = Arc::new(RecordingRecorder::new());
+        let engine = SnapshotEngine::new(Arc::clone(&rec));
+        let mut snaps = vec![engine.snapshot()];
+        for batch in &batches {
+            apply_ops(&*rec, batch);
+            snaps.push(engine.snapshot());
+        }
+        let i = pick.0 % snaps.len();
+        let j = pick.1 % snaps.len();
+        let (i, j) = (i.min(j), i.max(j));
+        let d = delta(&snaps[i], &snaps[j]);
+        // Saturating subtraction can only mask a violation by producing
+        // zero where the true difference was negative — so check the
+        // cells really are cur - prev, per scope and field.
+        for (scope, dc) in &d.counters {
+            let cur = snaps[j].counters_for(scope).expect("scope in cur");
+            let prev = snaps[i].counters_for(scope).copied().unwrap_or_default();
+            for ((dv, cv), pv) in dc.values().iter().zip(cur.values()).zip(prev.values()) {
+                prop_assert!(cv >= pv, "cell went backwards in {}", scope);
+                prop_assert_eq!(*dv, cv - pv);
+            }
+        }
+        prop_assert!(d.uptime_us <= snaps[j].uptime_us);
+        // Histogram windows shrink to exactly the samples in between.
+        for (scope, dh) in &d.hists {
+            let cur = snaps[j].hist_for(scope).expect("hist in cur");
+            let prev_count = snaps[i].hist_for(scope).map(|h| h.count()).unwrap_or(0);
+            prop_assert_eq!(dh.count(), cur.count() - prev_count);
+        }
+        // Adjacent deltas telescope: summing the windows reproduces the
+        // endpoints' difference in every counter cell.
+        if snaps.len() >= 2 {
+            let mut acc = vec![0u64; 29];
+            for w in snaps.windows(2) {
+                let d = delta(&w[0], &w[1]);
+                for (cell, v) in acc.iter_mut().zip(d.total().values()) {
+                    *cell += v;
+                }
+            }
+            let full = delta(&snaps[0], &snaps[snaps.len() - 1]);
+            prop_assert_eq!(acc, full.total().values().to_vec());
+        }
+    }
+}
