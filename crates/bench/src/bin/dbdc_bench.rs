@@ -8,12 +8,22 @@
 //!
 //! * `…/total_ns` — protocol wall time (min over [`RUNS_PER_SAMPLE`]
 //!   back-to-back runs);
+//! * `…/build_ns` — the slowest site's index-construction wall of the
+//!   same runs (min across the sample's runs, like `total_ns`), so a
+//!   regression in arena construction is visible separately from the
+//!   query-dominated total;
 //! * `…/eps_range_ns` — the *median per-query ε-range latency* of one
 //!   latency-observed protocol run (all `local[i]/eps_range_ns` site
 //!   histograms merged, then collapsed to their p50). The within-run
 //!   median is already robust over thousands of queries, so one
 //!   observed run per repetition suffices, and the across-rep spread
 //!   stays tight enough for `report diff` to gate on.
+//!
+//! A second sweep covers the partitioned local phase: every dataset ×
+//! index at `--threads 2` with [`PARTITIONS`] spatial stripes per site,
+//! as `{set}/{kind}/t2/p{P}/total_ns` cells (partitioned mode builds
+//! one private index per stripe, so there is no site-wide build wall to
+//! sample).
 //!
 //! The report also carries a `quality` block: one DBCV score of the
 //! distributed clustering per dataset (stored in `per_site` as
@@ -53,6 +63,9 @@ use dbdc_obs::{DatasetInfo, Histogram, NoopRecorder, QualityStats, RecordingReco
 
 /// Thread counts each (dataset, index) pair is swept over.
 const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Partition counts of the partitioned-local sweep (at `--threads 2`).
+const PARTITIONS: [usize; 2] = [2, 4];
 
 /// Quick mode keeps this many points per dataset. Sized so each cell
 /// runs long enough (tens of milliseconds) that millisecond-scale OS
@@ -162,7 +175,7 @@ fn main() {
 
     // Cell name → histogram of per-repetition protocol walls.
     let mut cells: BTreeMap<String, Histogram> = BTreeMap::new();
-    let n_cells = sets.len() * IndexKind::ALL.len() * THREADS.len();
+    let n_cells = sets.len() * IndexKind::ALL.len() * (THREADS.len() + PARTITIONS.len());
     eprintln!(
         "dbdc-bench: {n_cells} cells x {} reps ({} mode, {total_points} points total)",
         cli.reps,
@@ -181,6 +194,7 @@ fn main() {
                         .with_threads(threads);
                     let runs = if rep == 0 { 1 } else { RUNS_PER_SAMPLE };
                     let mut wall = Duration::MAX;
+                    let mut build = Duration::MAX;
                     for _ in 0..runs {
                         let t0 = Instant::now();
                         let outcome = run_dbdc(
@@ -190,6 +204,17 @@ fn main() {
                             SITES,
                         );
                         wall = wall.min(t0.elapsed());
+                        // The slowest site's index-construction wall: the
+                        // build cost on the protocol's critical path.
+                        build = build.min(
+                            outcome
+                                .timings
+                                .build
+                                .iter()
+                                .copied()
+                                .max()
+                                .unwrap_or(Duration::ZERO),
+                        );
                         std::hint::black_box(&outcome.assignment);
                     }
                     if rep == 0 {
@@ -197,6 +222,8 @@ fn main() {
                     }
                     let cell = format!("{}/{}/t{}/total_ns", set.name, kind.name(), threads);
                     cells.entry(cell).or_default().record_duration(wall);
+                    let cell = format!("{}/{}/t{}/build_ns", set.name, kind.name(), threads);
+                    cells.entry(cell).or_default().record_duration(build);
                     // One latency-observed run per repetition: merge the
                     // per-site ε-range query histograms and record their
                     // median as this rep's eps_range_ns sample.
@@ -220,6 +247,34 @@ fn main() {
                             format!("{}/{}/t{}/eps_range_ns", set.name, kind.name(), threads);
                         cells.entry(cell).or_default().record(merged.p50());
                     }
+                }
+                // The partitioned-local sweep: each site striped into P
+                // ε-halo'd partitions, one private index per stripe, two
+                // workers. The clustering is identical to the cells
+                // above; only the wall should move.
+                for parts in PARTITIONS {
+                    let params = DbdcParams::new(set.eps, set.min_pts)
+                        .with_index(kind)
+                        .with_threads(2)
+                        .with_partitions(parts);
+                    let runs = if rep == 0 { 1 } else { RUNS_PER_SAMPLE };
+                    let mut wall = Duration::MAX;
+                    for _ in 0..runs {
+                        let t0 = Instant::now();
+                        let outcome = run_dbdc(
+                            &set.data,
+                            &params,
+                            Partitioner::RandomEqual { seed: 11 },
+                            SITES,
+                        );
+                        wall = wall.min(t0.elapsed());
+                        std::hint::black_box(&outcome.assignment);
+                    }
+                    if rep == 0 {
+                        continue;
+                    }
+                    let cell = format!("{}/{}/t2/p{}/total_ns", set.name, kind.name(), parts);
+                    cells.entry(cell).or_default().record_duration(wall);
                 }
             }
         }

@@ -72,10 +72,12 @@ commands:
       central DBSCAN over a CSV point file
   run --input FILE --eps E --min-pts M --sites K [--model scor|kmeans]
       [--eps-global MULT|max] [--partitioner random|roundrobin|stripes]
-      [--seed N] [--threaded] [--threads T] [--out FILE]
+      [--seed N] [--threaded] [--threads T] [--partitions P]
+      [--precision f64|f32] [--out FILE]
       the DBDC protocol over K simulated sites
   compare --input FILE --eps E --min-pts M --sites K [--model scor|kmeans]
-      [--eps-global MULT|max] [--seed N] [--threads T]
+      [--eps-global MULT|max] [--seed N] [--threads T] [--partitions P]
+      [--precision f64|f32]
       run both and report the paper's quality measures
   tune --input FILE --eps E --min-pts M --sites K [--model scor|kmeans]
       [--candidates LIST] [--partitioner ...] [--seed N] [--threads T]
@@ -135,6 +137,13 @@ commands:
 KIND: linear|grid|kdtree|rstar (default rstar)
 T: DBSCAN worker threads; 1 = sequential (default), 0 = all cores.
    The clustering is identical for every value.
+P: spatial partitions per site's local phase; 1 = one index over the
+   whole shard (default), 0 = one partition per worker thread. Each
+   partition is an ε-halo'd stripe along the shard's widest-spread axis
+   with its own private index; labels are identical for every value.
+--precision f32 stores index coordinates as f32 (half the scan
+   bandwidth); approximate near the ε boundary, so `run` also executes
+   the f64 oracle and reports label agreement plus the DBCV delta.
 
 observability (every command):
   --trace              print the phase-span tree and counter scopes
@@ -295,6 +304,8 @@ fn cmd_run(raw: &[String]) -> CliResult {
             "seed",
             "threaded",
             "threads",
+            "partitions",
+            "precision",
             "index",
             "out",
             "trace",
@@ -341,6 +352,23 @@ fn cmd_run(raw: &[String]) -> CliResult {
         fmt_ms(outcome.timings.global),
         fmt_ms(outcome.timings.dbdc_total())
     );
+    // --precision f32 is approximate near the ε boundary, so the run is
+    // judged against the bit-exact f64 oracle: the same data, partitioner,
+    // and parameters, with only the scan precision flipped back.
+    let oracle = (params.precision == dbdc_index::Precision::F32).then(|| {
+        let oracle_params = params.with_precision(dbdc_index::Precision::F64);
+        if args.switch("threaded") {
+            run_dbdc_threaded_recorded(&data, &oracle_params, part, sites, &NoopRecorder)
+        } else {
+            run_dbdc_recorded(&data, &oracle_params, part, sites, &NoopRecorder)
+        }
+    });
+    let agreement = oracle
+        .as_ref()
+        .map(|o| label_agreement(&outcome.assignment, &o.assignment));
+    if let Some(frac) = agreement {
+        println!("f32 vs f64 oracle: {:.2}% label agreement", 100.0 * frac);
+    }
     if wants {
         // DBCV is the ground-truth-free validity of the final labeling;
         // computed only when a report is requested (it reads the whole
@@ -359,10 +387,57 @@ fn cmd_run(raw: &[String]) -> CliResult {
             Some(link),
             args.get("run-id").map(String::from),
         );
+        if let (Some(frac), Some(o)) = (agreement, &oracle) {
+            let oracle_q = quality_stats(&data, &o.assignment, params.index, &NoopRecorder);
+            let delta = quality.dbcv - oracle_q.dbcv;
+            println!(
+                "f32 DBCV {:+.4} vs f64 oracle {:+.4} (delta {:+.4})",
+                quality.dbcv, oracle_q.dbcv, delta
+            );
+            report
+                .params
+                .push(("f32_label_agreement".into(), format!("{frac:.6}")));
+            report
+                .params
+                .push(("f32_dbcv_delta".into(), format!("{delta:+.6}")));
+        }
         report.quality = Some(quality);
         finish_report(&args, &report)?;
     }
     write_output(&args, &data, &outcome.assignment)
+}
+
+/// Fraction of points on which two clusterings agree, under the greedy
+/// first-occurrence bijection between their cluster ids: noise must map
+/// to noise, and two clustered points agree only while the id mapping
+/// stays one-to-one in both directions.
+fn label_agreement(a: &dbdc_geom::Clustering, b: &dbdc_geom::Clustering) -> f64 {
+    use std::collections::HashMap;
+    assert_eq!(
+        a.labels().len(),
+        b.labels().len(),
+        "clusterings must cover the same points"
+    );
+    if a.labels().is_empty() {
+        return 1.0;
+    }
+    let mut fwd: HashMap<u32, u32> = HashMap::new();
+    let mut rev: HashMap<u32, u32> = HashMap::new();
+    let mut same = 0usize;
+    for (la, lb) in a.labels().iter().zip(b.labels()) {
+        match (la.cluster(), lb.cluster()) {
+            (None, None) => same += 1,
+            (Some(ca), Some(cb)) => {
+                let f = *fwd.entry(ca).or_insert(cb);
+                let r = *rev.entry(cb).or_insert(ca);
+                if f == cb && r == ca {
+                    same += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    same as f64 / a.labels().len() as f64
 }
 
 fn cmd_compare(raw: &[String]) -> CliResult {
@@ -377,6 +452,8 @@ fn cmd_compare(raw: &[String]) -> CliResult {
             "eps-global",
             "seed",
             "threads",
+            "partitions",
+            "precision",
             "index",
             "trace",
             "metrics-out",

@@ -76,7 +76,7 @@ usage: dbdc-site --input FILE --site I --sites K --eps E --min-pts M
                            must match every other site so the derived
                            partitions are disjoint and complete
     [--model scor|kmeans] [--eps-global MULT|max] [--index KIND]
-    [--threads T]
+    [--threads T] [--partitions P] [--precision f64|f32]
     [--retries N]          session attempts (default 5)
     [--retry-base-ms N] [--retry-max-ms N]
                            backoff start/ceiling (default 50/800)
@@ -316,6 +316,8 @@ pub fn cmd_site(raw: &[String]) -> CliResult {
             "eps-global",
             "index",
             "threads",
+            "partitions",
+            "precision",
             "partitioner",
             "seed",
             "connect",

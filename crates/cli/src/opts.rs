@@ -126,15 +126,19 @@ pub fn parse_partitioner(
 }
 
 /// Builds the full [`DbdcParams`] from `--eps`, `--min-pts`, and the
-/// optional model/index/threads flags.
+/// optional model/index/threads/partitions/precision flags.
 pub fn build_params(args: &Args) -> Result<DbdcParams, Box<dyn std::error::Error>> {
     let eps: f64 = args.require_as("eps")?;
     let min_pts: usize = args.require_as("min-pts")?;
     let index: dbdc_index::IndexKind = args.get_or("index", dbdc_index::IndexKind::RStar)?;
     let threads: usize = args.get_or("threads", 1)?;
+    let partitions: usize = args.get_or("partitions", 1)?;
+    let precision: dbdc_index::Precision = args.get_or("precision", dbdc_index::Precision::F64)?;
     Ok(DbdcParams::new(eps, min_pts)
         .with_eps_global(parse_eps_global(args)?)
         .with_model(parse_model(args)?)
         .with_index(index)
-        .with_threads(threads))
+        .with_threads(threads)
+        .with_partitions(partitions)
+        .with_precision(precision))
 }

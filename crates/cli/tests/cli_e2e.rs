@@ -494,7 +494,7 @@ fn quality_block_gates_end_to_end() {
         .expect("binary runs")
         .success());
 
-    // `run --metrics-out` emits a schema-v4 report with a finite DBCV.
+    // `run --metrics-out` emits a schema-v5 report with a finite DBCV.
     let out = bin()
         .args(["run", "--input"])
         .arg(&csv)
@@ -510,7 +510,7 @@ fn quality_block_gates_end_to_end() {
     );
     let report = dbdc_obs::RunReport::parse(&std::fs::read_to_string(&json).expect("json written"))
         .expect("report parses");
-    assert_eq!(report.schema_version, 4);
+    assert_eq!(report.schema_version, 5);
     let quality = report.quality.clone().expect("run report carries quality");
     assert!(
         quality.dbcv.is_finite() && (-1.0..=1.0).contains(&quality.dbcv),

@@ -224,7 +224,7 @@ fn separate_processes_match_in_process_runtime() {
 
     // --- distributed telemetry: merge the five reports via the CLI ---
     let report = merge_reports_via_cli(&server_report, &site_reports, &merged_path);
-    assert_eq!(report.schema_version, 4, "merged report is schema v4");
+    assert_eq!(report.schema_version, 5, "merged report is schema v5");
     assert_eq!(report.role.as_deref(), Some("merged"));
     assert_eq!(report.run_id.as_deref(), Some("e2e-clean"));
 

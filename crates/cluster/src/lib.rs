@@ -18,6 +18,9 @@
 //! * [`mod@par_dbscan`] — deterministic parallel DBSCAN: concurrent
 //!   ε-range queries on a scoped worker pool, core merging through a
 //!   [`union_find::UnionFind`], output bit-identical to [`dbscan::dbscan`].
+//! * [`mod@partitioned`] — partitioned local DBSCAN: spatial stripes
+//!   with ε-halos, a private index per partition, per-partition workers,
+//!   labels identical to [`dbscan::dbscan`] at every partition count.
 //! * [`mod@dbcv`] — the DBCV relative validity index \[Moulavi et al. 14\],
 //!   the ground-truth-free quality signal for unlabeled workloads.
 
@@ -29,6 +32,7 @@ pub mod kmeans;
 pub mod metric_dbscan;
 pub mod optics;
 pub mod par_dbscan;
+pub mod partitioned;
 pub mod scp;
 pub mod singlelink;
 pub mod union_find;
@@ -43,6 +47,11 @@ pub use optics::{extract_dbscan, optics, OpticsResult};
 pub use par_dbscan::{
     effective_threads, par_dbscan, par_dbscan_instrumented, par_dbscan_observed,
     par_dbscan_with_scp, parallel_neighborhoods,
+};
+pub use partitioned::{
+    effective_partitions, partitioned_dbscan, partitioned_dbscan_with_scp,
+    partitioned_dbscan_with_scp_observed, partitioned_neighborhoods,
+    partitioned_neighborhoods_observed, PartitionStats,
 };
 pub use scp::{dbscan_with_scp, ScpResult, SpecificCorePoint};
 pub use singlelink::{single_link, Dendrogram, Merge};

@@ -191,11 +191,22 @@ pub fn par_dbscan_instrumented(
         "index must be built over the clustered dataset"
     );
     let neighbors = parallel_neighborhoods(data, index, params.eps, threads);
-    let n = data.len();
-    let core: Vec<bool> = neighbors
-        .iter()
-        .map(|ns| ns.len() >= params.min_pts)
-        .collect();
+    cluster_from_neighborhoods(data.len(), &neighbors, params.min_pts, sheet, hist)
+}
+
+/// Steps 2-4 of the module algorithm: core flags, core-core merge, and
+/// canonicalization over already-computed neighborhoods. The labels
+/// depend only on the neighbor *sets*, not their list order (see the
+/// module docs), so callers may hand in neighborhoods in any per-list
+/// order — the partitioned local phase sorts its lists ascending.
+pub(crate) fn cluster_from_neighborhoods(
+    n: usize,
+    neighbors: &[Vec<u32>],
+    min_pts: usize,
+    sheet: Option<&dbdc_obs::CounterSheet>,
+    hist: Option<&dbdc_obs::HistSheet>,
+) -> DbscanResult {
+    let core: Vec<bool> = neighbors.iter().map(|ns| ns.len() >= min_pts).collect();
 
     // Merge ε-adjacent cores. Neighborhoods are symmetric, so scanning
     // each core's own list covers every core-core edge. The loop is
@@ -316,7 +327,18 @@ pub fn par_dbscan_with_scp(
 /// `index.range(...)` replaced by a cached lookup; `range_queries`
 /// counts the queries the sequential run would have issued, so the two
 /// results compare equal field by field.
-fn replay_scp(data: &Dataset, neighborhoods: &[Vec<u32>], params: &DbscanParams) -> ScpResult {
+///
+/// The clustering *labels* depend only on the neighbor sets (cluster
+/// creation order is outer-loop order, border claims go to the
+/// earliest-created cluster); the *specific core point* selection does
+/// depend on each list's internal order, so callers feeding reordered
+/// lists (the partitioned local phase) get identical labels but
+/// possibly different — still deterministic — representatives.
+pub(crate) fn replay_scp(
+    data: &Dataset,
+    neighborhoods: &[Vec<u32>],
+    params: &DbscanParams,
+) -> ScpResult {
     let n = data.len();
     let mut state = vec![UNCLASSIFIED; n];
     let mut core = vec![false; n];

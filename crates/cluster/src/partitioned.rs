@@ -1,0 +1,438 @@
+//! Partitioned local DBSCAN: spatial stripes with ε-halos.
+//!
+//! [`par_dbscan`](mod@crate::par_dbscan) parallelizes the ε-range queries
+//! against one shared index. This module instead partitions the points
+//! into spatial stripes along the widest-spread axis, replicates an
+//! ε-halo of foreign points into each stripe, builds a *private* index
+//! per partition, and runs the queries of each partition on its own
+//! worker. That bounds every index to a fraction of the data (better
+//! locality, smaller build) and removes all sharing between workers
+//! except the final merge — the shape a per-site scale-out needs.
+//!
+//! # Correctness
+//!
+//! For every Lp metric the per-axis distance never exceeds the true
+//! distance, so the full ε-neighborhood of a point owned by stripe `s`
+//! lies within `s`'s coordinate range extended by ε on both sides —
+//! exactly the stripe-plus-halo subset each partition receives. Each
+//! owned point's neighborhood is therefore *complete*, and after
+//! mapping subset-local ids back to site-local ids and sorting, the
+//! neighbor **sets** equal the unpartitioned index's answers.
+//!
+//! The clustering tail reuses `par_dbscan`'s order-independent steps
+//! (core flags, core-core union-find merge, canonicalization), so the
+//! labels are **identical** to sequential [`crate::dbscan::dbscan`] at
+//! every partition count — that identity is the correctness gate the
+//! tests pin. Specific-core-point selection is visit-order dependent
+//! (Definition 6), so [`partitioned_dbscan_with_scp`] replays the same
+//! sequential state machine over the sorted neighborhoods: its labels
+//! are again identical, while the chosen representatives may differ
+//! deterministically from the unpartitioned run's.
+
+use crate::dbscan::{DbscanParams, DbscanResult};
+use crate::par_dbscan::{cluster_from_neighborhoods, effective_threads, replay_scp};
+use crate::scp::ScpResult;
+use dbdc_geom::{Dataset, Euclidean};
+use dbdc_index::{build_index_opts, BuildOptions, IndexKind, Precision, QueryWorkspace};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Resolves a partition-count knob: `0` means "one partition per
+/// worker thread", anything else is taken literally. Always at least 1.
+pub fn effective_partitions(requested: usize, threads: usize) -> usize {
+    if requested == 0 {
+        effective_threads(threads)
+    } else {
+        requested
+    }
+}
+
+/// Telemetry of one partitioned run.
+#[derive(Debug, Clone)]
+pub struct PartitionStats {
+    /// Partitions actually used (after clamping to the point count).
+    pub partitions: usize,
+    /// Total points replicated into halos across all partitions.
+    pub halo_points: u64,
+    /// Per-partition wall time (index build + owned-point queries).
+    pub partition_times: Vec<Duration>,
+    /// Points owned by each partition.
+    pub partition_owned: Vec<usize>,
+    /// Halo points replicated into each partition.
+    pub partition_halo: Vec<usize>,
+}
+
+/// One stripe's slice of the axis-sorted order: it owns positions
+/// `[own_start, own_end)` and additionally sees the halo positions
+/// `[halo_start, own_start)` and `[own_end, halo_end)`.
+#[derive(Debug, Clone, Copy)]
+struct Stripe {
+    part: usize,
+    halo_start: usize,
+    own_start: usize,
+    own_end: usize,
+    halo_end: usize,
+}
+
+/// Computes every point's closed ε-neighborhood through per-partition
+/// indexes, with partitions processed concurrently on up to `threads`
+/// workers (`0` = all cores). Neighbor lists come back sorted
+/// ascending; as sets they equal the answers of one index over the
+/// whole dataset.
+pub fn partitioned_neighborhoods(
+    data: &Dataset,
+    kind: IndexKind,
+    eps: f64,
+    partitions: usize,
+    threads: usize,
+    precision: Precision,
+) -> (Vec<Vec<u32>>, PartitionStats) {
+    partitioned_neighborhoods_observed(data, kind, eps, partitions, threads, precision, None, None)
+}
+
+/// [`partitioned_neighborhoods`] with optional instrumentation shared
+/// by every partition's index: `sheet` collects query work counters,
+/// `hist` the per-query latency distribution. The sheets are lock-free,
+/// so partition workers record concurrently.
+#[allow(clippy::too_many_arguments)]
+pub fn partitioned_neighborhoods_observed(
+    data: &Dataset,
+    kind: IndexKind,
+    eps: f64,
+    partitions: usize,
+    threads: usize,
+    precision: Precision,
+    sheet: Option<&std::sync::Arc<dbdc_obs::CounterSheet>>,
+    hist: Option<&std::sync::Arc<dbdc_obs::HistSheet>>,
+) -> (Vec<Vec<u32>>, PartitionStats) {
+    let n = data.len();
+    let partitions = partitions.max(1).min(n.max(1));
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut stats = PartitionStats {
+        partitions,
+        halo_points: 0,
+        partition_times: vec![Duration::ZERO; partitions],
+        partition_owned: vec![0; partitions],
+        partition_halo: vec![0; partitions],
+    };
+    if n == 0 {
+        return (neighbors, stats);
+    }
+
+    // Stripe along the widest-spread axis: striping a degenerate axis
+    // (e.g. always axis 0 on data extended along axis 1) would give
+    // every partition a halo covering nearly the whole dataset.
+    let bbox = data.bounding_rect().expect("non-empty dataset");
+    let axis = (0..data.dim())
+        .max_by(|&a, &b| {
+            let wa = bbox.hi()[a] - bbox.lo()[a];
+            let wb = bbox.hi()[b] - bbox.lo()[b];
+            wa.total_cmp(&wb)
+        })
+        .expect("dataset has at least 1 dimension");
+
+    // Count-balanced stripes over the axis-sorted order (ties broken by
+    // id so the partitioning is fully deterministic).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        data.point(a)[axis]
+            .total_cmp(&data.point(b)[axis])
+            .then(a.cmp(&b))
+    });
+    let coord = |pos: usize| data.point(order[pos])[axis];
+    let per = n.div_ceil(partitions);
+    let mut stripes: Vec<Stripe> = Vec::with_capacity(partitions);
+    for p in 0..partitions {
+        let own_start = (p * per).min(n);
+        let own_end = ((p + 1) * per).min(n);
+        if own_start >= own_end {
+            continue;
+        }
+        // The halo is everything within ε of the stripe's coordinate
+        // range — contiguous in the sorted order, found by bisection.
+        let lo = coord(own_start) - eps;
+        let hi = coord(own_end - 1) + eps;
+        let halo_start = order[..own_start].partition_point(|&i| data.point(i)[axis] < lo);
+        let halo_end = own_end + order[own_end..].partition_point(|&i| data.point(i)[axis] <= hi);
+        stripes.push(Stripe {
+            part: p,
+            halo_start,
+            own_start,
+            own_end,
+            halo_end,
+        });
+        let halo = (own_start - halo_start) + (halo_end - own_end);
+        stats.partition_owned[p] = own_end - own_start;
+        stats.partition_halo[p] = halo;
+        stats.halo_points += halo as u64;
+    }
+
+    // One worker per partition (capped by `threads`); each builds the
+    // stripe's private index and answers its owned points' queries.
+    let workers = effective_threads(threads).min(stripes.len().max(1));
+    let run_stripe = |s: Stripe, ws: &mut QueryWorkspace| {
+        let t0 = Instant::now();
+        let sub_ids: Vec<u32> = order[s.halo_start..s.halo_end].to_vec();
+        let sub = data.subset(&sub_ids);
+        let opts = BuildOptions {
+            threads: 1,
+            precision,
+        };
+        let index = build_index_opts(kind, &sub, Euclidean, eps, opts, sheet, hist);
+        let mut lists: Vec<Vec<u32>> = Vec::with_capacity(s.own_end - s.own_start);
+        let mut buf: Vec<u32> = Vec::new();
+        for pos in s.own_start..s.own_end {
+            let local = (pos - s.halo_start) as u32;
+            index.range_with(sub.point(local), eps, &mut buf, ws);
+            let mut mapped: Vec<u32> = buf.iter().map(|&l| sub_ids[l as usize]).collect();
+            // Sorted lists make the neighborhoods canonical across
+            // backends and partition counts.
+            mapped.sort_unstable();
+            lists.push(mapped);
+        }
+        (lists, t0.elapsed())
+    };
+    if workers <= 1 {
+        let mut ws = QueryWorkspace::new();
+        for &s in &stripes {
+            let (lists, took) = run_stripe(s, &mut ws);
+            stats.partition_times[s.part] = took;
+            for (k, nb) in lists.into_iter().enumerate() {
+                neighbors[order[s.own_start + k] as usize] = nb;
+            }
+        }
+        return (neighbors, stats);
+    }
+    type StripeOut = Option<(Vec<Vec<u32>>, Duration)>;
+    let outs: Vec<Mutex<StripeOut>> = stripes.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = Mutex::new(0usize);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // One workspace (and one range buffer inside the
+                // closure) per worker for the whole run.
+                let mut ws = QueryWorkspace::new();
+                loop {
+                    let t = {
+                        let mut c = cursor.lock().expect("a partition worker panicked");
+                        let t = *c;
+                        *c += 1;
+                        t
+                    };
+                    let Some(&s) = stripes.get(t) else { break };
+                    let out = run_stripe(s, &mut ws);
+                    *outs[t].lock().expect("a partition worker panicked") = Some(out);
+                }
+            });
+        }
+    });
+    for (slot, &s) in outs.iter().zip(&stripes) {
+        let (lists, took) = slot
+            .lock()
+            .expect("a partition worker panicked")
+            .take()
+            .expect("every stripe was processed");
+        stats.partition_times[s.part] = took;
+        for (k, nb) in lists.into_iter().enumerate() {
+            neighbors[order[s.own_start + k] as usize] = nb;
+        }
+    }
+    (neighbors, stats)
+}
+
+/// Partitioned DBSCAN: stripes + halos + per-partition indexes, merged
+/// through the same union-find canonicalization as
+/// [`crate::par_dbscan::par_dbscan`]. Labels are identical to
+/// sequential [`crate::dbscan::dbscan`] for every backend, thread
+/// count, and partition count.
+pub fn partitioned_dbscan(
+    data: &Dataset,
+    kind: IndexKind,
+    params: &DbscanParams,
+    partitions: usize,
+    threads: usize,
+    precision: Precision,
+) -> (DbscanResult, PartitionStats) {
+    let (neighbors, stats) =
+        partitioned_neighborhoods(data, kind, params.eps, partitions, threads, precision);
+    let result = cluster_from_neighborhoods(data.len(), &neighbors, params.min_pts, None, None);
+    (result, stats)
+}
+
+/// Partitioned variant of [`crate::par_dbscan::par_dbscan_with_scp`]:
+/// identical labels, deterministic (but possibly different from the
+/// unpartitioned run's) specific-core-point representatives — see the
+/// module docs.
+pub fn partitioned_dbscan_with_scp(
+    data: &Dataset,
+    kind: IndexKind,
+    params: &DbscanParams,
+    partitions: usize,
+    threads: usize,
+    precision: Precision,
+) -> (ScpResult, PartitionStats) {
+    let (neighbors, stats) =
+        partitioned_neighborhoods(data, kind, params.eps, partitions, threads, precision);
+    (replay_scp(data, &neighbors, params), stats)
+}
+
+/// [`partitioned_dbscan_with_scp`] with optional instrumentation, as
+/// [`partitioned_neighborhoods_observed`].
+#[allow(clippy::too_many_arguments)]
+pub fn partitioned_dbscan_with_scp_observed(
+    data: &Dataset,
+    kind: IndexKind,
+    params: &DbscanParams,
+    partitions: usize,
+    threads: usize,
+    precision: Precision,
+    sheet: Option<&std::sync::Arc<dbdc_obs::CounterSheet>>,
+    hist: Option<&std::sync::Arc<dbdc_obs::HistSheet>>,
+) -> (ScpResult, PartitionStats) {
+    let (neighbors, stats) = partitioned_neighborhoods_observed(
+        data, kind, params.eps, partitions, threads, precision, sheet, hist,
+    );
+    (replay_scp(data, &neighbors, params), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::dbscan;
+    use dbdc_geom::Metric;
+    use dbdc_index::{LinearScan, NeighborIndex};
+
+    fn two_blobs_and_noise() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..120 {
+            let t = i as f64 * 0.37;
+            d.push(&[t.sin() * 2.0, t.cos() * 2.0]);
+            d.push(&[15.0 + t.cos() * 1.5, 1.0 + t.sin() * 1.5]);
+        }
+        for i in 0..20 {
+            let t = i as f64;
+            d.push(&[t * 3.1, 40.0 + (t * 0.7).sin() * 20.0]);
+        }
+        d
+    }
+
+    #[test]
+    fn labels_identical_to_sequential() {
+        let d = two_blobs_and_noise();
+        let idx = LinearScan::new(&d, Euclidean);
+        for (eps, min_pts) in [(0.8, 3), (5.0, 4)] {
+            let params = DbscanParams::new(eps, min_pts);
+            let seq = dbscan(&d, &idx, &params);
+            for kind in IndexKind::ALL {
+                for partitions in [1, 2, 3, 7] {
+                    let (par, stats) =
+                        partitioned_dbscan(&d, kind, &params, partitions, 2, Precision::F64);
+                    assert_eq!(
+                        seq.clustering, par.clustering,
+                        "kind={kind:?} partitions={partitions} eps={eps}"
+                    );
+                    assert_eq!(seq.core, par.core);
+                    assert_eq!(stats.partitions, partitions);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhoods_are_complete_and_sorted() {
+        let d = two_blobs_and_noise();
+        let idx = LinearScan::new(&d, Euclidean);
+        let eps = 1.2;
+        let (nb, stats) =
+            partitioned_neighborhoods(&d, IndexKind::KdTree, eps, 4, 2, Precision::F64);
+        assert!(stats.halo_points > 0, "ε-halos must replicate points");
+        assert_eq!(
+            stats.halo_points,
+            stats.partition_halo.iter().sum::<usize>() as u64
+        );
+        for i in 0..d.len() as u32 {
+            let mut want = idx.range_vec(d.point(i), eps);
+            want.sort_unstable();
+            assert_eq!(nb[i as usize], want, "point {i}");
+        }
+    }
+
+    #[test]
+    fn stripes_follow_the_widest_axis() {
+        // Data extended along axis 1; striping axis 0 would put every
+        // point into every halo. With the widest-spread axis the halo
+        // stays a thin band per boundary.
+        let mut d = Dataset::new(2);
+        for i in 0..400 {
+            d.push(&[(i % 7) as f64 * 0.01, i as f64 * 0.5]);
+        }
+        let (_, stats) = partitioned_neighborhoods(&d, IndexKind::Grid, 1.0, 4, 2, Precision::F64);
+        let owned: usize = stats.partition_owned.iter().sum();
+        assert_eq!(owned, d.len());
+        assert!(
+            (stats.halo_points as usize) < d.len() / 10,
+            "halo {} should be a thin band, not ~3x the dataset",
+            stats.halo_points
+        );
+    }
+
+    #[test]
+    fn halo_heavy_eps_still_identical() {
+        // ε wide enough that halos overlap several stripes.
+        let d = two_blobs_and_noise();
+        let idx = LinearScan::new(&d, Euclidean);
+        let params = DbscanParams::new(12.0, 3);
+        let seq = dbscan(&d, &idx, &params);
+        let (par, stats) = partitioned_dbscan(&d, IndexKind::RStar, &params, 6, 3, Precision::F64);
+        assert_eq!(seq.clustering, par.clustering);
+        assert!(stats.halo_points as usize > d.len() / 2);
+    }
+
+    #[test]
+    fn scp_labels_identical_and_ranges_cover() {
+        let d = two_blobs_and_noise();
+        let idx = LinearScan::new(&d, Euclidean);
+        let params = DbscanParams::new(0.8, 3);
+        let seq = dbscan(&d, &idx, &params);
+        let (scp, _) =
+            partitioned_dbscan_with_scp(&d, IndexKind::KdTree, &params, 3, 2, Precision::F64);
+        assert_eq!(seq.clustering, scp.dbscan.clustering);
+        // Every core point must be covered by a representative of its
+        // own cluster within the specific ε-range (Definition 7).
+        for i in 0..d.len() as u32 {
+            if !scp.dbscan.core[i as usize] {
+                continue;
+            }
+            let c = scp.dbscan.clustering.label(i).cluster().expect("core") as usize;
+            assert!(
+                scp.scp[c]
+                    .iter()
+                    .any(|s| Euclidean.dist(d.point(s.point), d.point(i)) <= s.eps_range),
+                "core {i} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_more_partitions_than_points() {
+        let empty = Dataset::new(2);
+        let params = DbscanParams::new(1.0, 2);
+        let (r, stats) = partitioned_dbscan(&empty, IndexKind::Grid, &params, 4, 2, Precision::F64);
+        assert!(r.clustering.is_empty());
+        assert_eq!(stats.halo_points, 0);
+
+        let d = Dataset::from_flat(2, vec![0.0, 0.0, 0.1, 0.0, 5.0, 5.0]);
+        let idx = LinearScan::new(&d, Euclidean);
+        let seq = dbscan(&d, &idx, &params);
+        let (r, stats) = partitioned_dbscan(&d, IndexKind::KdTree, &params, 9, 4, Precision::F64);
+        assert_eq!(seq.clustering, r.clustering);
+        assert_eq!(stats.partitions, 3, "clamped to the point count");
+    }
+
+    #[test]
+    fn effective_partitions_resolves_auto() {
+        assert_eq!(effective_partitions(3, 8), 3);
+        assert_eq!(effective_partitions(0, 5), 5);
+        assert!(effective_partitions(0, 0) >= 1);
+    }
+}

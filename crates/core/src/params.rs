@@ -1,6 +1,6 @@
 //! DBDC configuration.
 
-use dbdc_index::IndexKind;
+use dbdc_index::{IndexKind, Precision};
 
 /// Which local model the client sites build (Section 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -61,6 +61,20 @@ pub struct DbdcParams {
     /// ([`mod@dbdc_cluster::par_dbscan`]), with `0` meaning "all available
     /// cores". The clustering result is identical for every setting.
     pub threads: usize,
+    /// Spatial partitions for each site's local phase. `1` (the
+    /// default) clusters through one index over the site's whole shard;
+    /// any other value stripes the shard along its widest-spread axis
+    /// with ε-halos and runs one private index per partition
+    /// ([`mod@dbdc_cluster::partitioned`]), with `0` meaning "one
+    /// partition per worker thread". Labels are identical for every
+    /// setting.
+    pub partitions: usize,
+    /// Coordinate precision of the index scan path. The default
+    /// [`Precision::F64`] is bit-exact; the opt-in [`Precision::F32`]
+    /// halves scan bandwidth and is approximate near the ε boundary, so
+    /// runs report label agreement against the f64 oracle instead of
+    /// gating on identity.
+    pub precision: Precision,
 }
 
 impl DbdcParams {
@@ -84,6 +98,8 @@ impl DbdcParams {
             model: LocalModelKind::default(),
             index: IndexKind::default(),
             threads: 1,
+            partitions: 1,
+            precision: Precision::F64,
         }
     }
 
@@ -91,6 +107,20 @@ impl DbdcParams {
     /// [`DbdcParams::threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the local-phase partition count (builder style); see
+    /// [`DbdcParams::partitions`].
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Selects the scan-path precision (builder style); see
+    /// [`DbdcParams::precision`].
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -175,7 +205,13 @@ mod tests {
 
     #[test]
     fn threads_default_to_sequential() {
-        assert_eq!(DbdcParams::new(1.0, 3).threads, 1);
+        let p = DbdcParams::new(1.0, 3);
+        assert_eq!(p.threads, 1);
+        assert_eq!(p.partitions, 1);
+        assert_eq!(p.precision, Precision::F64);
+        let p = p.with_partitions(4).with_precision(Precision::F32);
+        assert_eq!(p.partitions, 4);
+        assert_eq!(p.precision, Precision::F32);
     }
 
     #[test]

@@ -78,8 +78,18 @@ pub fn run_pdbscan(data: &Dataset, params: &DbdcParams, workers: usize) -> Pdbsc
         };
     }
 
-    // --- Partition into stripes along axis 0 with eps halos. ---
-    let axis = 0;
+    // --- Partition into stripes along the widest-spread axis with eps
+    // halos. Striping a degenerate axis (data extended along another
+    // dimension) would replicate nearly the whole dataset into every
+    // halo.
+    let bbox = data.bounding_rect().expect("non-empty dataset");
+    let axis = (0..data.dim())
+        .max_by(|&a, &b| {
+            let wa = bbox.hi()[a] - bbox.lo()[a];
+            let wb = bbox.hi()[b] - bbox.lo()[b];
+            wa.total_cmp(&wb)
+        })
+        .expect("dataset has at least 1 dimension");
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| data.point(a)[axis].total_cmp(&data.point(b)[axis]));
     let per = n.div_ceil(workers);
@@ -306,6 +316,30 @@ mod tests {
         );
         assert_eq!(out.clustering.n_noise(), 0);
         assert!(out.halo_points > 0, "stripes must exchange halo points");
+    }
+
+    #[test]
+    fn stripes_follow_the_widest_axis() {
+        // Pathological for axis-0 striping: the data is a thin vertical
+        // column (tiny spread on axis 0, large spread on axis 1). Fixed
+        // stripes along axis 0 would put nearly every point within eps
+        // of every stripe boundary, replicating ~the whole dataset into
+        // each worker's halo; the widest-spread axis keeps the halo a
+        // thin band per boundary.
+        let mut d = Dataset::new(2);
+        for i in 0..600 {
+            d.push(&[(i % 5) as f64 * 0.02, i as f64 * 0.3]);
+        }
+        let p = params(1.0, 3);
+        let out = run_pdbscan(&d, &p, 4);
+        assert!(
+            out.halo_points < d.len() / 5,
+            "halo {} points on {} total: striping ignored the spread axis",
+            out.halo_points,
+            d.len()
+        );
+        // Still exact.
+        assert_exact(&d, &p, 4);
     }
 
     #[test]

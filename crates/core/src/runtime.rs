@@ -23,10 +23,12 @@ use crate::partition::Partitioner;
 use crate::relabel::relabel_site_observed;
 use crate::wire;
 use dbdc_cluster::{
-    dbscan, dbscan_with_scp, effective_threads, par_dbscan_instrumented, par_dbscan_with_scp,
-    DbscanParams, DbscanResult, ScpResult,
+    dbscan, dbscan_with_scp, effective_partitions, effective_threads, par_dbscan_instrumented,
+    par_dbscan_with_scp, partitioned_dbscan_with_scp_observed, DbscanParams, DbscanResult,
+    ScpResult,
 };
 use dbdc_geom::{Clustering, Dataset, Euclidean, Label};
+use dbdc_index::BuildOptions;
 use dbdc_obs::{NoopRecorder, Recorder, Span};
 use std::time::{Duration, Instant};
 
@@ -54,13 +56,20 @@ pub struct Timings {
     pub relabel: Vec<Duration>,
     /// Thread counts per phase.
     pub threads: PhaseThreads,
-    /// Per-site clustering sub-phase (index build + DBSCAN), a breakdown
-    /// of [`Timings::local`].
+    /// Per-site index-construction sub-phase, a breakdown of
+    /// [`Timings::local`]. Zero when the site ran partitioned (each
+    /// partition builds its own index inside [`Timings::partitions`]).
+    pub build: Vec<Duration>,
+    /// Per-site clustering sub-phase (DBSCAN over the built index,
+    /// excluding the index build), a breakdown of [`Timings::local`].
     pub cluster: Vec<Duration>,
     /// Per-site model-extraction sub-phase.
     pub extract: Vec<Duration>,
     /// Per-site wire-encoding sub-phase.
     pub encode: Vec<Duration>,
+    /// Per-site, per-partition wall times of the partitioned local
+    /// phase (empty inner vectors when a site ran unpartitioned).
+    pub partitions: Vec<Vec<Duration>>,
 }
 
 impl Timings {
@@ -87,9 +96,10 @@ impl Timings {
 
     /// The timings as a [`Span`] tree: a `dbdc` root (walled at
     /// [`Timings::dbdc_total_with_relabel`]) with one `local[i]` child
-    /// per site — each broken into `cluster`/`extract`/`encode` when the
-    /// sub-phase vectors are populated — then `global` and one
-    /// `relabel[i]` per site.
+    /// per site — each broken into `build`/`cluster` (plus one
+    /// `partition[j]` per spatial partition when the site ran
+    /// partitioned) /`extract`/`encode` when the sub-phase vectors are
+    /// populated — then `global` and one `relabel[i]` per site.
     pub fn to_span(&self) -> Span {
         let mut root = Span::new("dbdc", self.dbdc_total_with_relabel());
         for (i, &t) in self.local.iter().enumerate() {
@@ -98,7 +108,17 @@ impl Timings {
             if let (Some(&c), Some(&x), Some(&e)) =
                 (self.cluster.get(i), self.extract.get(i), self.encode.get(i))
             {
-                local.push(Span::new("cluster", c));
+                local.push(Span::new(
+                    "build",
+                    self.build.get(i).copied().unwrap_or(Duration::ZERO),
+                ));
+                let mut cluster = Span::new("cluster", c);
+                if let Some(parts) = self.partitions.get(i) {
+                    for (j, &pt) in parts.iter().enumerate() {
+                        cluster.push(Span::new(format!("partition[{j}]"), pt));
+                    }
+                }
+                local.push(cluster);
                 local.push(Span::new("extract", x));
                 local.push(Span::new("encode", e));
             }
@@ -174,18 +194,26 @@ impl DbdcOutcome {
 }
 
 /// Wall times of one site's local phase, total and by sub-phase.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct LocalTimes {
     total: Duration,
+    build: Duration,
     cluster: Duration,
     extract: Duration,
     encode: Duration,
+    /// Per-partition wall times; empty when the site ran unpartitioned.
+    partitions: Vec<Duration>,
 }
 
 /// One site's local phase: cluster, extract the model, encode it.
 /// Returns the encoded model bytes together with the site's clustering
 /// (which stays on the site for the relabel phase). Work counters land
 /// in the recorder's `local[site]` scope.
+///
+/// With [`DbdcParams::partitions`] resolving above 1 the site runs the
+/// partitioned execution path (stripes + ε-halos + one private index
+/// per partition); the labels are identical either way, and the halo
+/// replication volume lands in the site's `halo_points` counter.
 fn local_phase(
     site: u32,
     site_data: &Dataset,
@@ -196,18 +224,44 @@ fn local_phase(
     let eps_hist = rec.hist(&format!("local[{site}]/eps_range_ns"));
     let t0 = Instant::now();
     let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
-    let index = dbdc_index::build_index_instrumented(
-        params.index,
-        site_data,
-        Euclidean,
-        params.eps_local,
-        sheet.as_ref(),
-        eps_hist.as_ref(),
-    );
-    let scp = if params.threads == 1 {
-        dbscan_with_scp(site_data, index.as_ref(), &dbscan_params)
+    let partitions = effective_partitions(params.partitions, params.threads);
+    let (scp, t_build, partition_times) = if partitions > 1 {
+        let (scp, stats) = partitioned_dbscan_with_scp_observed(
+            site_data,
+            params.index,
+            &dbscan_params,
+            partitions,
+            params.threads,
+            params.precision,
+            sheet.as_ref(),
+            eps_hist.as_ref(),
+        );
+        if let Some(s) = &sheet {
+            s.add_halo_points(stats.halo_points);
+        }
+        // Each partition builds its own index inside its timed span;
+        // there is no site-wide build to report separately.
+        (scp, Duration::ZERO, stats.partition_times)
     } else {
-        par_dbscan_with_scp(site_data, index.as_ref(), &dbscan_params, params.threads)
+        let index = dbdc_index::build_index_opts(
+            params.index,
+            site_data,
+            Euclidean,
+            params.eps_local,
+            BuildOptions {
+                threads: effective_threads(params.threads),
+                precision: params.precision,
+            },
+            sheet.as_ref(),
+            eps_hist.as_ref(),
+        );
+        let t_build = t0.elapsed();
+        let scp = if params.threads == 1 {
+            dbscan_with_scp(site_data, index.as_ref(), &dbscan_params)
+        } else {
+            par_dbscan_with_scp(site_data, index.as_ref(), &dbscan_params, params.threads)
+        };
+        (scp, t_build, Vec::new())
     };
     let t_cluster = t0.elapsed();
     let model: LocalModel = build_local_model(params.model, site_data, &scp, site);
@@ -220,9 +274,11 @@ fn local_phase(
     }
     let times = LocalTimes {
         total: t_encode,
-        cluster: t_cluster,
+        build: t_build,
+        cluster: t_cluster - t_build,
         extract: t_extract - t_cluster,
         encode: t_encode - t_extract,
+        partitions: partition_times,
     };
     (scp, encoded, times)
 }
@@ -390,9 +446,14 @@ fn assemble(
             global: 1,
             relabel: sites_in_flight,
         },
+        build: locals.iter().map(|(_, _, t)| t.build).collect(),
         cluster: locals.iter().map(|(_, _, t)| t.cluster).collect(),
         extract: locals.iter().map(|(_, _, t)| t.extract).collect(),
         encode: locals.iter().map(|(_, _, t)| t.encode).collect(),
+        partitions: locals
+            .iter()
+            .map(|(_, _, t)| t.partitions.clone())
+            .collect(),
     };
     if rec.is_enabled() {
         // Phase walls as distributions *across sites*: with many sites
@@ -446,11 +507,15 @@ pub fn central_dbscan_recorded(
     let eps_hist = rec.hist("central/eps_range_ns");
     let t0 = Instant::now();
     let dbscan_params = DbscanParams::new(params.eps_local, params.min_pts_local);
-    let index = dbdc_index::build_index_instrumented(
+    let index = dbdc_index::build_index_opts(
         params.index,
         data,
         Euclidean,
         params.eps_local,
+        BuildOptions {
+            threads: effective_threads(params.threads),
+            precision: params.precision,
+        },
         sheet.as_ref(),
         eps_hist.as_ref(),
     );

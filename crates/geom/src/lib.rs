@@ -16,6 +16,7 @@ pub mod dataset;
 pub mod metric;
 pub mod normalize;
 pub mod point;
+pub mod precision;
 pub mod rect;
 pub mod svg;
 
@@ -26,4 +27,5 @@ pub use dataset::Dataset;
 pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, Minkowski, SquaredEuclidean};
 pub use normalize::Scaler;
 pub use point::Point;
+pub use precision::Precision;
 pub use rect::Rect;

@@ -19,7 +19,8 @@
 //! and verifying each candidate with the exact metric cannot miss a result.
 
 use crate::linear::ordered::F64;
-use crate::{scan_block, NeighborIndex};
+use crate::{scan_block, scan_block_f32, NeighborIndex};
+use crate::{Precision, QueryF32};
 use dbdc_geom::{Dataset, Metric};
 use dbdc_obs::CounterSheet;
 use std::collections::{BinaryHeap, HashMap};
@@ -54,9 +55,32 @@ pub struct GridIndex<'a, M> {
     cells: HashMap<Box<[i64]>, CellBlock>,
     /// Point ids, cell by cell (cells in lexicographic key order).
     ids: Vec<u32>,
-    /// Per-cell SoA coordinate blocks, same order as `ids`.
+    /// Per-cell SoA coordinate blocks, same order as `ids`. Empty when
+    /// the grid was built with [`Precision::F32`].
     coords: Vec<f64>,
+    /// `f32` twin of `coords`, populated instead of it under
+    /// [`Precision::F32`].
+    coords32: Vec<f32>,
+    precision: Precision,
     sheet: Option<Arc<CounterSheet>>,
+}
+
+/// Packs a run of buckets into the given disjoint arena slices; the
+/// parallel build hands each worker one run.
+fn pack_run(data: &Dataset, run: &[(Box<[i64]>, Vec<u32>)], ids: &mut [u32], coords: &mut [f64]) {
+    let dim = data.dim();
+    let mut i = 0usize;
+    let mut c = 0usize;
+    for (_, pts) in run {
+        ids[i..i + pts.len()].copy_from_slice(pts);
+        for d in 0..dim {
+            for &p in pts {
+                coords[c] = data.point(p)[d];
+                c += 1;
+            }
+        }
+        i += pts.len();
+    }
 }
 
 impl<'a, M: Metric> GridIndex<'a, M> {
@@ -65,6 +89,30 @@ impl<'a, M: Metric> GridIndex<'a, M> {
     /// # Panics
     /// Panics if `cell` is not finite and positive.
     pub fn new(data: &'a Dataset, metric: M, cell: f64) -> Self {
+        Self::with_options(data, metric, cell, 1, Precision::F64)
+    }
+
+    /// [`GridIndex::new`] with `threads` construction workers.
+    pub fn with_threads(data: &'a Dataset, metric: M, cell: f64, threads: usize) -> Self {
+        Self::with_options(data, metric, cell, threads, Precision::F64)
+    }
+
+    /// Builds the grid with `threads` construction workers and the
+    /// given scan-path precision. Bucketing and the key sort stay
+    /// sequential; the arena layout is then fully determined by a
+    /// prefix scan over the sorted buckets, so workers fill disjoint
+    /// arena ranges in parallel and the result is bit-identical at
+    /// every thread count.
+    ///
+    /// # Panics
+    /// Panics if `cell` is not finite and positive.
+    pub fn with_options(
+        data: &'a Dataset,
+        metric: M,
+        cell: f64,
+        threads: usize,
+        precision: Precision,
+    ) -> Self {
         assert!(
             cell.is_finite() && cell > 0.0,
             "grid cell size must be positive and finite"
@@ -81,32 +129,86 @@ impl<'a, M: Metric> GridIndex<'a, M> {
         // seeding; per-cell order stays insertion (ascending id) order.
         let mut buckets: Vec<(Box<[i64]>, Vec<u32>)> = buckets.into_iter().collect();
         buckets.sort_by(|a, b| a.0.cmp(&b.0));
+        let dim = data.dim();
+        let n = data.len();
         let mut cells = HashMap::with_capacity(buckets.len());
-        let mut ids: Vec<u32> = Vec::with_capacity(data.len());
-        let mut coords: Vec<f64> = Vec::with_capacity(data.len() * data.dim());
-        for (key, pts) in buckets {
-            let block = CellBlock {
-                start: ids.len() as u32,
-                len: pts.len() as u32,
-                coords: coords.len() as u32,
-            };
-            ids.extend_from_slice(&pts);
-            for d in 0..data.dim() {
-                for &i in &pts {
-                    coords.push(data.point(i)[d]);
-                }
-            }
-            cells.insert(key, block);
+        let mut off = 0u32;
+        for (key, pts) in &buckets {
+            cells.insert(
+                key.clone(),
+                CellBlock {
+                    start: off,
+                    len: pts.len() as u32,
+                    coords: off * dim as u32,
+                },
+            );
+            off += pts.len() as u32;
         }
-        Self {
+        let mut ids = vec![0u32; n];
+        let mut coords = vec![0.0f64; n * dim];
+        let workers = threads.max(1).min(buckets.len().max(1));
+        {
+            // Carve the arenas into disjoint runs of roughly equal
+            // point count; each worker packs one run.
+            let target = n.div_ceil(workers).max(1);
+            let mut bucket_rest: &[(Box<[i64]>, Vec<u32>)] = &buckets;
+            let mut ids_rest: &mut [u32] = &mut ids;
+            let mut coords_rest: &mut [f64] = &mut coords;
+            std::thread::scope(|s| {
+                while !bucket_rest.is_empty() {
+                    let mut take = 0usize;
+                    let mut pts = 0usize;
+                    while take < bucket_rest.len() && pts < target {
+                        pts += bucket_rest[take].1.len();
+                        take += 1;
+                    }
+                    let (run, br) = bucket_rest.split_at(take);
+                    bucket_rest = br;
+                    let (id_run, ir) = std::mem::take(&mut ids_rest).split_at_mut(pts);
+                    ids_rest = ir;
+                    let (coord_run, cr) = std::mem::take(&mut coords_rest).split_at_mut(pts * dim);
+                    coords_rest = cr;
+                    if workers <= 1 {
+                        pack_run(data, run, id_run, coord_run);
+                    } else {
+                        s.spawn(move || pack_run(data, run, id_run, coord_run));
+                    }
+                }
+            });
+        }
+        let mut grid = Self {
             data,
             metric,
             cell,
             cells,
             ids,
             coords,
+            coords32: Vec::new(),
+            precision,
             sheet: None,
+        };
+        if precision == Precision::F32 {
+            grid.coords32 = grid.coords.iter().map(|&x| x as f32).collect();
+            grid.coords = Vec::new();
         }
+        grid
+    }
+
+    /// Serializes the cell table and packed arenas to a stable bit
+    /// pattern. Test hook for the construction-identity gate.
+    #[doc(hidden)]
+    pub fn arena_bits(&self) -> Vec<u64> {
+        let mut v = Vec::new();
+        let mut entries: Vec<_> = self.cells.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for (k, b) in entries {
+            v.extend(k.iter().map(|&c| c as u64));
+            v.extend_from_slice(&[b.start as u64, b.len as u64, b.coords as u64]);
+        }
+        v.extend(self.ids.iter().map(|&i| i as u64));
+        v.extend(self.coords.iter().map(|c| c.to_bits()));
+        v.extend(self.coords32.iter().map(|c| c.to_bits() as u64));
+        v
     }
 
     /// Attaches a counter sheet recording per-query work.
@@ -182,19 +284,36 @@ impl<M: Metric> NeighborIndex for GridIndex<'_, M> {
     fn range(&self, q: &[f64], eps: f64, out: &mut Vec<u32>) {
         out.clear();
         let bound = self.metric.to_surrogate(eps);
+        // Cell lookup stays on f64 coordinates in both precisions;
+        // only the per-point candidate test narrows.
+        let q32 = match self.precision {
+            Precision::F32 => Some(QueryF32::new(q)),
+            Precision::F64 => None,
+        };
         let mut evals = 0u64;
         let visits = self.for_cells(q, eps, |b| {
             evals += b.len as u64;
             let (start, len, coords) = (b.start as usize, b.len as usize, b.coords as usize);
-            scan_block(
-                &self.metric,
-                q,
-                &self.ids[start..start + len],
-                &self.coords[coords..coords + self.data.dim() * len],
-                len,
-                bound,
-                out,
-            );
+            match &q32 {
+                None => scan_block(
+                    &self.metric,
+                    q,
+                    &self.ids[start..start + len],
+                    &self.coords[coords..coords + self.data.dim() * len],
+                    len,
+                    bound,
+                    out,
+                ),
+                Some(q32) => scan_block_f32(
+                    &self.metric,
+                    q32.as_slice(),
+                    &self.ids[start..start + len],
+                    &self.coords32[coords..coords + self.data.dim() * len],
+                    len,
+                    bound as f32,
+                    out,
+                ),
+            }
         });
         if let Some(s) = &self.sheet {
             s.record_range(evals, visits);
@@ -328,6 +447,40 @@ mod tests {
     fn rejects_zero_cell() {
         let d = Dataset::new(2);
         let _ = GridIndex::new(&d, Euclidean, 0.0);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let d = testutil::random_dataset(3000, 51);
+        let seq = GridIndex::new(&d, Euclidean, 2.5).arena_bits();
+        for threads in [2, 3, 8] {
+            let par = GridIndex::with_threads(&d, Euclidean, 2.5, threads).arena_bits();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn f32_range_matches_oracle_away_from_boundary() {
+        let d = testutil::random_dataset(600, 52);
+        let oracle = GridIndex::new(&d, Euclidean, 3.0);
+        let narrow = GridIndex::with_options(&d, Euclidean, 3.0, 2, Precision::F32);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in (0..d.len() as u32).step_by(9) {
+            for eps in [0.5, 3.0, 20.0] {
+                oracle.range(d.point(i), eps, &mut a);
+                narrow.range(d.point(i), eps, &mut b);
+                total += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(
+            agree * 100 >= total * 99,
+            "f32 agreement too low: {agree}/{total}"
+        );
     }
 
     #[test]

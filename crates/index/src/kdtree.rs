@@ -12,13 +12,19 @@
 //! distance via [`crate::dist_to_box`] (its heap stores distances).
 
 use crate::linear::ordered::F64;
-use crate::{dist_to_box, scan_block, with_scratch, NeighborIndex, QueryWorkspace};
+use crate::{dist_to_box, scan_block, scan_block_f32, with_scratch, NeighborIndex, QueryWorkspace};
+use crate::{Precision, QueryF32};
 use dbdc_geom::{Dataset, Metric, Rect};
 use dbdc_obs::CounterSheet;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 const LEAF_SIZE: usize = 16;
+
+/// Subtrees at or below this many points always build sequentially
+/// even when more workers are available — below it the splice overhead
+/// dominates the split work.
+const PAR_BUILD_CUTOFF: usize = 1024;
 
 /// One arena node. Children / block offsets are indices into the
 /// sibling arenas, so the whole tree lives in three contiguous `Vec`s.
@@ -40,6 +46,147 @@ enum FlatNode {
     },
 }
 
+/// The flat arenas of a built tree, separated from [`KdTree`] so the
+/// parallel build can grow disjoint subtrees in private arenas and
+/// splice them together afterwards.
+#[derive(Debug, Default)]
+struct KdArenas {
+    nodes: Vec<FlatNode>,
+    bounds: Vec<f64>,
+    ids: Vec<u32>,
+    coords: Vec<f64>,
+}
+
+impl KdArenas {
+    /// Appends `sub`'s arenas to `self`, rebasing every intra-arena
+    /// offset, and returns the new node id of `sub`'s root. The
+    /// sequential layout is strict preorder — a subtree occupies one
+    /// contiguous run of every arena — so appending a fully built
+    /// subtree here is byte-identical to having built it in place.
+    fn splice(&mut self, sub: KdArenas) -> u32 {
+        let node_base = self.nodes.len() as u32;
+        let ids_base = self.ids.len() as u32;
+        let coords_base = self.coords.len() as u32;
+        for n in sub.nodes {
+            self.nodes.push(match n {
+                FlatNode::Leaf { start, len, coords } => FlatNode::Leaf {
+                    start: start + ids_base,
+                    len,
+                    coords: coords + coords_base,
+                },
+                FlatNode::Inner { left, right } => FlatNode::Inner {
+                    left: left + node_base,
+                    right: right + node_base,
+                },
+            });
+        }
+        self.bounds.extend_from_slice(&sub.bounds);
+        self.ids.extend_from_slice(&sub.ids);
+        self.coords.extend_from_slice(&sub.coords);
+        node_base
+    }
+}
+
+/// The split axis of the sequential build: the widest dimension of the
+/// node's bounding box. The parallel build calls the same function so
+/// both pick identical axes.
+fn split_dim(data: &Dataset, bbox: &Rect) -> usize {
+    (0..data.dim())
+        .max_by(|&a, &b| {
+            let wa = bbox.hi()[a] - bbox.lo()[a];
+            let wb = bbox.hi()[b] - bbox.lo()[b];
+            wa.total_cmp(&wb)
+        })
+        .expect("dataset has at least 1 dimension")
+}
+
+/// One median split of `ids`, exactly as the sequential build performs
+/// it, returning both halves with their bounding boxes.
+#[allow(clippy::type_complexity)]
+fn split_ids<'i>(
+    data: &Dataset,
+    ids: &'i mut [u32],
+    bbox: &Rect,
+) -> (&'i mut [u32], Rect, &'i mut [u32], Rect) {
+    let dim = split_dim(data, bbox);
+    let mid = ids.len() / 2;
+    ids.select_nth_unstable_by(mid, |&a, &b| {
+        data.point(a)[dim].total_cmp(&data.point(b)[dim])
+    });
+    let (l, r) = ids.split_at_mut(mid);
+    let bl = Rect::bounding(l.iter().map(|&i| data.point(i))).expect("left split is non-empty");
+    let br = Rect::bounding(r.iter().map(|&i| data.point(i))).expect("right split is non-empty");
+    (l, bl, r, br)
+}
+
+/// Appends the subtree over `ids` (bounded by `bbox`) to the arenas
+/// and returns its node id. Children are appended after their parent,
+/// left subtree first, so leaf blocks land in traversal order.
+fn build_seq(data: &Dataset, out: &mut KdArenas, ids: &mut [u32], bbox: Rect) -> u32 {
+    let me = out.nodes.len() as u32;
+    out.bounds.extend_from_slice(bbox.lo());
+    out.bounds.extend_from_slice(bbox.hi());
+    if ids.len() <= LEAF_SIZE {
+        let start = out.ids.len() as u32;
+        let coords = out.coords.len() as u32;
+        out.ids.extend_from_slice(ids);
+        for d in 0..data.dim() {
+            for &i in ids.iter() {
+                out.coords.push(data.point(i)[d]);
+            }
+        }
+        out.nodes.push(FlatNode::Leaf {
+            start,
+            len: ids.len() as u32,
+            coords,
+        });
+        return me;
+    }
+    let (l, bl, r, br) = split_ids(data, ids, &bbox);
+    // Reserve the parent slot, then append both subtrees and patch the
+    // child ids in.
+    out.nodes.push(FlatNode::Inner { left: 0, right: 0 });
+    let left = build_seq(data, out, l, bl);
+    let right = build_seq(data, out, r, br);
+    out.nodes[me as usize] = FlatNode::Inner { left, right };
+    me
+}
+
+/// Parallel build: splits exactly like [`build_seq`], hands the left
+/// half to a scoped worker while the current thread takes the right,
+/// then splices the finished subtree arenas back in preorder. Because
+/// the split and the subtree layouts are deterministic, the output is
+/// bit-identical to the sequential build at every `threads` value.
+fn build_par(
+    data: &Dataset,
+    out: &mut KdArenas,
+    ids: &mut [u32],
+    bbox: Rect,
+    threads: usize,
+) -> u32 {
+    if threads <= 1 || ids.len() <= PAR_BUILD_CUTOFF.max(LEAF_SIZE) {
+        return build_seq(data, out, ids, bbox);
+    }
+    let me = out.nodes.len() as u32;
+    out.bounds.extend_from_slice(bbox.lo());
+    out.bounds.extend_from_slice(bbox.hi());
+    out.nodes.push(FlatNode::Inner { left: 0, right: 0 });
+    let (l, bl, r, br) = split_ids(data, ids, &bbox);
+    let lt = threads / 2;
+    let rt = threads - lt;
+    let mut la = KdArenas::default();
+    let mut ra = KdArenas::default();
+    std::thread::scope(|s| {
+        let lh = s.spawn(|| build_par(data, &mut la, l, bl, lt));
+        build_par(data, &mut ra, r, br, rt);
+        lh.join().expect("kd-tree build worker panicked");
+    });
+    let left = out.splice(la);
+    let right = out.splice(ra);
+    out.nodes[me as usize] = FlatNode::Inner { left, right };
+    me
+}
+
 /// A static, balanced kd-tree over a dataset, in flat arena storage.
 #[derive(Debug)]
 pub struct KdTree<'a, M> {
@@ -52,8 +199,13 @@ pub struct KdTree<'a, M> {
     bounds: Vec<f64>,
     /// Leaf point ids, concatenated in traversal (preorder) order.
     ids: Vec<u32>,
-    /// Per-leaf SoA coordinate blocks, same order as `ids`.
+    /// Per-leaf SoA coordinate blocks, same order as `ids`. Empty when
+    /// the tree was built with [`Precision::F32`].
     coords: Vec<f64>,
+    /// `f32` twin of `coords`, populated instead of it under
+    /// [`Precision::F32`].
+    coords32: Vec<f32>,
+    precision: Precision,
     dim: usize,
     sheet: Option<Arc<CounterSheet>>,
 }
@@ -62,19 +214,51 @@ impl<'a, M: Metric> KdTree<'a, M> {
     /// Builds the tree by recursive median splits along the widest
     /// dimension. `O(n log² n)` build via per-level selects.
     pub fn new(data: &'a Dataset, metric: M) -> Self {
-        let mut tree = Self {
-            data,
-            metric,
+        Self::with_options(data, metric, 1, Precision::F64)
+    }
+
+    /// [`KdTree::new`] with `threads` construction workers.
+    pub fn with_threads(data: &'a Dataset, metric: M, threads: usize) -> Self {
+        Self::with_options(data, metric, threads, Precision::F64)
+    }
+
+    /// Builds the tree with `threads` construction workers and the
+    /// given scan-path precision. Construction is bit-identical across
+    /// thread counts; under [`Precision::F32`] the leaf coordinate
+    /// blocks are narrowed to `f32` after the (still fully `f64`)
+    /// build, so the tree structure, bounds and id order are identical
+    /// to the `f64` tree — only the leaf candidate test is approximate.
+    pub fn with_options(
+        data: &'a Dataset,
+        metric: M,
+        threads: usize,
+        precision: Precision,
+    ) -> Self {
+        let mut arenas = KdArenas {
             nodes: Vec::new(),
             bounds: Vec::new(),
             ids: Vec::with_capacity(data.len()),
             coords: Vec::with_capacity(data.len() * data.dim()),
-            dim: data.dim(),
-            sheet: None,
         };
         if let Some(bbox) = data.bounding_rect() {
             let mut ids: Vec<u32> = (0..data.len() as u32).collect();
-            tree.build(&mut ids, bbox);
+            build_par(data, &mut arenas, &mut ids, bbox, threads.max(1));
+        }
+        let mut tree = Self {
+            data,
+            metric,
+            nodes: arenas.nodes,
+            bounds: arenas.bounds,
+            ids: arenas.ids,
+            coords: arenas.coords,
+            coords32: Vec::new(),
+            precision,
+            dim: data.dim(),
+            sheet: None,
+        };
+        if precision == Precision::F32 {
+            tree.coords32 = tree.coords.iter().map(|&x| x as f32).collect();
+            tree.coords = Vec::new();
         }
         tree
     }
@@ -85,55 +269,27 @@ impl<'a, M: Metric> KdTree<'a, M> {
         self
     }
 
-    /// Appends the subtree over `ids` (bounded by `bbox`) to the arenas
-    /// and returns its node id. Children are appended after their
-    /// parent, left subtree first, so leaf blocks land in traversal
-    /// order.
-    fn build(&mut self, ids: &mut [u32], bbox: Rect) -> u32 {
-        let me = self.nodes.len() as u32;
-        self.bounds.extend_from_slice(bbox.lo());
-        self.bounds.extend_from_slice(bbox.hi());
-        if ids.len() <= LEAF_SIZE {
-            let start = self.ids.len() as u32;
-            let coords = self.coords.len() as u32;
-            self.ids.extend_from_slice(ids);
-            for d in 0..self.dim {
-                for &i in ids.iter() {
-                    self.coords.push(self.data.point(i)[d]);
+    /// Serializes the flat arenas to a stable bit pattern. Test hook
+    /// for the construction-identity gate: parallel builds must be
+    /// byte-for-byte equal to sequential ones.
+    #[doc(hidden)]
+    pub fn arena_bits(&self) -> Vec<u64> {
+        let mut v = Vec::new();
+        for n in &self.nodes {
+            match *n {
+                FlatNode::Leaf { start, len, coords } => {
+                    v.extend_from_slice(&[0, start as u64, len as u64, coords as u64]);
+                }
+                FlatNode::Inner { left, right } => {
+                    v.extend_from_slice(&[1, left as u64, right as u64, 0]);
                 }
             }
-            self.nodes.push(FlatNode::Leaf {
-                start,
-                len: ids.len() as u32,
-                coords,
-            });
-            return me;
         }
-        // Split along the widest dimension of the actual bounding box.
-        let dim = (0..self.data.dim())
-            .max_by(|&a, &b| {
-                let wa = bbox.hi()[a] - bbox.lo()[a];
-                let wb = bbox.hi()[b] - bbox.lo()[b];
-                wa.total_cmp(&wb)
-            })
-            .expect("dataset has at least 1 dimension");
-        let mid = ids.len() / 2;
-        let data = self.data;
-        ids.select_nth_unstable_by(mid, |&a, &b| {
-            data.point(a)[dim].total_cmp(&data.point(b)[dim])
-        });
-        let (l, r) = ids.split_at_mut(mid);
-        let bbox_left =
-            Rect::bounding(l.iter().map(|&i| data.point(i))).expect("left split is non-empty");
-        let bbox_right =
-            Rect::bounding(r.iter().map(|&i| data.point(i))).expect("right split is non-empty");
-        // Reserve the parent slot, then append both subtrees and patch
-        // the child ids in.
-        self.nodes.push(FlatNode::Inner { left: 0, right: 0 });
-        let left = self.build(l, bbox_left);
-        let right = self.build(r, bbox_right);
-        self.nodes[me as usize] = FlatNode::Inner { left, right };
-        me
+        v.extend(self.bounds.iter().map(|b| b.to_bits()));
+        v.extend(self.ids.iter().map(|&i| i as u64));
+        v.extend(self.coords.iter().map(|c| c.to_bits()));
+        v.extend(self.coords32.iter().map(|c| c.to_bits() as u64));
+        v
     }
 
     /// Node `n`'s bounding box as `(lo, hi)` slices.
@@ -174,6 +330,12 @@ impl<M: Metric> NeighborIndex for KdTree<'_, M> {
         let mut work = Work::default();
         if !self.nodes.is_empty() {
             let bound = self.metric.to_surrogate(eps);
+            // Box pruning stays f64 in both precisions (bounds are
+            // exact); only the leaf candidate test narrows.
+            let q32 = match self.precision {
+                Precision::F32 => Some(QueryF32::new(q)),
+                Precision::F64 => None,
+            };
             ws.stack.clear();
             ws.stack.push(0);
             // Pop order (left child above right) reproduces the
@@ -190,15 +352,26 @@ impl<M: Metric> NeighborIndex for KdTree<'_, M> {
                     FlatNode::Leaf { start, len, coords } => {
                         work.evals += len as u64;
                         let (start, len, coords) = (start as usize, len as usize, coords as usize);
-                        scan_block(
-                            &self.metric,
-                            q,
-                            &self.ids[start..start + len],
-                            &self.coords[coords..coords + self.dim * len],
-                            len,
-                            bound,
-                            out,
-                        );
+                        match &q32 {
+                            None => scan_block(
+                                &self.metric,
+                                q,
+                                &self.ids[start..start + len],
+                                &self.coords[coords..coords + self.dim * len],
+                                len,
+                                bound,
+                                out,
+                            ),
+                            Some(q32) => scan_block_f32(
+                                &self.metric,
+                                q32.as_slice(),
+                                &self.ids[start..start + len],
+                                &self.coords32[coords..coords + self.dim * len],
+                                len,
+                                bound as f32,
+                                out,
+                            ),
+                        }
                     }
                     FlatNode::Inner { left, right } => {
                         ws.stack.push(right);
@@ -354,6 +527,58 @@ mod tests {
         // 1024 points / leaf 16 = 64 leaves -> depth ~7; allow slack for
         // uneven medians.
         assert!(idx.depth() <= 12, "depth {} too large", idx.depth());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        // Large enough to clear PAR_BUILD_CUTOFF several levels deep.
+        let d = testutil::random_dataset(5000, 31);
+        let seq = KdTree::new(&d, Euclidean).arena_bits();
+        for threads in [2, 3, 8] {
+            let par = KdTree::with_threads(&d, Euclidean, threads).arena_bits();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn f32_build_shares_f64_structure() {
+        let d = testutil::random_dataset(2000, 32);
+        let f64_tree = KdTree::new(&d, Euclidean);
+        let f32_tree = KdTree::with_options(&d, Euclidean, 4, Precision::F32);
+        // Same nodes/bounds/ids; only the coords arena is narrowed.
+        assert_eq!(f64_tree.nodes.len(), f32_tree.nodes.len());
+        assert_eq!(f64_tree.bounds, f32_tree.bounds);
+        assert_eq!(f64_tree.ids, f32_tree.ids);
+        assert!(f64_tree.coords32.is_empty() && f32_tree.coords.is_empty());
+        assert_eq!(f64_tree.coords.len(), f32_tree.coords32.len());
+    }
+
+    #[test]
+    fn f32_range_agrees_away_from_boundary() {
+        // With eps far from any pairwise distance, the f32 candidate
+        // test cannot flip and results must match the f64 oracle.
+        let d = testutil::random_dataset(600, 33);
+        let f64_tree = KdTree::new(&d, Euclidean);
+        let f32_tree = KdTree::with_options(&d, Euclidean, 1, Precision::F32);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in (0..d.len() as u32).step_by(7) {
+            for eps in [0.5, 3.0, 20.0] {
+                f64_tree.range(d.point(i), eps, &mut a);
+                f32_tree.range(d.point(i), eps, &mut b);
+                total += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+        }
+        // The f32 path is approximate near the ε boundary but must
+        // agree almost everywhere on well-separated random data.
+        assert!(
+            agree * 100 >= total * 99,
+            "f32 agreement too low: {agree}/{total}"
+        );
     }
 
     #[test]

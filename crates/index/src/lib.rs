@@ -21,6 +21,7 @@ pub mod vptree;
 
 use dbdc_geom::{Dataset, Metric};
 
+pub use dbdc_geom::Precision;
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
 pub use latency::LatencyObserved;
@@ -161,6 +162,28 @@ impl std::str::FromStr for IndexKind {
     }
 }
 
+/// Construction options for [`build_index_opts`].
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Worker threads for parallel arena construction (1 = sequential).
+    /// Construction is **bit-identical** at every thread count — the
+    /// subtree→node-id assignment is deterministic, so the flat arenas
+    /// come out byte-for-byte the same regardless of parallelism.
+    pub threads: usize,
+    /// Coordinate precision of the leaf SoA scan blocks. The linear
+    /// scan ignores this and stays the exact f64 oracle.
+    pub precision: Precision,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            precision: Precision::F64,
+        }
+    }
+}
+
 /// Builds the chosen index over `data` with metric `m`.
 ///
 /// `eps_hint` sizes the grid cells for [`IndexKind::Grid`]; it should be the
@@ -234,6 +257,57 @@ pub fn build_index_instrumented<'a, M: Metric + Clone + 'a>(
     }
 }
 
+/// Like [`build_index_instrumented`], but with explicit
+/// [`BuildOptions`]: worker threads for parallel arena construction
+/// and the scan-path coordinate precision. With the default options
+/// this is exactly [`build_index_instrumented`].
+pub fn build_index_opts<'a, M: Metric + Clone + 'a>(
+    kind: IndexKind,
+    data: &'a Dataset,
+    m: M,
+    eps_hint: f64,
+    opts: BuildOptions,
+    sheet: Option<&std::sync::Arc<dbdc_obs::CounterSheet>>,
+    hist: Option<&std::sync::Arc<dbdc_obs::HistSheet>>,
+) -> Box<dyn NeighborIndex + 'a> {
+    let index: Box<dyn NeighborIndex + 'a> = match kind {
+        IndexKind::Linear => {
+            // The linear scan has no arenas to build and stays the
+            // exact f64 oracle regardless of the requested options.
+            let idx = LinearScan::new(data, m);
+            match sheet {
+                Some(s) => Box::new(idx.observed(s.clone())),
+                None => Box::new(idx),
+            }
+        }
+        IndexKind::Grid => {
+            let idx = GridIndex::with_options(data, m, eps_hint, opts.threads, opts.precision);
+            match sheet {
+                Some(s) => Box::new(idx.observed(s.clone())),
+                None => Box::new(idx),
+            }
+        }
+        IndexKind::KdTree => {
+            let idx = KdTree::with_options(data, m, opts.threads, opts.precision);
+            match sheet {
+                Some(s) => Box::new(idx.observed(s.clone())),
+                None => Box::new(idx),
+            }
+        }
+        IndexKind::RStar => {
+            let idx = RStarTree::bulk_load_opts(data, m, opts.threads, opts.precision);
+            match sheet {
+                Some(s) => Box::new(idx.observed(s.clone())),
+                None => Box::new(idx),
+            }
+        }
+    };
+    match hist {
+        Some(hist) => Box::new(LatencyObserved::new(index, hist.clone())),
+        None => index,
+    }
+}
+
 /// Lower bound on the distance from `q` to any point inside the axis-aligned
 /// box `[lo, hi]`, under metric `m`.
 ///
@@ -301,6 +375,71 @@ pub(crate) fn scan_block<M: Metric>(
             }
         }
         i += c;
+    }
+}
+
+/// `f32` twin of [`scan_block`] for the opt-in reduced-precision scan
+/// path: same chunking and visit order, surrogates computed by
+/// [`Metric::surrogate_batch_f32`] over an `f32` SoA block against an
+/// `f32` bound.
+pub(crate) fn scan_block_f32<M: Metric>(
+    m: &M,
+    q: &[f32],
+    ids: &[u32],
+    cols: &[f32],
+    stride: usize,
+    bound: f32,
+    out: &mut Vec<u32>,
+) {
+    const SCAN_CHUNK: usize = 32;
+    let mut buf = [0.0f32; SCAN_CHUNK];
+    let n = ids.len();
+    let mut i = 0;
+    while i < n {
+        let c = SCAN_CHUNK.min(n - i);
+        m.surrogate_batch_f32(q, &cols[i..], stride, c, &mut buf[..c]);
+        for (k, &id) in ids[i..i + c].iter().enumerate() {
+            if buf[k] <= bound {
+                out.push(id);
+            }
+        }
+        i += c;
+    }
+}
+
+/// Per-query `f32` view of an `f64` query point, stack-buffered up to
+/// 16 dimensions so the reduced-precision scan path allocates nothing
+/// per query in the dimensions this workspace actually uses.
+pub(crate) struct QueryF32 {
+    stack: [f32; 16],
+    heap: Vec<f32>,
+    dim: usize,
+}
+
+impl QueryF32 {
+    pub(crate) fn new(q: &[f64]) -> Self {
+        let mut s = Self {
+            stack: [0.0; 16],
+            heap: Vec::new(),
+            dim: q.len(),
+        };
+        if q.len() <= 16 {
+            for (w, &v) in s.stack.iter_mut().zip(q) {
+                *w = v as f32;
+            }
+        } else {
+            s.heap = q.iter().map(|&v| v as f32).collect();
+        }
+        s
+    }
+
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        if self.dim <= 16 {
+            &self.stack[..self.dim]
+        } else {
+            &self.heap
+        }
     }
 }
 

@@ -14,7 +14,8 @@
 //! coordinates except to verify leaf candidates.
 
 use crate::linear::ordered::F64;
-use crate::{dist_to_box, scan_block, with_scratch, NeighborIndex, QueryWorkspace};
+use crate::{dist_to_box, scan_block, scan_block_f32, with_scratch, NeighborIndex, QueryWorkspace};
+use crate::{Precision, QueryF32};
 use dbdc_geom::{Dataset, Metric, Rect};
 use dbdc_obs::CounterSheet;
 use std::cmp::Reverse;
@@ -63,8 +64,13 @@ struct FlatRStar {
     bounds: Vec<f64>,
     /// Leaf point ids in traversal order.
     ids: Vec<u32>,
-    /// Per-leaf SoA coordinate blocks, same order as `ids`.
+    /// Per-leaf SoA coordinate blocks, same order as `ids`. Empty when
+    /// the view was narrowed to [`Precision::F32`].
     coords: Vec<f64>,
+    /// `f32` twin of `coords`, populated instead of it under
+    /// [`Precision::F32`].
+    coords32: Vec<f32>,
+    precision: Precision,
     dim: usize,
 }
 
@@ -86,19 +92,103 @@ enum FlatRNode {
 }
 
 impl FlatRStar {
-    fn build<M: Metric>(tree: &RStarTree<'_, M>) -> Option<FlatRStar> {
-        let root = tree.root.as_deref()?;
-        let mut flat = FlatRStar {
+    fn empty(dim: usize, n: usize) -> FlatRStar {
+        FlatRStar {
             nodes: Vec::new(),
             children: Vec::new(),
             bounds: Vec::new(),
-            ids: Vec::with_capacity(tree.n),
-            coords: Vec::with_capacity(tree.n * tree.data.dim()),
-            dim: tree.data.dim(),
-        };
+            ids: Vec::with_capacity(n),
+            coords: Vec::with_capacity(n * dim),
+            coords32: Vec::new(),
+            precision: Precision::F64,
+            dim,
+        }
+    }
+
+    /// Flattens the tree with up to `threads` construction workers,
+    /// fanning out over the root's children. Each worker flattens its
+    /// subtrees into private arenas which are then spliced back in
+    /// child order, so the result is bit-identical to the sequential
+    /// (`threads == 1`) flattening.
+    fn build<M: Metric>(tree: &RStarTree<'_, M>, threads: usize) -> Option<FlatRStar> {
+        let root = tree.root.as_deref()?;
+        let mut flat = FlatRStar::empty(tree.data.dim(), tree.n);
         let root_rect = tree.node_rect(root);
-        flat.add(tree.data, root, &root_rect);
+        let children = match root {
+            Node::Inner { children } if threads > 1 && children.len() > 1 => children,
+            _ => {
+                flat.add(tree.data, root, &root_rect);
+                return Some(flat);
+            }
+        };
+        flat.bounds.extend_from_slice(root_rect.lo());
+        flat.bounds.extend_from_slice(root_rect.hi());
+        flat.nodes.push(FlatRNode::Inner { start: 0, len: 0 });
+        let workers = threads.min(children.len());
+        let chunk = children.len().div_ceil(workers);
+        // Each worker flattens a contiguous run of root subtrees into
+        // fresh arenas; joining in spawn order restores child order.
+        let subs: Vec<FlatRStar> = std::thread::scope(|s| {
+            let handles: Vec<_> = children
+                .chunks(chunk)
+                .map(|run| {
+                    s.spawn(move || {
+                        run.iter()
+                            .map(|(r, c)| {
+                                let mut sub = FlatRStar::empty(tree.data.dim(), c.len());
+                                sub.add(tree.data, c, r);
+                                sub
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("r*-tree flatten worker panicked"))
+                .collect()
+        });
+        let kid_ids: Vec<u32> = subs.into_iter().map(|sub| flat.splice(sub)).collect();
+        // The root's child list lands after every subtree's own
+        // children entries, exactly as the sequential `add` appends it.
+        let start = flat.children.len() as u32;
+        flat.children.extend_from_slice(&kid_ids);
+        flat.nodes[0] = FlatRNode::Inner {
+            start,
+            len: kid_ids.len() as u32,
+        };
         Some(flat)
+    }
+
+    /// Appends `sub`'s arenas to `self`, rebasing every intra-arena
+    /// offset, and returns the new node id of `sub`'s root. A subtree
+    /// occupies one contiguous run of every arena in the sequential
+    /// flattening, so splicing a privately built subtree reproduces the
+    /// in-place layout exactly.
+    fn splice(&mut self, sub: FlatRStar) -> u32 {
+        let node_base = self.nodes.len() as u32;
+        let children_base = self.children.len() as u32;
+        let ids_base = self.ids.len() as u32;
+        let coords_base = self.coords.len() as u32;
+        for n in sub.nodes {
+            self.nodes.push(match n {
+                FlatRNode::Leaf { start, len, coords } => FlatRNode::Leaf {
+                    start: start + ids_base,
+                    len,
+                    coords: coords + coords_base,
+                },
+                FlatRNode::Inner { start, len } => FlatRNode::Inner {
+                    start: start + children_base,
+                    len,
+                },
+            });
+        }
+        self.children
+            .extend(sub.children.iter().map(|&c| c + node_base));
+        self.bounds.extend_from_slice(&sub.bounds);
+        self.ids.extend_from_slice(&sub.ids);
+        self.coords.extend_from_slice(&sub.coords);
+        node_base
     }
 
     /// Appends `node` (bounded by `rect`) and its subtree, children in
@@ -189,6 +279,27 @@ impl<'a, M: Metric> RStarTree<'a, M> {
 
     /// Bulk-loads all points of `data` with the STR algorithm.
     pub fn bulk_load(data: &'a Dataset, metric: M) -> Self {
+        Self::bulk_load_opts(data, metric, 1, Precision::F64)
+    }
+
+    /// [`RStarTree::bulk_load`] with `threads` construction workers.
+    pub fn bulk_load_threaded(data: &'a Dataset, metric: M, threads: usize) -> Self {
+        Self::bulk_load_opts(data, metric, threads, Precision::F64)
+    }
+
+    /// Bulk-loads with `threads` construction workers and the given
+    /// scan-path precision. The STR tiling itself stays sequential (it
+    /// is a cheap series of selects); the expensive flatten fans out
+    /// over the root's children and is bit-identical across thread
+    /// counts. Under [`Precision::F32`] the flattened leaf blocks are
+    /// narrowed after the fully-`f64` build; the recursive fallback
+    /// used after `insert`/`delete` always stays `f64`.
+    pub fn bulk_load_opts(
+        data: &'a Dataset,
+        metric: M,
+        threads: usize,
+        precision: Precision,
+    ) -> Self {
         let mut tree = Self::new(data, metric);
         if data.is_empty() {
             return tree;
@@ -249,8 +360,43 @@ impl<'a, M: Metric> RStarTree<'a, M> {
         let (_, root) = level.pop().expect("at least one node");
         tree.root = Some(root);
         tree.n = data.len();
-        tree.flat = FlatRStar::build(&tree);
+        tree.flat = FlatRStar::build(&tree, threads.max(1));
+        if precision == Precision::F32 {
+            if let Some(flat) = &mut tree.flat {
+                flat.coords32 = flat.coords.iter().map(|&x| x as f32).collect();
+                flat.coords = Vec::new();
+                flat.precision = Precision::F32;
+            }
+        }
         tree
+    }
+
+    /// Serializes the flattened arenas to a stable bit pattern (empty
+    /// when no flat view exists). Test hook for the construction-
+    /// identity gate: parallel flattening must be byte-for-byte equal
+    /// to sequential.
+    #[doc(hidden)]
+    pub fn arena_bits(&self) -> Vec<u64> {
+        let mut v = Vec::new();
+        let Some(flat) = &self.flat else {
+            return v;
+        };
+        for n in &flat.nodes {
+            match *n {
+                FlatRNode::Leaf { start, len, coords } => {
+                    v.extend_from_slice(&[0, start as u64, len as u64, coords as u64]);
+                }
+                FlatRNode::Inner { start, len } => {
+                    v.extend_from_slice(&[1, start as u64, len as u64, 0]);
+                }
+            }
+        }
+        v.extend(flat.children.iter().map(|&c| c as u64));
+        v.extend(flat.bounds.iter().map(|b| b.to_bits()));
+        v.extend(flat.ids.iter().map(|&i| i as u64));
+        v.extend(flat.coords.iter().map(|c| c.to_bits()));
+        v.extend(flat.coords32.iter().map(|c| c.to_bits() as u64));
+        v
     }
 
     /// Inserts point `id` (an index into the dataset) using the full R*
@@ -994,6 +1140,12 @@ impl<M: Metric> NeighborIndex for RStarTree<'_, M> {
         let mut visits = 0u64;
         if let Some(flat) = &self.flat {
             let bound = self.metric.to_surrogate(eps);
+            // Box pruning stays f64 in both precisions (bounds are
+            // exact); only the leaf candidate test narrows.
+            let q32 = match flat.precision {
+                Precision::F32 => Some(QueryF32::new(q)),
+                Precision::F64 => None,
+            };
             ws.stack.clear();
             ws.stack.push(0);
             while let Some(n) = ws.stack.pop() {
@@ -1005,15 +1157,26 @@ impl<M: Metric> NeighborIndex for RStarTree<'_, M> {
                     FlatRNode::Leaf { start, len, coords } => {
                         evals += len as u64;
                         let (start, len, coords) = (start as usize, len as usize, coords as usize);
-                        scan_block(
-                            &self.metric,
-                            q,
-                            &flat.ids[start..start + len],
-                            &flat.coords[coords..coords + flat.dim * len],
-                            len,
-                            bound,
-                            out,
-                        );
+                        match &q32 {
+                            None => scan_block(
+                                &self.metric,
+                                q,
+                                &flat.ids[start..start + len],
+                                &flat.coords[coords..coords + flat.dim * len],
+                                len,
+                                bound,
+                                out,
+                            ),
+                            Some(q32) => scan_block_f32(
+                                &self.metric,
+                                q32.as_slice(),
+                                &flat.ids[start..start + len],
+                                &flat.coords32[coords..coords + flat.dim * len],
+                                len,
+                                bound as f32,
+                                out,
+                            ),
+                        }
                     }
                     FlatRNode::Inner { start, len } => {
                         // Children pushed in reverse so they pop — and
@@ -1359,6 +1522,41 @@ mod delete_tests {
             .collect();
         want.sort_unstable();
         assert_eq!(out, want);
+    }
+
+    #[test]
+    fn parallel_flatten_is_bit_identical() {
+        let d = testutil::random_dataset(4000, 41);
+        let seq = RStarTree::bulk_load(&d, Euclidean).arena_bits();
+        assert!(!seq.is_empty());
+        for threads in [2, 3, 8] {
+            let par = RStarTree::bulk_load_threaded(&d, Euclidean, threads).arena_bits();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn f32_range_matches_oracle_away_from_boundary() {
+        let d = testutil::random_dataset(800, 42);
+        let oracle = RStarTree::bulk_load(&d, Euclidean);
+        let narrow = RStarTree::bulk_load_opts(&d, Euclidean, 2, Precision::F32);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in (0..d.len() as u32).step_by(11) {
+            for eps in [0.5, 3.0, 20.0] {
+                oracle.range(d.point(i), eps, &mut a);
+                narrow.range(d.point(i), eps, &mut b);
+                total += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(
+            agree * 100 >= total * 99,
+            "f32 agreement too low: {agree}/{total}"
+        );
     }
 
     #[test]

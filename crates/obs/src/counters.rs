@@ -87,6 +87,9 @@ pub struct Counters {
     pub quality_noise_distr_only: u64,
     /// Objects flagged noise only by the central reference clustering.
     pub quality_noise_central_only: u64,
+    /// Halo points replicated across partition borders by the
+    /// partitioned local phase (sum over partitions).
+    pub halo_points: u64,
 }
 
 impl Counters {
@@ -96,7 +99,7 @@ impl Counters {
     pub const CORE_FIELDS: usize = 9;
 
     /// Stable field names, in serialization order.
-    pub const FIELDS: [&'static str; 29] = [
+    pub const FIELDS: [&'static str; 30] = [
         "range_queries",
         "knn_queries",
         "distance_evals",
@@ -126,10 +129,11 @@ impl Counters {
         "quality_noise_both",
         "quality_noise_distr_only",
         "quality_noise_central_only",
+        "halo_points",
     ];
 
     /// Field values in [`Counters::FIELDS`] order.
-    pub fn values(&self) -> [u64; 29] {
+    pub fn values(&self) -> [u64; 30] {
         [
             self.range_queries,
             self.knn_queries,
@@ -160,13 +164,14 @@ impl Counters {
             self.quality_noise_both,
             self.quality_noise_distr_only,
             self.quality_noise_central_only,
+            self.halo_points,
         ]
     }
 
     /// Rebuilds a snapshot from values in [`Counters::FIELDS`] order —
     /// the inverse of [`Counters::values`]. Used by the telemetry
     /// snapshot delta and the exposition parser.
-    pub fn from_values(v: [u64; 29]) -> Counters {
+    pub fn from_values(v: [u64; 30]) -> Counters {
         Counters {
             range_queries: v[0],
             knn_queries: v[1],
@@ -197,6 +202,7 @@ impl Counters {
             quality_noise_both: v[26],
             quality_noise_distr_only: v[27],
             quality_noise_central_only: v[28],
+            halo_points: v[29],
         }
     }
 
@@ -236,6 +242,7 @@ impl Counters {
         self.quality_noise_both += other.quality_noise_both;
         self.quality_noise_distr_only += other.quality_noise_distr_only;
         self.quality_noise_central_only += other.quality_noise_central_only;
+        self.halo_points += other.halo_points;
     }
 
     /// Field-wise sum of many snapshots.
@@ -283,6 +290,7 @@ pub struct CounterSheet {
     quality_noise_both: AtomicU64,
     quality_noise_distr_only: AtomicU64,
     quality_noise_central_only: AtomicU64,
+    halo_points: AtomicU64,
 }
 
 impl CounterSheet {
@@ -388,6 +396,11 @@ impl CounterSheet {
         self.mst_edges.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records halo points replicated by the partitioned local phase.
+    pub fn add_halo_points(&self, n: u64) {
+        self.halo_points.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Records distance evaluations performed outside an index query
     /// (e.g. the DBCV mutual-reachability loops).
     pub fn add_distance_evals(&self, n: u64) {
@@ -465,6 +478,7 @@ impl CounterSheet {
             .fetch_add(c.quality_noise_distr_only, Ordering::Relaxed);
         self.quality_noise_central_only
             .fetch_add(c.quality_noise_central_only, Ordering::Relaxed);
+        self.halo_points.fetch_add(c.halo_points, Ordering::Relaxed);
     }
 
     /// The current totals as a plain value.
@@ -499,6 +513,7 @@ impl CounterSheet {
             quality_noise_both: self.quality_noise_both.load(Ordering::Relaxed),
             quality_noise_distr_only: self.quality_noise_distr_only.load(Ordering::Relaxed),
             quality_noise_central_only: self.quality_noise_central_only.load(Ordering::Relaxed),
+            halo_points: self.halo_points.load(Ordering::Relaxed),
         }
     }
 }

@@ -19,9 +19,10 @@
 //! v3 added distributed-run identity (`role`/`run_id`/`peer`), the
 //! optional per-span `start_us` offset, and the wire/fault counter
 //! fields. v4 added the optional `quality` section (DBCV, Q_DBDC,
-//! per-cluster validity) and the quality counter fields — all of which
-//! parse as absent/zero from older reports, so v1-v3 files remain
-//! readable.
+//! per-cluster validity) and the quality counter fields. v5 added the
+//! `halo_points` counter field for the partitioned local phase — all
+//! of which parse as absent/zero from older reports, so v1-v4 files
+//! remain readable.
 
 use std::time::Duration;
 
@@ -32,7 +33,7 @@ use crate::json::Json;
 use crate::span::Span;
 
 /// Version of the JSON shape. Bump on any schema change.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Oldest schema version [`RunReport::from_json`] still reads.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -840,6 +841,7 @@ pub fn counters_from_json(v: &Json) -> Result<Counters, String> {
         quality_noise_both: opt("quality_noise_both"),
         quality_noise_distr_only: opt("quality_noise_distr_only"),
         quality_noise_central_only: opt("quality_noise_central_only"),
+        halo_points: opt("halo_points"),
     })
 }
 
@@ -1090,7 +1092,7 @@ mod tests {
     fn render_mentions_every_section() {
         let text = sample().render();
         for needle in [
-            "== run report (schema v4) ==",
+            "== run report (schema v5) ==",
             "identity: role server, run run-7, peer server",
             "eps=1.2",
             "env: nproc 8, rustc 1.75.0, rev abc1234, data 11deadbeef",

@@ -114,7 +114,7 @@ proptest! {
         // Adjacent deltas telescope: summing the windows reproduces the
         // endpoints' difference in every counter cell.
         if snaps.len() >= 2 {
-            let mut acc = vec![0u64; 29];
+            let mut acc = vec![0u64; 30];
             for w in snaps.windows(2) {
                 let d = delta(&w[0], &w[1]);
                 for (cell, v) in acc.iter_mut().zip(d.total().values()) {
